@@ -1,0 +1,71 @@
+// Command cfs-bench regenerates the tables and figures of the paper's
+// evaluation section (Table 3, Figures 6-10) on an in-process cluster and
+// prints them as text tables.
+//
+// Usage:
+//
+//	cfs-bench [-scale quick|paper] [table3|fig6|fig7|fig8|fig9|fig10|all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cfs/internal/bench"
+)
+
+func main() {
+	scaleName := flag.String("scale", "quick", "experiment scale: quick or paper")
+	flag.Parse()
+
+	var scale bench.Scale
+	switch *scaleName {
+	case "quick":
+		scale = bench.Quick()
+	case "paper":
+		scale = bench.Paper()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q (want quick or paper)\n", *scaleName)
+		os.Exit(2)
+	}
+
+	which := "all"
+	if flag.NArg() > 0 {
+		which = flag.Arg(0)
+	}
+
+	type experiment struct {
+		name string
+		run  func(bench.Scale) (*bench.Table, error)
+	}
+	experiments := []experiment{
+		{"table3", func(s bench.Scale) (*bench.Table, error) { t, _, err := bench.RunTable3(s); return t, err }},
+		{"fig6", func(s bench.Scale) (*bench.Table, error) { t, _, err := bench.RunFig6(s); return t, err }},
+		{"fig7", func(s bench.Scale) (*bench.Table, error) { t, _, err := bench.RunFig7(s); return t, err }},
+		{"fig8", func(s bench.Scale) (*bench.Table, error) { t, _, err := bench.RunFig8(s); return t, err }},
+		{"fig9", func(s bench.Scale) (*bench.Table, error) { t, _, err := bench.RunFig9(s); return t, err }},
+		{"fig10", func(s bench.Scale) (*bench.Table, error) { t, _, err := bench.RunFig10(s); return t, err }},
+	}
+
+	ran := 0
+	for _, e := range experiments {
+		if which != "all" && which != e.name {
+			continue
+		}
+		ran++
+		start := time.Now()
+		table, err := e.run(scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		fmt.Println(table.Render())
+		fmt.Printf("(%s completed in %v)\n\n", e.name, time.Since(start).Round(time.Millisecond))
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", which)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,13 @@
+// Package cfs is a from-scratch, stdlib-only Go reproduction of
+//
+//	Liu et al., "CFS: A Distributed File System for Large Scale
+//	Container Platforms", SIGMOD 2019 (a.k.a. ChubaoFS / CubeFS).
+//
+// The public API lives in internal/core (FileSystem, File); the
+// subsystems - resource manager, metadata subsystem, data subsystem with
+// its extent store and scenario-aware replication, Raft, MultiRaft, and
+// the Ceph-like evaluation baseline - live under internal/. See README.md
+// for a tour, DESIGN.md for the system inventory, and EXPERIMENTS.md for
+// the paper-vs-measured record. The benchmarks in bench_test.go regenerate
+// every table and figure of the paper's evaluation section.
+package cfs

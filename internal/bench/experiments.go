@@ -1,0 +1,376 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"cfs/internal/util"
+)
+
+// Scale sizes the experiments. The paper runs 10 machines, 8 client boxes
+// and 40 GB files; Quick() shrinks every axis so the whole suite finishes
+// in minutes on one machine while preserving the comparative shapes.
+type Scale struct {
+	MaxClients  int           // paper: 8
+	MaxProcs    int           // paper: 64
+	Items       int           // mdtest items per proc
+	FIOFileSize uint64        // paper: 40 GB per proc
+	SmallFiles  int           // files per proc in Figure 10
+	Latency     time.Duration // emulated network latency per call
+	TreeDepth   int
+	TreeFanout  int
+}
+
+// Quick returns the CI-sized scale.
+func Quick() Scale {
+	return Scale{
+		MaxClients:  4,
+		MaxProcs:    16,
+		Items:       12,
+		FIOFileSize: util.MB,
+		SmallFiles:  6,
+		Latency:     100 * time.Microsecond,
+		TreeDepth:   2,
+		TreeFanout:  2,
+	}
+}
+
+// Paper returns the full-shape scale (minutes, not hours).
+func Paper() Scale {
+	return Scale{
+		MaxClients:  8,
+		MaxProcs:    64,
+		Items:       24,
+		FIOFileSize: 2 * util.MB,
+		SmallFiles:  8,
+		Latency:     150 * time.Microsecond,
+		TreeDepth:   3,
+		TreeFanout:  3,
+	}
+}
+
+// Table is a rendered experiment result.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Render formats the table as aligned text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	line(t.Header)
+	for i := range t.Header {
+		t.Header[i] = strings.Repeat("-", widths[i])
+	}
+	line(t.Header)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}
+
+func newCFS(s Scale) (*CFSFactory, error) {
+	return SetupCFS(CFSOptions{NetworkLatency: s.Latency})
+}
+
+func newCeph(s Scale) (*CephFactory, error) {
+	return SetupCeph(CephOptions{NetworkLatency: s.Latency})
+}
+
+// ---------------------------------------------------------------------------
+// Table 3: metadata IOPS at max concurrency, CFS vs the baseline.
+
+// Table3Numbers carries the raw IOPS for assertions.
+type Table3Numbers struct {
+	CFS  MDTestResult
+	Ceph MDTestResult
+}
+
+// RunTable3 regenerates Table 3 (8 clients x 64 procs in the paper).
+func RunTable3(s Scale) (*Table, *Table3Numbers, error) {
+	params := MDTestParams{
+		Clients:        s.MaxClients,
+		ProcsPerClient: s.MaxProcs,
+		ItemsPerProc:   s.Items,
+		TreeDepth:      s.TreeDepth,
+		TreeFanout:     s.TreeFanout,
+	}
+	cfs, err := newCFS(s)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfsRes, err := RunMDTest(cfs, params)
+	cfs.Close()
+	if err != nil {
+		return nil, nil, fmt.Errorf("table3 cfs: %w", err)
+	}
+	ceph, err := newCeph(s)
+	if err != nil {
+		return nil, nil, err
+	}
+	cephRes, err := RunMDTest(ceph, params)
+	ceph.Close()
+	if err != nil {
+		return nil, nil, fmt.Errorf("table3 ceph: %w", err)
+	}
+	t := &Table{
+		Title: fmt.Sprintf("Table 3: metadata IOPS, %d clients x %d procs (paper: 8x64)",
+			params.Clients, params.ProcsPerClient),
+		Header: []string{"Test Name", "CFS (multi)", "Ceph (multi)", "% of Improv."},
+	}
+	for _, op := range MDTestOps {
+		imp := 0.0
+		if cephRes[op] > 0 {
+			imp = (cfsRes[op] - cephRes[op]) / cephRes[op] * 100
+		}
+		t.Rows = append(t.Rows, []string{
+			string(op),
+			fmt.Sprintf("%.0f", cfsRes[op]),
+			fmt.Sprintf("%.0f", cephRes[op]),
+			fmt.Sprintf("%.0f", imp),
+		})
+	}
+	return t, &Table3Numbers{CFS: cfsRes, Ceph: cephRes}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Figure 6: metadata IOPS, single client, sweeping processes.
+
+// SweepNumbers maps x-value -> system -> op -> IOPS.
+type SweepNumbers map[int]map[string]MDTestResult
+
+// RunFig6 regenerates Figure 6 (procs in {1,4,16,64}).
+func RunFig6(s Scale) (*Table, SweepNumbers, error) {
+	procs := scaleSweep([]int{1, 4, 16, 64}, s.MaxProcs)
+	return runMetaSweep(s, "Figure 6: metadata IOPS, single client, by process count",
+		procs, func(x int) MDTestParams {
+			return MDTestParams{
+				Clients: 1, ProcsPerClient: x, ItemsPerProc: s.Items,
+				TreeDepth: s.TreeDepth, TreeFanout: s.TreeFanout,
+			}
+		})
+}
+
+// RunFig7 regenerates Figure 7 (clients in {1,2,4,8}, 64 procs each).
+func RunFig7(s Scale) (*Table, SweepNumbers, error) {
+	clients := scaleSweep([]int{1, 2, 4, 8}, s.MaxClients)
+	return runMetaSweep(s, fmt.Sprintf("Figure 7: metadata IOPS, by client count (%d procs/client)", s.MaxProcs),
+		clients, func(x int) MDTestParams {
+			return MDTestParams{
+				Clients: x, ProcsPerClient: s.MaxProcs, ItemsPerProc: s.Items,
+				TreeDepth: s.TreeDepth, TreeFanout: s.TreeFanout,
+			}
+		})
+}
+
+func scaleSweep(points []int, max int) []int {
+	var out []int
+	for _, p := range points {
+		if p <= max {
+			out = append(out, p)
+		}
+	}
+	if len(out) == 0 || out[len(out)-1] != max {
+		out = append(out, max)
+	}
+	return out
+}
+
+func runMetaSweep(s Scale, title string, xs []int, mk func(x int) MDTestParams) (*Table, SweepNumbers, error) {
+	nums := make(SweepNumbers)
+	for _, x := range xs {
+		nums[x] = make(map[string]MDTestResult)
+		cfs, err := newCFS(s)
+		if err != nil {
+			return nil, nil, err
+		}
+		res, err := RunMDTest(cfs, mk(x))
+		cfs.Close()
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s cfs x=%d: %w", title, x, err)
+		}
+		nums[x]["CFS"] = res
+		ceph, err := newCeph(s)
+		if err != nil {
+			return nil, nil, err
+		}
+		res, err = RunMDTest(ceph, mk(x))
+		ceph.Close()
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s ceph x=%d: %w", title, x, err)
+		}
+		nums[x]["Ceph"] = res
+	}
+	t := &Table{Title: title, Header: []string{"Op", "System"}}
+	for _, x := range xs {
+		t.Header = append(t.Header, fmt.Sprintf("x=%d", x))
+	}
+	for _, op := range MDTestOps {
+		for _, sys := range []string{"CFS", "Ceph"} {
+			row := []string{string(op), sys}
+			for _, x := range xs {
+				row = append(row, fmt.Sprintf("%.0f", nums[x][sys][op]))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	return t, nums, nil
+}
+
+// ---------------------------------------------------------------------------
+// Figures 8 and 9: large-file IOPS sweeps.
+
+// FIONumbers maps x -> system -> pattern -> IOPS.
+type FIONumbers map[int]map[string]map[IOPattern]float64
+
+// RunFig8 regenerates Figure 8 (single client, procs 1..64, 4 patterns).
+func RunFig8(s Scale) (*Table, FIONumbers, error) {
+	procs := scaleSweep([]int{1, 2, 4, 8, 16, 32, 64}, s.MaxProcs)
+	return runFIOSweep(s, "Figure 8: large-file IOPS, single client, by process count",
+		procs, func(x int, pattern IOPattern) FIOParams {
+			return FIOParams{Clients: 1, ProcsPerClient: x, FileSize: s.FIOFileSize}
+		})
+}
+
+// RunFig9 regenerates Figure 9 (clients 1..8; 64 procs random, 16 seq).
+func RunFig9(s Scale) (*Table, FIONumbers, error) {
+	clients := scaleSweep([]int{1, 2, 3, 4, 5, 6, 7, 8}, s.MaxClients)
+	randProcs := s.MaxProcs
+	seqProcs := util.Max(s.MaxProcs/4, 1)
+	return runFIOSweep(s,
+		fmt.Sprintf("Figure 9: large-file IOPS, by client count (%d procs rand, %d seq)", randProcs, seqProcs),
+		clients, func(x int, pattern IOPattern) FIOParams {
+			procs := randProcs
+			if pattern == SeqWrite || pattern == SeqRead {
+				procs = seqProcs
+			}
+			return FIOParams{Clients: x, ProcsPerClient: procs, FileSize: s.FIOFileSize}
+		})
+}
+
+func runFIOSweep(s Scale, title string, xs []int, mk func(x int, p IOPattern) FIOParams) (*Table, FIONumbers, error) {
+	nums := make(FIONumbers)
+	for _, x := range xs {
+		nums[x] = map[string]map[IOPattern]float64{"CFS": {}, "Ceph": {}}
+		cfs, err := newCFS(s)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, pattern := range IOPatterns {
+			iops, err := RunFIO(cfs, pattern, mk(x, pattern))
+			if err != nil {
+				cfs.Close()
+				return nil, nil, fmt.Errorf("%s cfs %s x=%d: %w", title, pattern, x, err)
+			}
+			nums[x]["CFS"][pattern] = iops
+		}
+		cfs.Close()
+		ceph, err := newCeph(s)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, pattern := range IOPatterns {
+			iops, err := RunFIO(ceph, pattern, mk(x, pattern))
+			if err != nil {
+				ceph.Close()
+				return nil, nil, fmt.Errorf("%s ceph %s x=%d: %w", title, pattern, x, err)
+			}
+			nums[x]["Ceph"][pattern] = iops
+		}
+		ceph.Close()
+	}
+	t := &Table{Title: title, Header: []string{"Pattern", "System"}}
+	for _, x := range xs {
+		t.Header = append(t.Header, fmt.Sprintf("x=%d", x))
+	}
+	for _, pattern := range IOPatterns {
+		for _, sys := range []string{"CFS", "Ceph"} {
+			row := []string{string(pattern), sys}
+			for _, x := range xs {
+				row = append(row, fmt.Sprintf("%.0f", nums[x][sys][pattern]))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	return t, nums, nil
+}
+
+// ---------------------------------------------------------------------------
+// Figure 10: small files.
+
+// SmallNumbers maps size -> system -> phase -> IOPS.
+type SmallNumbers map[uint64]map[string]map[SmallFileOp]float64
+
+// RunFig10 regenerates Figure 10 (sizes 1..128 KB, write/read/removal at
+// max concurrency).
+func RunFig10(s Scale) (*Table, SmallNumbers, error) {
+	sizes := []uint64{1 * util.KB, 4 * util.KB, 16 * util.KB, 64 * util.KB, 128 * util.KB}
+	nums := make(SmallNumbers)
+	for _, size := range sizes {
+		nums[size] = map[string]map[SmallFileOp]float64{}
+		params := SmallFileParams{
+			Clients:        s.MaxClients,
+			ProcsPerClient: s.MaxProcs,
+			FilesPerProc:   s.SmallFiles,
+			FileSize:       size,
+		}
+		cfs, err := newCFS(s)
+		if err != nil {
+			return nil, nil, err
+		}
+		res, err := RunSmallFiles(cfs, params)
+		cfs.Close()
+		if err != nil {
+			return nil, nil, fmt.Errorf("fig10 cfs %dK: %w", size/util.KB, err)
+		}
+		nums[size]["CFS"] = res
+		ceph, err := newCeph(s)
+		if err != nil {
+			return nil, nil, err
+		}
+		res, err = RunSmallFiles(ceph, params)
+		ceph.Close()
+		if err != nil {
+			return nil, nil, fmt.Errorf("fig10 ceph %dK: %w", size/util.KB, err)
+		}
+		nums[size]["Ceph"] = res
+	}
+	t := &Table{
+		Title: fmt.Sprintf("Figure 10: small-file IOPS, %d clients x %d procs, by file size",
+			s.MaxClients, s.MaxProcs),
+		Header: []string{"Phase", "System"},
+	}
+	for _, size := range sizes {
+		t.Header = append(t.Header, fmt.Sprintf("%dKB", size/util.KB))
+	}
+	for _, phase := range []SmallFileOp{SmallWrite, SmallRead, SmallRemoval} {
+		for _, sys := range []string{"CFS", "Ceph"} {
+			row := []string{string(phase), sys}
+			for _, size := range sizes {
+				row = append(row, fmt.Sprintf("%.0f", nums[size][sys][phase]))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	return t, nums, nil
+}

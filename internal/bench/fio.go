@@ -1,0 +1,316 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"cfs/internal/util"
+)
+
+// IOPattern names the four fio access patterns of Figures 8-9.
+type IOPattern string
+
+// The fio patterns.
+const (
+	SeqWrite  IOPattern = "SeqWrite"
+	SeqRead   IOPattern = "SeqRead"
+	RandWrite IOPattern = "RandWrite"
+	RandRead  IOPattern = "RandRead"
+)
+
+// IOPatterns lists them in the paper's figure order.
+var IOPatterns = []IOPattern{SeqWrite, SeqRead, RandWrite, RandRead}
+
+// FIOParams sizes one large-file run. The paper uses 40 GB per process on
+// a 10-machine cluster; the laptop-scale reproduction shrinks FileSize
+// while keeping the block-size : file-size ratio compatible (DESIGN.md
+// Section 4).
+type FIOParams struct {
+	Clients        int
+	ProcsPerClient int
+	FileSize       uint64 // per-process file. Default 2 MB.
+	BlockSize      int    // IO unit. Default 128 KB seq, 4 KB random.
+	OpsPerProc     int    // random-pattern ops per process. Default file/block.
+	Seed           uint64
+}
+
+func (p FIOParams) withDefaults(pattern IOPattern) FIOParams {
+	if p.Clients == 0 {
+		p.Clients = 1
+	}
+	if p.ProcsPerClient == 0 {
+		p.ProcsPerClient = 1
+	}
+	if p.FileSize == 0 {
+		p.FileSize = 2 * util.MB
+	}
+	if p.BlockSize == 0 {
+		if pattern == RandWrite || pattern == RandRead {
+			p.BlockSize = 4 * util.KB
+		} else {
+			p.BlockSize = 128 * util.KB
+		}
+	}
+	if p.OpsPerProc == 0 {
+		p.OpsPerProc = int(p.FileSize) / p.BlockSize
+	}
+	if p.Seed == 0 {
+		p.Seed = 42
+	}
+	return p
+}
+
+// RunFIO runs one pattern and returns IOPS. Each process operates a
+// separate file (the paper's setup). Read and random patterns require the
+// files to exist; RunFIO lays them out first (unmeasured) when needed.
+func RunFIO(factory Factory, pattern IOPattern, p FIOParams) (float64, error) {
+	p = p.withDefaults(pattern)
+	clients := make([]System, p.Clients)
+	for i := range clients {
+		s, err := factory.NewClient()
+		if err != nil {
+			return 0, err
+		}
+		clients[i] = s
+	}
+	for ci, s := range clients {
+		if err := s.MkdirAll(fmt.Sprintf("/fio-%s-%s/c%02d", factory.Name(), pattern, ci)); err != nil {
+			return 0, err
+		}
+	}
+	filePath := func(ci, pi int) string {
+		return fmt.Sprintf("/fio-%s-%s/c%02d/f%03d", factory.Name(), pattern, ci, pi)
+	}
+
+	// Layout phase (unmeasured): create files; fill them unless the
+	// measured phase is itself a sequential write of the whole file.
+	handles := make([][]FileHandle, p.Clients)
+	block := make([]byte, p.BlockSize)
+	for i := range block {
+		block[i] = byte(i)
+	}
+	var layoutWG sync.WaitGroup
+	layoutErrs := make(chan error, p.Clients*p.ProcsPerClient)
+	for ci, s := range clients {
+		handles[ci] = make([]FileHandle, p.ProcsPerClient)
+		for pi := 0; pi < p.ProcsPerClient; pi++ {
+			layoutWG.Add(1)
+			go func(s System, ci, pi int) {
+				defer layoutWG.Done()
+				h, err := s.Create(filePath(ci, pi))
+				if err != nil {
+					layoutErrs <- err
+					return
+				}
+				handles[ci][pi] = h
+				if pattern != SeqWrite {
+					for off := uint64(0); off < p.FileSize; off += uint64(p.BlockSize) {
+						if err := h.WriteAt(off, block); err != nil {
+							layoutErrs <- err
+							return
+						}
+					}
+				}
+			}(s, ci, pi)
+		}
+	}
+	layoutWG.Wait()
+	close(layoutErrs)
+	for err := range layoutErrs {
+		return 0, err
+	}
+
+	// Measured phase.
+	var wg sync.WaitGroup
+	errs := make(chan error, p.Clients*p.ProcsPerClient)
+	start := time.Now()
+	for ci := range clients {
+		for pi := 0; pi < p.ProcsPerClient; pi++ {
+			wg.Add(1)
+			go func(ci, pi int) {
+				defer wg.Done()
+				h := handles[ci][pi]
+				r := util.NewRand(p.Seed ^ uint64(ci*1000+pi+1))
+				buf := make([]byte, p.BlockSize)
+				blocks := p.FileSize / uint64(p.BlockSize)
+				var err error
+				switch pattern {
+				case SeqWrite:
+					for off := uint64(0); off < p.FileSize; off += uint64(p.BlockSize) {
+						if err = h.WriteAt(off, block); err != nil {
+							break
+						}
+					}
+				case SeqRead:
+					for off := uint64(0); off < p.FileSize; off += uint64(p.BlockSize) {
+						if err = h.ReadAt(off, buf); err != nil {
+							break
+						}
+					}
+				case RandWrite:
+					for i := 0; i < p.OpsPerProc; i++ {
+						off := uint64(r.Int63n(int64(blocks))) * uint64(p.BlockSize)
+						if err = h.WriteAt(off, block); err != nil {
+							break
+						}
+					}
+				case RandRead:
+					for i := 0; i < p.OpsPerProc; i++ {
+						off := uint64(r.Int63n(int64(blocks))) * uint64(p.BlockSize)
+						if err = h.ReadAt(off, buf); err != nil {
+							break
+						}
+					}
+				}
+				if err != nil {
+					errs <- err
+				}
+			}(ci, pi)
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	for err := range errs {
+		return 0, err
+	}
+	for _, hs := range handles {
+		for _, h := range hs {
+			h.Close()
+		}
+	}
+	var opsPerProc int
+	switch pattern {
+	case SeqWrite, SeqRead:
+		opsPerProc = int(p.FileSize) / p.BlockSize
+	default:
+		opsPerProc = p.OpsPerProc
+	}
+	total := float64(p.Clients * p.ProcsPerClient * opsPerProc)
+	return total / elapsed.Seconds(), nil
+}
+
+// SmallFileOp names the Figure 10 phases.
+type SmallFileOp string
+
+// Figure 10's three phases.
+const (
+	SmallWrite   SmallFileOp = "FileWrite"
+	SmallRead    SmallFileOp = "FileRead"
+	SmallRemoval SmallFileOp = "FileRemoval"
+)
+
+// SmallFileParams sizes a small-file run (Figure 10: product images,
+// written once, never modified).
+type SmallFileParams struct {
+	Clients        int
+	ProcsPerClient int
+	FilesPerProc   int    // default 10
+	FileSize       uint64 // 1 KB .. 128 KB
+}
+
+func (p SmallFileParams) withDefaults() SmallFileParams {
+	if p.Clients == 0 {
+		p.Clients = 1
+	}
+	if p.ProcsPerClient == 0 {
+		p.ProcsPerClient = 1
+	}
+	if p.FilesPerProc == 0 {
+		p.FilesPerProc = 10
+	}
+	if p.FileSize == 0 {
+		p.FileSize = util.KB
+	}
+	return p
+}
+
+// RunSmallFiles runs write-then-read-then-remove over many small files and
+// returns IOPS for each phase.
+func RunSmallFiles(factory Factory, p SmallFileParams) (map[SmallFileOp]float64, error) {
+	p = p.withDefaults()
+	clients := make([]System, p.Clients)
+	for i := range clients {
+		s, err := factory.NewClient()
+		if err != nil {
+			return nil, err
+		}
+		clients[i] = s
+	}
+	for ci, s := range clients {
+		for pi := 0; pi < p.ProcsPerClient; pi++ {
+			if err := s.MkdirAll(smallDir(factory.Name(), p.FileSize, ci, pi)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	payload := make([]byte, p.FileSize)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	out := make(map[SmallFileOp]float64)
+	mp := MDTestParams{Clients: p.Clients, ProcsPerClient: p.ProcsPerClient}
+
+	iops, err := runPhase(clients, mp, func(s System, ci, pi int) error {
+		base := smallDir(factory.Name(), p.FileSize, ci, pi)
+		for i := 0; i < p.FilesPerProc; i++ {
+			h, err := s.Create(fmt.Sprintf("%s/img%04d", base, i))
+			if err != nil {
+				return err
+			}
+			if err := h.WriteAt(0, payload); err != nil {
+				return err
+			}
+			if err := h.Close(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, p.FilesPerProc)
+	if err != nil {
+		return nil, fmt.Errorf("small write: %w", err)
+	}
+	out[SmallWrite] = iops
+
+	iops, err = runPhase(clients, mp, func(s System, ci, pi int) error {
+		base := smallDir(factory.Name(), p.FileSize, ci, pi)
+		buf := make([]byte, p.FileSize)
+		for i := 0; i < p.FilesPerProc; i++ {
+			h, err := s.Open(fmt.Sprintf("%s/img%04d", base, i))
+			if err != nil {
+				return err
+			}
+			if err := h.ReadAt(0, buf); err != nil {
+				return err
+			}
+			if err := h.Close(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, p.FilesPerProc)
+	if err != nil {
+		return nil, fmt.Errorf("small read: %w", err)
+	}
+	out[SmallRead] = iops
+
+	iops, err = runPhase(clients, mp, func(s System, ci, pi int) error {
+		base := smallDir(factory.Name(), p.FileSize, ci, pi)
+		for i := 0; i < p.FilesPerProc; i++ {
+			if err := s.Remove(fmt.Sprintf("%s/img%04d", base, i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, p.FilesPerProc)
+	if err != nil {
+		return nil, fmt.Errorf("small removal: %w", err)
+	}
+	out[SmallRemoval] = iops
+	return out, nil
+}
+
+func smallDir(sys string, size uint64, ci, pi int) string {
+	return fmt.Sprintf("/small-%s-%d/c%02d/p%03d", sys, size, ci, pi)
+}

@@ -1,0 +1,249 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// MDTestOp names the 7 metadata operations of the paper's Table 2.
+type MDTestOp string
+
+// The mdtest operations (Table 2).
+const (
+	DirCreation  MDTestOp = "DirCreation"
+	DirStat      MDTestOp = "DirStat"
+	DirRemoval   MDTestOp = "DirRemoval"
+	FileCreation MDTestOp = "FileCreation"
+	FileRemoval  MDTestOp = "FileRemoval"
+	TreeCreation MDTestOp = "TreeCreation"
+	TreeRemoval  MDTestOp = "TreeRemoval"
+)
+
+// MDTestOps lists the operations in the paper's table order.
+var MDTestOps = []MDTestOp{
+	DirCreation, DirStat, DirRemoval, FileCreation, FileRemoval, TreeCreation, TreeRemoval,
+}
+
+// MDTestParams sizes one mdtest run.
+type MDTestParams struct {
+	Clients        int // simulated client mounts
+	ProcsPerClient int // goroutines per client
+	ItemsPerProc   int // dirs/files per process
+	// TreeDepth and TreeFanout size Tree{Creation,Removal}: a
+	// depth-high tree of directories with a file per directory, built
+	// once per process. Tree ops count whole trees, mirroring mdtest's
+	// low tree IOPS in Table 3.
+	TreeDepth  int
+	TreeFanout int
+}
+
+func (p MDTestParams) withDefaults() MDTestParams {
+	if p.Clients == 0 {
+		p.Clients = 1
+	}
+	if p.ProcsPerClient == 0 {
+		p.ProcsPerClient = 1
+	}
+	if p.ItemsPerProc == 0 {
+		p.ItemsPerProc = 20
+	}
+	if p.TreeDepth == 0 {
+		p.TreeDepth = 3
+	}
+	if p.TreeFanout == 0 {
+		p.TreeFanout = 3
+	}
+	return p
+}
+
+// MDTestResult is the IOPS per operation for one run.
+type MDTestResult map[MDTestOp]float64
+
+// RunMDTest executes the 7-op suite against sys and returns IOPS per op.
+// The layout mirrors mdtest: each process owns a private working
+// directory under a per-client root.
+func RunMDTest(factory Factory, p MDTestParams) (MDTestResult, error) {
+	p = p.withDefaults()
+	clients := make([]System, p.Clients)
+	for i := range clients {
+		s, err := factory.NewClient()
+		if err != nil {
+			return nil, err
+		}
+		clients[i] = s
+	}
+	// Pre-create the per-process working directories (not measured).
+	for ci, s := range clients {
+		for pi := 0; pi < p.ProcsPerClient; pi++ {
+			if err := s.MkdirAll(procDir(factory.Name(), ci, pi)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	res := make(MDTestResult)
+
+	// DirCreation: each proc creates ItemsPerProc directories.
+	iops, err := runPhase(clients, p, func(s System, ci, pi int) error {
+		base := procDir(factory.Name(), ci, pi)
+		for i := 0; i < p.ItemsPerProc; i++ {
+			if err := s.Mkdir(fmt.Sprintf("%s/d%04d", base, i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, p.ItemsPerProc)
+	if err != nil {
+		return nil, fmt.Errorf("DirCreation: %w", err)
+	}
+	res[DirCreation] = iops
+
+	// FileCreation: each proc creates files in its directory.
+	iops, err = runPhase(clients, p, func(s System, ci, pi int) error {
+		base := procDir(factory.Name(), ci, pi)
+		for i := 0; i < p.ItemsPerProc; i++ {
+			if err := s.CreateFile(fmt.Sprintf("%s/f%04d", base, i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, p.ItemsPerProc)
+	if err != nil {
+		return nil, fmt.Errorf("FileCreation: %w", err)
+	}
+	res[FileCreation] = iops
+
+	// DirStat: list-with-attributes of the populated directory; each
+	// listing visits ItemsPerProc entries, counted as that many stat ops
+	// (mdtest semantics: "list all the files in the current directory").
+	iops, err = runPhase(clients, p, func(s System, ci, pi int) error {
+		base := procDir(factory.Name(), ci, pi)
+		for rep := 0; rep < 4; rep++ {
+			if _, err := s.ReadDirPlus(base); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, 4*(2*p.ItemsPerProc)) // dirs + files visited per listing, 4 reps
+	if err != nil {
+		return nil, fmt.Errorf("DirStat: %w", err)
+	}
+	res[DirStat] = iops
+
+	// FileRemoval.
+	iops, err = runPhase(clients, p, func(s System, ci, pi int) error {
+		base := procDir(factory.Name(), ci, pi)
+		for i := 0; i < p.ItemsPerProc; i++ {
+			if err := s.Remove(fmt.Sprintf("%s/f%04d", base, i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, p.ItemsPerProc)
+	if err != nil {
+		return nil, fmt.Errorf("FileRemoval: %w", err)
+	}
+	res[FileRemoval] = iops
+
+	// DirRemoval.
+	iops, err = runPhase(clients, p, func(s System, ci, pi int) error {
+		base := procDir(factory.Name(), ci, pi)
+		for i := 0; i < p.ItemsPerProc; i++ {
+			if err := s.Remove(fmt.Sprintf("%s/d%04d", base, i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, p.ItemsPerProc)
+	if err != nil {
+		return nil, fmt.Errorf("DirRemoval: %w", err)
+	}
+	res[DirRemoval] = iops
+
+	// TreeCreation: each proc builds one directory tree (depth x fanout
+	// dirs, one file per dir); the op unit is a whole tree, so IOPS is
+	// small, matching Table 3's single-digit numbers.
+	iops, err = runPhase(clients, p, func(s System, ci, pi int) error {
+		base := procDir(factory.Name(), ci, pi)
+		return buildTree(s, base+"/tree", p.TreeDepth, p.TreeFanout)
+	}, 1)
+	if err != nil {
+		return nil, fmt.Errorf("TreeCreation: %w", err)
+	}
+	res[TreeCreation] = iops
+
+	// TreeRemoval: remove the whole tree (readdir-driven).
+	iops, err = runPhase(clients, p, func(s System, ci, pi int) error {
+		base := procDir(factory.Name(), ci, pi)
+		return removeTree(s, base+"/tree", p.TreeDepth, p.TreeFanout)
+	}, 1)
+	if err != nil {
+		return nil, fmt.Errorf("TreeRemoval: %w", err)
+	}
+	res[TreeRemoval] = iops
+
+	return res, nil
+}
+
+func procDir(sys string, ci, pi int) string {
+	return fmt.Sprintf("/mdtest-%s/c%02d/p%03d", sys, ci, pi)
+}
+
+// runPhase fans one op body across clients x procs and converts wall time
+// to IOPS given opsPerProc completed operations per process.
+func runPhase(clients []System, p MDTestParams, body func(s System, ci, pi int) error, opsPerProc int) (float64, error) {
+	var wg sync.WaitGroup
+	errs := make(chan error, len(clients)*p.ProcsPerClient)
+	start := time.Now()
+	for ci, s := range clients {
+		for pi := 0; pi < p.ProcsPerClient; pi++ {
+			wg.Add(1)
+			go func(s System, ci, pi int) {
+				defer wg.Done()
+				if err := body(s, ci, pi); err != nil {
+					errs <- err
+				}
+			}(s, ci, pi)
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	for err := range errs {
+		return 0, err
+	}
+	totalOps := float64(len(clients) * p.ProcsPerClient * opsPerProc)
+	return totalOps / elapsed.Seconds(), nil
+}
+
+func buildTree(s System, base string, depth, fanout int) error {
+	if err := s.Mkdir(base); err != nil {
+		return err
+	}
+	if err := s.CreateFile(base + "/leaf"); err != nil {
+		return err
+	}
+	if depth == 0 {
+		return nil
+	}
+	for i := 0; i < fanout; i++ {
+		if err := buildTree(s, fmt.Sprintf("%s/s%d", base, i), depth-1, fanout); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func removeTree(s System, base string, depth, fanout int) error {
+	if depth > 0 {
+		for i := 0; i < fanout; i++ {
+			if err := removeTree(s, fmt.Sprintf("%s/s%d", base, i), depth-1, fanout); err != nil {
+				return err
+			}
+		}
+	}
+	if err := s.Remove(base + "/leaf"); err != nil {
+		return err
+	}
+	return s.Remove(base)
+}

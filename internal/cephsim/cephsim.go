@@ -1,0 +1,481 @@
+// Package cephsim is the comparison baseline for the paper's evaluation
+// (Section 4): a deliberately simplified distributed file system that
+// reproduces the *mechanisms* the paper credits for Ceph's behavior, so
+// that CFS-vs-baseline comparisons on the same substrate preserve the
+// published shapes. It is NOT a Ceph reimplementation.
+//
+// Modeled mechanisms, with the paper's explanation each one backs:
+//
+//   - Directory-locality metadata placement: every directory is bound to
+//     one MDS; ops on that directory serialize through that MDS's bounded
+//     op pool ("each directory is bonded to a specific MDS", Section 4.3;
+//     dynamic subtree rebalancing under many clients, Section 4.2).
+//   - Per-inode stat traffic: readdir returns names; attributes need one
+//     inodeGet per entry ("each readdir request is followed by a set of
+//     inodeGet requests", Section 4.2).
+//   - Partial metadata cache: each MDS caches only a fraction of its
+//     inodes; misses pay a disk penalty ("each MDS of Ceph only caches a
+//     portion of the file metadata in its memory", Section 4.3).
+//   - Journal-then-apply writes on OSDs with a bounded number of op
+//     shards ("the overwrite in Ceph usually needs to walk through
+//     multiple queues", Section 4.3; osd_op_num_shards tuning, Section 4.3).
+//
+// Data is stored in real files, replicated to 3 OSDs synchronously, so
+// byte-level correctness is comparable with the CFS data path.
+package cephsim
+
+import (
+	"encoding/gob"
+	"fmt"
+	"sync"
+	"time"
+
+	"cfs/internal/transport"
+	"cfs/internal/util"
+)
+
+// Config tunes the simulated cluster.
+type Config struct {
+	// MDSCount and OSDCount size the cluster. Defaults 3 / 3.
+	MDSCount int
+	OSDCount int
+	// MDSCacheFraction is the fraction of inodes an MDS can cache
+	// (Section 4.3). Default 0.5.
+	MDSCacheFraction float64
+	// CacheMissPenalty is the simulated disk latency an MDS pays on an
+	// inode cache miss. Default 150us.
+	CacheMissPenalty time.Duration
+	// MDSWorkers bounds concurrent ops per MDS (the MDS big-lock /
+	// dispatch limit). Default 4.
+	MDSWorkers int
+	// OSDShards x OSDThreadsPerShard bounds concurrent ops per OSD
+	// (osd_op_num_shards=6, osd_op_num_threads_per_shard=4 in the
+	// paper's tuned setup). Defaults 6 / 4.
+	OSDShards          int
+	OSDThreadsPerShard int
+	// ObjectSize is the striping unit. Default 4 MB.
+	ObjectSize uint64
+	// RebalanceThreshold: once a directory exceeds this many entries
+	// under concurrent pressure, its metadata spreads across MDSs and
+	// ops pay a proxy redirect hop (Section 4.2's dynamic subtree
+	// behavior). Default 4096.
+	RebalanceThreshold int
+	// Dir is the root for OSD object files.
+	Dir string
+	// ReplicaCount per object. Default 3 (capped by OSDCount).
+	ReplicaCount int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MDSCount == 0 {
+		c.MDSCount = 3
+	}
+	if c.OSDCount == 0 {
+		c.OSDCount = 3
+	}
+	if c.MDSCacheFraction == 0 {
+		c.MDSCacheFraction = 0.5
+	}
+	if c.CacheMissPenalty == 0 {
+		c.CacheMissPenalty = 150 * time.Microsecond
+	}
+	if c.MDSWorkers == 0 {
+		c.MDSWorkers = 4
+	}
+	if c.OSDShards == 0 {
+		c.OSDShards = 6
+	}
+	if c.OSDThreadsPerShard == 0 {
+		c.OSDThreadsPerShard = 4
+	}
+	if c.ObjectSize == 0 {
+		c.ObjectSize = 4 * util.MB
+	}
+	if c.RebalanceThreshold == 0 {
+		c.RebalanceThreshold = 4096
+	}
+	if c.ReplicaCount == 0 {
+		c.ReplicaCount = 3
+	}
+	if c.ReplicaCount > c.OSDCount {
+		c.ReplicaCount = c.OSDCount
+	}
+	return c
+}
+
+// ---------------------------------------------------------------------------
+// Wire messages (gob over the shared transport).
+
+type mdsOp uint8
+
+const (
+	opCreate mdsOp = iota + 1 // create inode+dentry in one hop (directory locality)
+	opMkdir
+	opLookup
+	opInodeGet
+	opReadDir
+	opUnlink
+	opSetSize
+)
+
+// MDSReq is the single request frame for MDS ops.
+type MDSReq struct {
+	Op       mdsOp
+	Dir      uint64 // directory inode id
+	Name     string
+	Inode    uint64
+	IsDir    bool
+	Size     uint64
+	Redirect bool // true when this hop came through a proxy MDS
+}
+
+// MDSResp is the reply frame.
+type MDSResp struct {
+	Inode    uint64
+	IsDir    bool
+	Size     uint64
+	NLink    uint32
+	Children []string
+	Inodes   []uint64
+}
+
+type osdOp uint8
+
+const (
+	osdWrite osdOp = iota + 1 // journal + apply
+	osdRead
+	osdDelete
+)
+
+// OSDReq addresses one object.
+type OSDReq struct {
+	Op     osdOp
+	Object string
+	Off    uint64
+	Len    uint32
+	Data   []byte
+}
+
+// OSDResp carries read payloads.
+type OSDResp struct {
+	Data []byte
+}
+
+func init() {
+	gob.Register(&MDSReq{})
+	gob.Register(&MDSResp{})
+	gob.Register(&OSDReq{})
+	gob.Register(&OSDResp{})
+}
+
+// ---------------------------------------------------------------------------
+// Cluster.
+
+// Cluster is a running simulated Ceph-like cluster.
+type Cluster struct {
+	cfg  Config
+	nw   transport.Network
+	mds  []*mdsNode
+	osds []*osdNode
+	lns  []transport.Listener
+}
+
+// StartCluster boots MDS and OSD nodes on the given network.
+func StartCluster(nw transport.Network, cfg Config) (*Cluster, error) {
+	cfg = cfg.withDefaults()
+	c := &Cluster{cfg: cfg, nw: nw}
+	for i := 0; i < cfg.MDSCount; i++ {
+		m := newMDSNode(c, i)
+		ln, err := nw.Listen(m.addr, m.handle)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.mds = append(c.mds, m)
+		c.lns = append(c.lns, ln)
+	}
+	for i := 0; i < cfg.OSDCount; i++ {
+		o, err := newOSDNode(c, i)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		ln, err := nw.Listen(o.addr, o.handle)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.osds = append(c.osds, o)
+		c.lns = append(c.lns, ln)
+	}
+	// Root directory lives on MDS 0.
+	c.mds[0].installRoot()
+	return c, nil
+}
+
+// Close shuts the cluster down.
+func (c *Cluster) Close() {
+	for _, ln := range c.lns {
+		ln.Close()
+	}
+	for _, o := range c.osds {
+		o.close()
+	}
+}
+
+// mdsAddrFor maps a directory inode to its owning MDS (subtree binding).
+func (c *Cluster) mdsAddrFor(dir uint64) string {
+	return c.mds[int(dir%uint64(len(c.mds)))].addr
+}
+
+// mdsAddrForInode maps a file inode to the MDS that allocated it: ids
+// stride by MDSCount starting at index+2 (see newMDSNode), so ownership is
+// (id-2) mod MDSCount. The root (id 1) lives on MDS 0.
+func (c *Cluster) mdsAddrForInode(id uint64) string {
+	if id <= 1 {
+		return c.mds[0].addr
+	}
+	return c.mds[int((id-2)%uint64(len(c.mds)))].addr
+}
+
+// osdAddrsFor places an object on ReplicaCount OSDs by hash (CRUSH-like
+// pseudo-random placement).
+func (c *Cluster) osdAddrsFor(object string) []string {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(object); i++ {
+		h ^= uint64(object[i])
+		h *= 1099511628211
+	}
+	out := make([]string, c.cfg.ReplicaCount)
+	base := int(h % uint64(len(c.osds)))
+	for i := range out {
+		out[i] = c.osds[(base+i)%len(c.osds)].addr
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// MDS node.
+
+type mdsInode struct {
+	id    uint64
+	isDir bool
+	size  uint64
+	nlink uint32
+}
+
+type mdsNode struct {
+	c    *Cluster
+	addr string
+	// Bounded op pool: the dispatch limit every op acquires.
+	sem chan struct{}
+
+	mu       sync.Mutex
+	nextID   uint64
+	inodes   map[uint64]*mdsInode
+	children map[uint64]map[string]uint64 // dir -> name -> inode
+	// cache models the partial in-memory inode cache: only ids in it
+	// are "hot"; others pay the miss penalty when touched.
+	cache    map[uint64]bool
+	cacheCap int
+}
+
+func newMDSNode(c *Cluster, idx int) *mdsNode {
+	return &mdsNode{
+		c:        c,
+		addr:     fmt.Sprintf("ceph-mds-%d", idx),
+		sem:      make(chan struct{}, c.cfg.MDSWorkers),
+		nextID:   uint64(idx) + 2, // ids stride by MDSCount to stay unique
+		inodes:   make(map[uint64]*mdsInode),
+		children: make(map[uint64]map[string]uint64),
+		cache:    make(map[uint64]bool),
+		cacheCap: 64,
+	}
+}
+
+func (m *mdsNode) installRoot() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.inodes[1] = &mdsInode{id: 1, isDir: true, nlink: 2}
+	m.children[1] = make(map[string]uint64)
+}
+
+// touch models the inode cache: a miss sleeps for the disk penalty and
+// evicts (randomly, map order) when over capacity. Caller holds m.mu;
+// the penalty is paid with the lock RELEASED so it models disk latency,
+// not lock hold time.
+func (m *mdsNode) touch(id uint64) {
+	if m.cache[id] {
+		return
+	}
+	m.mu.Unlock()
+	time.Sleep(m.c.cfg.CacheMissPenalty)
+	m.mu.Lock()
+	if len(m.cache) >= m.cacheCap {
+		for k := range m.cache {
+			delete(m.cache, k)
+			break
+		}
+	}
+	m.cache[id] = true
+}
+
+// resizeCache keeps capacity at the configured fraction of inode count.
+func (m *mdsNode) resizeCache() {
+	want := int(float64(len(m.inodes)) * m.c.cfg.MDSCacheFraction)
+	if want < 64 {
+		want = 64
+	}
+	m.cacheCap = want
+}
+
+func (m *mdsNode) handle(op uint8, req any) (any, error) {
+	r, ok := req.(*MDSReq)
+	if !ok {
+		return nil, fmt.Errorf("cephsim: %w: body %T", util.ErrInvalidArgument, req)
+	}
+	// Dynamic subtree rebalancing: a hot, large directory spreads; ops
+	// not already redirected pay one extra proxy hop (Section 4.2).
+	if !r.Redirect && m.isSpread(r.Dir) {
+		fwd := *r
+		fwd.Redirect = true
+		var resp MDSResp
+		err := m.c.nw.Call(m.proxyFor(r), op, &fwd, &resp)
+		return &resp, err
+	}
+	m.sem <- struct{}{} // bounded op pool
+	defer func() { <-m.sem }()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch r.Op {
+	case opCreate, opMkdir:
+		return m.create(r)
+	case opLookup:
+		return m.lookup(r)
+	case opInodeGet:
+		return m.inodeGet(r)
+	case opReadDir:
+		return m.readDir(r)
+	case opUnlink:
+		return m.unlink(r)
+	case opSetSize:
+		return m.setSize(r)
+	default:
+		return nil, fmt.Errorf("cephsim: op %d: %w", r.Op, util.ErrInvalidArgument)
+	}
+}
+
+func (m *mdsNode) isSpread(dir uint64) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ents := m.children[dir]
+	return ents != nil && len(ents) > m.c.cfg.RebalanceThreshold
+}
+
+func (m *mdsNode) proxyFor(r *MDSReq) string {
+	// Spread directories route through a peer MDS chosen by name hash.
+	h := uint64(0)
+	for i := 0; i < len(r.Name); i++ {
+		h = h*31 + uint64(r.Name[i])
+	}
+	return m.c.mds[int(h%uint64(len(m.c.mds)))].addr
+}
+
+func (m *mdsNode) create(r *MDSReq) (any, error) {
+	ents, ok := m.children[r.Dir]
+	if !ok {
+		// Directory locality: the caller owns routing; a dir bound to
+		// this MDS always has its entry table here. Auto-create for
+		// directories whose parent lives elsewhere.
+		ents = make(map[string]uint64)
+		m.children[r.Dir] = ents
+	}
+	if _, dup := ents[r.Name]; dup {
+		return nil, fmt.Errorf("cephsim: %d/%q: %w", r.Dir, r.Name, util.ErrExist)
+	}
+	id := m.nextID
+	m.nextID += uint64(m.c.cfg.MDSCount) // stride keeps ids globally unique
+	ino := &mdsInode{id: id, isDir: r.IsDir, nlink: 1}
+	if r.IsDir {
+		ino.nlink = 2
+	}
+	m.inodes[id] = ino
+	ents[r.Name] = id
+	if r.IsDir {
+		m.children[id] = make(map[string]uint64)
+	}
+	m.touch(id)
+	m.resizeCache()
+	return &MDSResp{Inode: id, IsDir: r.IsDir}, nil
+}
+
+func (m *mdsNode) lookup(r *MDSReq) (any, error) {
+	ents := m.children[r.Dir]
+	id, ok := ents[r.Name]
+	if !ok {
+		return nil, fmt.Errorf("cephsim: %d/%q: %w", r.Dir, r.Name, util.ErrNotFound)
+	}
+	ino := m.inodes[id]
+	if ino == nil {
+		// Child inode may live on another MDS (created via proxy);
+		// report what the dentry knows.
+		return &MDSResp{Inode: id}, nil
+	}
+	m.touch(id)
+	return &MDSResp{Inode: id, IsDir: ino.isDir, Size: ino.size, NLink: ino.nlink}, nil
+}
+
+func (m *mdsNode) inodeGet(r *MDSReq) (any, error) {
+	ino := m.inodes[r.Inode]
+	if ino == nil {
+		return nil, fmt.Errorf("cephsim: inode %d: %w", r.Inode, util.ErrNotFound)
+	}
+	m.touch(r.Inode)
+	return &MDSResp{Inode: ino.id, IsDir: ino.isDir, Size: ino.size, NLink: ino.nlink}, nil
+}
+
+func (m *mdsNode) readDir(r *MDSReq) (any, error) {
+	ents := m.children[r.Dir]
+	if ents == nil {
+		return nil, fmt.Errorf("cephsim: dir %d: %w", r.Dir, util.ErrNotFound)
+	}
+	resp := &MDSResp{}
+	for name, id := range ents {
+		resp.Children = append(resp.Children, name)
+		resp.Inodes = append(resp.Inodes, id)
+	}
+	return resp, nil
+}
+
+func (m *mdsNode) unlink(r *MDSReq) (any, error) {
+	ents := m.children[r.Dir]
+	id, ok := ents[r.Name]
+	if !ok {
+		return nil, fmt.Errorf("cephsim: %d/%q: %w", r.Dir, r.Name, util.ErrNotFound)
+	}
+	delete(ents, r.Name)
+	if ino := m.inodes[id]; ino != nil {
+		m.touch(id)
+		if ino.nlink > 0 {
+			ino.nlink--
+		}
+		if ino.nlink == 0 || (ino.isDir && ino.nlink <= 1) {
+			delete(m.inodes, id)
+			delete(m.children, id)
+			delete(m.cache, id)
+		}
+	}
+	return &MDSResp{Inode: id}, nil
+}
+
+func (m *mdsNode) setSize(r *MDSReq) (any, error) {
+	ino := m.inodes[r.Inode]
+	if ino == nil {
+		return nil, fmt.Errorf("cephsim: inode %d: %w", r.Inode, util.ErrNotFound)
+	}
+	m.touch(r.Inode)
+	if r.Size > ino.size {
+		ino.size = r.Size
+	}
+	return &MDSResp{Inode: ino.id, Size: ino.size}, nil
+}

@@ -1,0 +1,219 @@
+package cephsim
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"cfs/internal/transport"
+	"cfs/internal/util"
+)
+
+func startSim(t *testing.T, cfg Config) (*Cluster, *Client) {
+	t.Helper()
+	nw := transport.NewMemory()
+	cfg.Dir = t.TempDir()
+	if cfg.CacheMissPenalty == 0 {
+		cfg.CacheMissPenalty = time.Microsecond // fast tests
+	}
+	c, err := StartCluster(nw, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c, c.NewClient(nw)
+}
+
+func TestMkdirCreateStat(t *testing.T) {
+	_, cl := startSim(t, Config{})
+	if err := cl.Mkdir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	id, err := cl.Create("/d/f")
+	if err != nil || id == 0 {
+		t.Fatalf("create = %d, %v", id, err)
+	}
+	st, err := cl.Stat("/d/f")
+	if err != nil || st.Inode != id || st.IsDir {
+		t.Fatalf("stat = %+v, %v", st, err)
+	}
+	if _, err := cl.Stat("/d/missing"); !errors.Is(err, util.ErrNotFound) {
+		t.Fatalf("missing stat: %v", err)
+	}
+}
+
+func TestDuplicateCreateFails(t *testing.T) {
+	_, cl := startSim(t, Config{})
+	cl.Create("/f")
+	if _, err := cl.Create("/f"); !errors.Is(err, util.ErrExist) {
+		t.Fatalf("duplicate create: %v", err)
+	}
+}
+
+func TestReadDirPlusIssuesPerInodeGets(t *testing.T) {
+	c, cl := startSim(t, Config{})
+	cl.Mkdir("/dir")
+	const n = 10
+	for i := 0; i < n; i++ {
+		if _, err := cl.Create(fmt.Sprintf("/dir/f%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nw := c.nw.(*transport.Memory)
+	before := nw.Calls()
+	infos, err := cl.ReadDirPlus("/dir")
+	if err != nil || len(infos) != n {
+		t.Fatalf("readdirplus = %d entries, %v", len(infos), err)
+	}
+	calls := nw.Calls() - before
+	// 1 readdir + n inodeGets (the paper's observed pattern) - no batch.
+	if calls < n+1 {
+		t.Fatalf("expected >= %d calls (per-inode gets), saw %d", n+1, calls)
+	}
+}
+
+func TestUnlinkRemovesEntry(t *testing.T) {
+	_, cl := startSim(t, Config{})
+	cl.Create("/gone")
+	if err := cl.Remove("/gone"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Stat("/gone"); !errors.Is(err, util.ErrNotFound) {
+		t.Fatalf("removed file still stats: %v", err)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	_, cl := startSim(t, Config{ObjectSize: 64 * util.KB})
+	id, err := cl.Create("/data.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spans multiple 64 KB objects.
+	data := make([]byte, 200*util.KB)
+	r := util.NewRand(5)
+	for i := range data {
+		data[i] = byte(r.Uint64())
+	}
+	if err := cl.WriteAt(id, 0, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cl.ReadAt(id, 0, uint32(len(data)))
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("round trip mismatch (err=%v, %d bytes)", err, len(got))
+	}
+	// Size recorded on the MDS.
+	st, _ := cl.Stat("/data.bin")
+	if st.Size != uint64(len(data)) {
+		t.Fatalf("size = %d", st.Size)
+	}
+}
+
+func TestOverwriteInPlace(t *testing.T) {
+	_, cl := startSim(t, Config{ObjectSize: 64 * util.KB})
+	id, _ := cl.Create("/ow.bin")
+	base := bytes.Repeat([]byte("A"), 100*util.KB)
+	cl.WriteAt(id, 0, base)
+	patch := bytes.Repeat([]byte("B"), 1000)
+	cl.WriteAt(id, 50*util.KB, patch)
+	copy(base[50*util.KB:], patch)
+	got, err := cl.ReadAt(id, 0, uint32(len(base)))
+	if err != nil || !bytes.Equal(got, base) {
+		t.Fatal("overwrite mismatch")
+	}
+}
+
+func TestObjectsReplicated(t *testing.T) {
+	c, cl := startSim(t, Config{OSDCount: 3, ReplicaCount: 3, ObjectSize: util.MB})
+	id, _ := cl.Create("/rep.bin")
+	payload := []byte("replicated-bytes")
+	cl.WriteAt(id, 0, payload)
+	obj := cl.objectName(id, 0)
+	// Every replica OSD can serve the object directly.
+	for _, addr := range c.osdAddrsFor(obj) {
+		var resp OSDResp
+		if err := c.nw.Call(addr, 2,
+			&OSDReq{Op: osdRead, Object: obj, Off: 0, Len: uint32(len(payload))}, &resp); err != nil {
+			t.Fatalf("replica %s: %v", addr, err)
+		}
+		if !bytes.Equal(resp.Data, payload) {
+			t.Fatalf("replica %s content %q", addr, resp.Data)
+		}
+	}
+}
+
+func TestDirectoryBinding(t *testing.T) {
+	c, cl := startSim(t, Config{MDSCount: 3})
+	// Files in one directory land on ONE MDS (directory locality).
+	cl.Mkdir("/bound")
+	for i := 0; i < 20; i++ {
+		cl.Create(fmt.Sprintf("/bound/f%d", i))
+	}
+	dir, _ := cl.resolveDir("/bound")
+	owner := c.mdsAddrFor(dir)
+	count := 0
+	for _, m := range c.mds {
+		m.mu.Lock()
+		if ents, ok := m.children[dir]; ok && len(ents) == 20 {
+			count++
+			if m.addr != owner {
+				t.Fatalf("directory owned by %s, expected %s", m.addr, owner)
+			}
+		}
+		m.mu.Unlock()
+	}
+	if count != 1 {
+		t.Fatalf("directory entries on %d MDSs, want exactly 1", count)
+	}
+}
+
+func TestMkdirAllIdempotent(t *testing.T) {
+	_, cl := startSim(t, Config{})
+	if err := cl.MkdirAll("/a/b/c"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.MkdirAll("/a/b/c"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Create("/a/b/c/file"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMDSWorkerPoolBoundsConcurrency(t *testing.T) {
+	// The MDS semaphore is the concurrency model; verify it exists with
+	// the configured size (behavioral cap tested indirectly by benches).
+	c, _ := startSim(t, Config{MDSWorkers: 2})
+	if cap(c.mds[0].sem) != 2 {
+		t.Fatalf("mds worker pool = %d", cap(c.mds[0].sem))
+	}
+	if cap(c.osds[0].sem) != c.cfg.OSDShards*c.cfg.OSDThreadsPerShard {
+		t.Fatalf("osd pool = %d", cap(c.osds[0].sem))
+	}
+}
+
+func TestCacheMissPenaltyApplied(t *testing.T) {
+	_, cl := startSim(t, Config{CacheMissPenalty: 5 * time.Millisecond, MDSCacheFraction: 0.001})
+	cl.Mkdir("/p")
+	// Create enough files that the cache (min capacity 64) overflows.
+	const n = 150
+	for i := 0; i < n; i++ {
+		cl.Create(fmt.Sprintf("/p/f%03d", i))
+	}
+	// Statting every file must hit at least n - capacity cold inodes;
+	// any individual file may by chance still be cached, so assert the
+	// aggregate penalty instead.
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if _, err := cl.Stat(fmt.Sprintf("/p/f%03d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// At least ~(150-64) misses x 5ms, spread over the three MDSs'
+	// directories; require a conservative fraction of that.
+	if d := time.Since(start); d < 50*time.Millisecond {
+		t.Fatalf("statting %d files took %v; cache-miss penalty not applied", n, d)
+	}
+}

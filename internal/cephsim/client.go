@@ -1,0 +1,229 @@
+package cephsim
+
+import (
+	"fmt"
+	"path"
+	"strings"
+	"sync"
+
+	"cfs/internal/transport"
+	"cfs/internal/util"
+)
+
+// Client is a mounted view of the simulated cluster, mirroring the subset
+// of core.FileSystem the benchmark harness drives, so the two systems run
+// identical workloads.
+type Client struct {
+	c  *Cluster
+	nw transport.Network
+
+	mu    sync.Mutex
+	dirOf map[string]uint64 // resolved directory path -> inode (client cache)
+}
+
+// NewClient mounts the cluster.
+func (c *Cluster) NewClient(nw transport.Network) *Client {
+	return &Client{c: c, nw: nw, dirOf: map[string]uint64{"/": 1}}
+}
+
+// resolveDir walks to the directory inode for a (cleaned) directory path,
+// caching results; Ceph clients cache dentries similarly.
+func (cl *Client) resolveDir(p string) (uint64, error) {
+	p = path.Clean("/" + p)
+	cl.mu.Lock()
+	if id, ok := cl.dirOf[p]; ok {
+		cl.mu.Unlock()
+		return id, nil
+	}
+	cl.mu.Unlock()
+	parent, err := cl.resolveDir(path.Dir(p))
+	if err != nil {
+		return 0, err
+	}
+	var resp MDSResp
+	err = cl.nw.Call(cl.c.mdsAddrFor(parent), 1,
+		&MDSReq{Op: opLookup, Dir: parent, Name: path.Base(p)}, &resp)
+	if err != nil {
+		return 0, err
+	}
+	cl.mu.Lock()
+	cl.dirOf[p] = resp.Inode
+	cl.mu.Unlock()
+	return resp.Inode, nil
+}
+
+func (cl *Client) parentOf(p string) (uint64, string, error) {
+	p = path.Clean("/" + p)
+	if p == "/" {
+		return 0, "", fmt.Errorf("cephsim: root: %w", util.ErrInvalidArgument)
+	}
+	dir, err := cl.resolveDir(path.Dir(p))
+	if err != nil {
+		return 0, "", err
+	}
+	return dir, path.Base(p), nil
+}
+
+// Mkdir creates a directory.
+func (cl *Client) Mkdir(p string) error {
+	dir, name, err := cl.parentOf(p)
+	if err != nil {
+		return err
+	}
+	var resp MDSResp
+	if err := cl.nw.Call(cl.c.mdsAddrFor(dir), 1,
+		&MDSReq{Op: opMkdir, Dir: dir, Name: name, IsDir: true}, &resp); err != nil {
+		return err
+	}
+	cl.mu.Lock()
+	cl.dirOf[path.Clean("/"+p)] = resp.Inode
+	cl.mu.Unlock()
+	return nil
+}
+
+// MkdirAll creates p and missing ancestors.
+func (cl *Client) MkdirAll(p string) error {
+	p = path.Clean("/" + p)
+	if p == "/" {
+		return nil
+	}
+	parts := strings.Split(strings.TrimPrefix(p, "/"), "/")
+	cur := "/"
+	for _, part := range parts {
+		cur = path.Join(cur, part)
+		if _, err := cl.resolveDir(cur); err == nil {
+			continue
+		}
+		if err := cl.Mkdir(cur); err != nil && !strings.Contains(err.Error(), "exists") {
+			return err
+		}
+	}
+	return nil
+}
+
+// Create makes an empty file (inode + dentry in ONE MDS hop - directory
+// locality is exactly why single-client Ceph beats CFS here, Section 4.2).
+func (cl *Client) Create(p string) (uint64, error) {
+	dir, name, err := cl.parentOf(p)
+	if err != nil {
+		return 0, err
+	}
+	var resp MDSResp
+	if err := cl.nw.Call(cl.c.mdsAddrFor(dir), 1,
+		&MDSReq{Op: opCreate, Dir: dir, Name: name}, &resp); err != nil {
+		return 0, err
+	}
+	return resp.Inode, nil
+}
+
+// Stat fetches one file's attributes (lookup + inodeGet as separate hops).
+func (cl *Client) Stat(p string) (MDSResp, error) {
+	dir, name, err := cl.parentOf(p)
+	if err != nil {
+		return MDSResp{}, err
+	}
+	var resp MDSResp
+	err = cl.nw.Call(cl.c.mdsAddrFor(dir), 1,
+		&MDSReq{Op: opLookup, Dir: dir, Name: name}, &resp)
+	return resp, err
+}
+
+// ReadDirPlus lists a directory WITH attributes: one readdir followed by
+// one inodeGet per entry (Section 4.2's observed Ceph behavior; no
+// batching).
+func (cl *Client) ReadDirPlus(p string) ([]MDSResp, error) {
+	dir, err := cl.resolveDir(p)
+	if err != nil {
+		return nil, err
+	}
+	mds := cl.c.mdsAddrFor(dir)
+	var listing MDSResp
+	if err := cl.nw.Call(mds, 1, &MDSReq{Op: opReadDir, Dir: dir}, &listing); err != nil {
+		return nil, err
+	}
+	out := make([]MDSResp, 0, len(listing.Inodes))
+	for _, id := range listing.Inodes {
+		var ir MDSResp
+		if err := cl.nw.Call(mds, 1, &MDSReq{Op: opInodeGet, Dir: dir, Inode: id}, &ir); err != nil {
+			continue // entry may live on another MDS after spreading
+		}
+		out = append(out, ir)
+	}
+	return out, nil
+}
+
+// Remove unlinks a file or empty directory.
+func (cl *Client) Remove(p string) error {
+	dir, name, err := cl.parentOf(p)
+	if err != nil {
+		return err
+	}
+	var resp MDSResp
+	if err := cl.nw.Call(cl.c.mdsAddrFor(dir), 1,
+		&MDSReq{Op: opUnlink, Dir: dir, Name: name}, &resp); err != nil {
+		return err
+	}
+	cl.mu.Lock()
+	delete(cl.dirOf, path.Clean("/"+p))
+	cl.mu.Unlock()
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Data path: files stripe into fixed-size objects placed by hash; each
+// object write goes to every replica's journal+apply pipeline
+// synchronously (strong consistency).
+
+func (cl *Client) objectName(inode uint64, index uint64) string {
+	return fmt.Sprintf("%d.%08d", inode, index)
+}
+
+// WriteAt writes data at an absolute offset of the file with the given
+// inode, updating the MDS size record afterwards (data + metadata
+// persisted before the op completes, Section 4.3).
+func (cl *Client) WriteAt(inode uint64, off uint64, data []byte) error {
+	objSize := cl.c.cfg.ObjectSize
+	for len(data) > 0 {
+		idx := off / objSize
+		objOff := off % objSize
+		span := util.MinU64(objSize-objOff, uint64(len(data)))
+		obj := cl.objectName(inode, idx)
+		req := &OSDReq{Op: osdWrite, Object: obj, Off: objOff, Data: data[:span]}
+		for _, osd := range cl.c.osdAddrsFor(obj) {
+			var resp OSDResp
+			if err := cl.nw.Call(osd, 2, req, &resp); err != nil {
+				return err
+			}
+		}
+		off += span
+		data = data[span:]
+	}
+	// Size update on the inode's MDS (metadata sync before ack).
+	var resp MDSResp
+	return cl.nw.Call(cl.c.mdsAddrForInode(inode), 1,
+		&MDSReq{Op: opSetSize, Inode: inode, Size: off}, &resp)
+}
+
+// ReadAt reads length bytes at off from the primary replica of each
+// covered object.
+func (cl *Client) ReadAt(inode uint64, off uint64, length uint32) ([]byte, error) {
+	objSize := cl.c.cfg.ObjectSize
+	out := make([]byte, 0, length)
+	remaining := uint64(length)
+	for remaining > 0 {
+		idx := off / objSize
+		objOff := off % objSize
+		span := util.MinU64(objSize-objOff, remaining)
+		obj := cl.objectName(inode, idx)
+		primary := cl.c.osdAddrsFor(obj)[0]
+		var resp OSDResp
+		if err := cl.nw.Call(primary, 2,
+			&OSDReq{Op: osdRead, Object: obj, Off: objOff, Len: uint32(span)}, &resp); err != nil {
+			return out, err
+		}
+		out = append(out, resp.Data...)
+		off += span
+		remaining -= span
+	}
+	return out, nil
+}

@@ -1,0 +1,297 @@
+package client
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cfs/internal/proto"
+	"cfs/internal/transport"
+	"cfs/internal/util"
+)
+
+// DataClient talks to data partitions (paper Section 2.7). It caches the
+// volume's data partitions (refreshed alongside the meta view), picks
+// partitions randomly for new writes, slices writes into fixed-size
+// packets, and remembers the most recently identified leader per partition
+// so reads rarely probe more than one replica (Section 2.4).
+type DataClient struct {
+	nw  transport.Network
+	cfg Config
+
+	mu     sync.Mutex
+	view   []proto.DataPartitionInfo
+	leader map[uint64]string
+	rnd    *util.Rand
+	reqID  atomic.Uint64
+}
+
+func newDataClient(nw transport.Network, cfg Config) *DataClient {
+	return &DataClient{
+		nw:     nw,
+		cfg:    cfg,
+		leader: make(map[uint64]string),
+		rnd:    util.NewRand(cfg.Seed ^ 0xD47A),
+	}
+}
+
+func (d *DataClient) setView(dps []proto.DataPartitionInfo) {
+	sorted := append([]proto.DataPartitionInfo(nil), dps...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].PartitionID < sorted[j].PartitionID })
+	d.mu.Lock()
+	d.view = sorted
+	d.mu.Unlock()
+}
+
+// PickWritable returns a random writable data partition (Section 2.3.1:
+// "the client simply selects the meta and data partitions in a random
+// fashion from the ones allocated by the resource manager").
+func (d *DataClient) PickWritable() (proto.DataPartitionInfo, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var rw []proto.DataPartitionInfo
+	for _, dp := range d.view {
+		if dp.Status == proto.PartitionReadWrite {
+			rw = append(rw, dp)
+		}
+	}
+	if len(rw) == 0 {
+		return proto.DataPartitionInfo{}, fmt.Errorf("client: no writable data partition: %w", util.ErrNoAvailableNode)
+	}
+	return rw[d.rnd.Intn(len(rw))], nil
+}
+
+func (d *DataClient) partitionInfo(pid uint64) (proto.DataPartitionInfo, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	i := sort.Search(len(d.view), func(i int) bool { return d.view[i].PartitionID >= pid })
+	if i < len(d.view) && d.view[i].PartitionID == pid {
+		return d.view[i], nil
+	}
+	return proto.DataPartitionInfo{}, fmt.Errorf("client: data partition %d: %w", pid, util.ErrNotFound)
+}
+
+// CreateExtent allocates a new extent on the partition's leader and
+// returns its id.
+func (d *DataClient) CreateExtent(dp proto.DataPartitionInfo) (uint64, error) {
+	pkt := proto.NewPacket(proto.OpDataCreateExtent, d.reqID.Add(1), dp.PartitionID, 0, nil)
+	var resp proto.Packet
+	if err := d.nw.Call(dp.Members[0], uint8(proto.OpDataCreateExtent), pkt, &resp); err != nil {
+		return 0, err
+	}
+	if resp.ResultCode != proto.ResultOK {
+		return 0, fmt.Errorf("client: create extent on dp %d: %s: %w",
+			dp.PartitionID, resp.Data, util.ErrReadOnly)
+	}
+	return resp.ExtentID, nil
+}
+
+// Append writes data at the tail of an extent through the primary-backup
+// chain (Figure 4) and returns the extent key covering it. Data longer
+// than the packet size is sliced into consecutive packets.
+func (d *DataClient) Append(dp proto.DataPartitionInfo, extentID, fileOffset uint64, data []byte) ([]proto.ExtentKey, error) {
+	var keys []proto.ExtentKey
+	packet := d.cfg.PacketSize
+	for off := 0; off < len(data); off += packet {
+		end := util.Min(off+packet, len(data))
+		chunk := data[off:end]
+		pkt := proto.NewPacket(proto.OpDataAppend, d.reqID.Add(1), dp.PartitionID, extentID, chunk)
+		pkt.FileOffset = fileOffset + uint64(off)
+		var resp proto.Packet
+		if err := d.nw.Call(dp.Members[0], uint8(proto.OpDataAppend), pkt, &resp); err != nil {
+			return keys, err
+		}
+		if resp.ResultCode != proto.ResultOK {
+			return keys, fmt.Errorf("client: append to dp %d ext %d: %s: %w",
+				dp.PartitionID, extentID, resp.Data, util.ErrReadOnly)
+		}
+		keys = append(keys, proto.ExtentKey{
+			PartitionID:  dp.PartitionID,
+			ExtentID:     resp.ExtentID,
+			ExtentOffset: resp.ExtentOffset,
+			FileOffset:   fileOffset + uint64(off),
+			Size:         uint32(len(chunk)),
+			CRC:          util.CRC(chunk),
+		})
+	}
+	return keys, nil
+}
+
+// WriteSmallFile sends a small file straight to a random partition's
+// leader with no extent-creation round trip; the leader aggregates it into
+// a shared extent and replies with the placement (Sections 2.2.3, 4.4).
+func (d *DataClient) WriteSmallFile(fileOffset uint64, data []byte) (proto.ExtentKey, error) {
+	dp, err := d.PickWritable()
+	if err != nil {
+		return proto.ExtentKey{}, err
+	}
+	pkt := proto.NewPacket(proto.OpDataAppend, d.reqID.Add(1), dp.PartitionID, 0, data)
+	pkt.FileOffset = fileOffset
+	var resp proto.Packet
+	if err := d.nw.Call(dp.Members[0], uint8(proto.OpDataAppend), pkt, &resp); err != nil {
+		return proto.ExtentKey{}, err
+	}
+	if resp.ResultCode != proto.ResultOK {
+		return proto.ExtentKey{}, fmt.Errorf("client: small-file write to dp %d: %s: %w",
+			dp.PartitionID, resp.Data, util.ErrReadOnly)
+	}
+	return proto.ExtentKey{
+		PartitionID:  dp.PartitionID,
+		ExtentID:     resp.ExtentID,
+		ExtentOffset: resp.ExtentOffset,
+		FileOffset:   fileOffset,
+		Size:         uint32(len(data)),
+		CRC:          util.CRC(data),
+	}, nil
+}
+
+// Overwrite rewrites bytes inside an already-committed extent range
+// in-place through the partition's Raft group (Figure 5). The request must
+// reach the Raft leader, which may differ from the primary-backup leader;
+// the client walks the members and caches whoever accepts (Section 2.4).
+func (d *DataClient) Overwrite(ek proto.ExtentKey, extentOff uint64, data []byte) error {
+	dp, err := d.partitionInfo(ek.PartitionID)
+	if err != nil {
+		return err
+	}
+	pkt := proto.NewPacket(proto.OpDataOverwrite, d.reqID.Add(1), ek.PartitionID, ek.ExtentID, data)
+	pkt.ExtentOffset = extentOff
+	var lastErr error
+	// Retry rounds cover Raft elections in flight: the leader may not
+	// exist for a few tens of milliseconds after a partition is created
+	// or fails over (Section 2.1.3's retry-until-limit client behavior).
+	for attempt := 0; attempt <= d.cfg.MaxRetries; attempt++ {
+		for _, addr := range d.memberOrder(dp) {
+			var resp proto.Packet
+			err := d.nw.Call(addr, uint8(proto.OpDataOverwrite), pkt, &resp)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			switch resp.ResultCode {
+			case proto.ResultOK:
+				d.cacheLeader(dp.PartitionID, addr)
+				return nil
+			case proto.ResultErrNotLeader:
+				lastErr = fmt.Errorf("client: %s: %w", addr, util.ErrNotLeader)
+				continue
+			default:
+				return fmt.Errorf("client: overwrite dp %d: %s", dp.PartitionID, resp.Data)
+			}
+		}
+		if attempt < d.cfg.MaxRetries {
+			time.Sleep(time.Duration(attempt+1) * 20 * time.Millisecond)
+		}
+	}
+	return fmt.Errorf("client: overwrite dp %d failed on all replicas: %w (last: %v)",
+		dp.PartitionID, util.ErrRetryLimit, lastErr)
+}
+
+// Read fetches [extentOff, extentOff+length) of an extent, trying the
+// cached leader first, then the replicas in order (Section 2.4: caching
+// the last identified leader minimizes retries).
+func (d *DataClient) Read(ek proto.ExtentKey, extentOff uint64, length uint32) ([]byte, error) {
+	dp, err := d.partitionInfo(ek.PartitionID)
+	if err != nil {
+		return nil, err
+	}
+	lenBuf := make([]byte, 4)
+	binary.BigEndian.PutUint32(lenBuf, length)
+	var lastErr error
+	for _, addr := range d.memberOrder(dp) {
+		pkt := proto.NewPacket(proto.OpDataRead, d.reqID.Add(1), ek.PartitionID, ek.ExtentID, lenBuf)
+		pkt.ExtentOffset = extentOff
+		var resp proto.Packet
+		err := d.nw.Call(addr, uint8(proto.OpDataRead), pkt, &resp)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.ResultCode != proto.ResultOK {
+			lastErr = fmt.Errorf("client: read dp %d ext %d at %s: %s",
+				ek.PartitionID, ek.ExtentID, addr, resp.Data)
+			continue
+		}
+		if !resp.VerifyCRC() {
+			lastErr = fmt.Errorf("client: read dp %d: %w", ek.PartitionID, util.ErrCRCMismatch)
+			continue
+		}
+		d.cacheLeader(dp.PartitionID, addr)
+		return resp.Data, nil
+	}
+	return nil, fmt.Errorf("client: read dp %d failed on all replicas: %w (last: %v)",
+		ek.PartitionID, util.ErrRetryLimit, lastErr)
+}
+
+// MarkDelete asynchronously releases file content: a whole extent (large
+// files) or a punched range of a shared extent (small files).
+func (d *DataClient) MarkDelete(ek proto.ExtentKey, wholeExtent bool) error {
+	dp, err := d.partitionInfo(ek.PartitionID)
+	if err != nil {
+		return err
+	}
+	lenBuf := make([]byte, 8)
+	if !wholeExtent {
+		binary.BigEndian.PutUint64(lenBuf, uint64(ek.Size))
+	}
+	pkt := proto.NewPacket(proto.OpDataMarkDelete, d.reqID.Add(1), ek.PartitionID, ek.ExtentID, lenBuf)
+	if !wholeExtent {
+		pkt.ExtentOffset = ek.ExtentOffset
+	}
+	var resp proto.Packet
+	if err := d.nw.Call(dp.Members[0], uint8(proto.OpDataMarkDelete), pkt, &resp); err != nil {
+		return err
+	}
+	if resp.ResultCode != proto.ResultOK {
+		return fmt.Errorf("client: mark delete dp %d ext %d: %s", ek.PartitionID, ek.ExtentID, resp.Data)
+	}
+	return nil
+}
+
+func (d *DataClient) memberOrder(dp proto.DataPartitionInfo) []string {
+	if d.cfg.DisableLeaderCache {
+		return dp.Members
+	}
+	d.mu.Lock()
+	cached := d.leader[dp.PartitionID]
+	d.mu.Unlock()
+	if cached == "" {
+		return dp.Members
+	}
+	out := make([]string, 0, len(dp.Members))
+	out = append(out, cached)
+	for _, a := range dp.Members {
+		if a != cached {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func (d *DataClient) cacheLeader(pid uint64, addr string) {
+	if d.cfg.DisableLeaderCache {
+		return
+	}
+	d.mu.Lock()
+	d.leader[pid] = addr
+	d.mu.Unlock()
+}
+
+// ProbeCount reports how many replicas a read would try before finding the
+// leader right now (ablation instrumentation for the leader cache).
+func (d *DataClient) ProbeCount(pid uint64) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.leader[pid] != "" {
+		return 1
+	}
+	for _, dp := range d.view {
+		if dp.PartitionID == pid {
+			return len(dp.Members)
+		}
+	}
+	return 0
+}

@@ -1,0 +1,659 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"cfs/internal/client"
+	"cfs/internal/datanode"
+	"cfs/internal/master"
+	"cfs/internal/meta"
+	"cfs/internal/proto"
+	"cfs/internal/raftstore"
+	"cfs/internal/transport"
+	"cfs/internal/util"
+)
+
+// testEnv is a complete in-process CFS cluster with a mounted volume.
+type testEnv struct {
+	t      *testing.T
+	nw     *transport.Memory
+	master *master.Master
+	metas  []*meta.MetaNode
+	datas  []*datanode.DataNode
+	fs     *FileSystem
+}
+
+func fastRaft() raftstore.Config {
+	return raftstore.Config{FlushInterval: time.Millisecond}
+}
+
+func startEnv(t *testing.T, opts MountOptions) *testEnv {
+	t.Helper()
+	nw := transport.NewMemory()
+	m, err := master.Start(nw, master.Config{
+		Addr:              "master",
+		ReplicaCount:      3,
+		DisableBackground: true,
+		Raft:              fastRaft(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+	if !m.WaitLeader(5 * time.Second) {
+		t.Fatal("no master leader")
+	}
+	e := &testEnv{t: t, nw: nw, master: m}
+	for i := 0; i < 3; i++ {
+		addr := fmt.Sprintf("mn%d", i)
+		mn, err := meta.Start(nw.Endpoint(addr), meta.Config{
+			Addr: addr, MasterAddr: "master",
+			DisableHeartbeat: true, Raft: fastRaft(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(mn.Close)
+		e.metas = append(e.metas, mn)
+	}
+	for i := 0; i < 3; i++ {
+		dn, err := datanode.Start(nw, datanode.Config{
+			Addr: fmt.Sprintf("dn%d", i), MasterAddr: "master",
+			Dir: t.TempDir(), DisableHeartbeat: true, Raft: fastRaft(),
+			ExtentSize: 4 * util.MB,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(dn.Close)
+		e.datas = append(e.datas, dn)
+	}
+	var resp proto.CreateVolumeResp
+	if err := nw.Call("master", uint8(proto.OpMasterCreateVolume), &proto.CreateVolumeReq{
+		Name: "vol", MetaPartitionCount: 3, DataPartitionCount: 4,
+	}, &resp); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := Mount(nw, "master", "vol", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(fs.Unmount)
+	e.fs = fs
+	return e
+}
+
+func TestMkdirCreateStatRemove(t *testing.T) {
+	e := startEnv(t, MountOptions{})
+	if err := e.fs.Mkdir("/docs"); err != nil {
+		t.Fatal(err)
+	}
+	f, err := e.fs.Create("/docs/readme.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	info, err := e.fs.Stat("/docs/readme.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.IsDir || info.Name != "readme.txt" || info.NLink != 1 {
+		t.Fatalf("stat = %+v", info)
+	}
+	dinfo, err := e.fs.Stat("/docs")
+	if err != nil || !dinfo.IsDir {
+		t.Fatalf("dir stat = %+v, %v", dinfo, err)
+	}
+	if err := e.fs.Remove("/docs/readme.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if e.fs.Exists("/docs/readme.txt") {
+		t.Fatal("file exists after remove")
+	}
+	if err := e.fs.Remove("/docs"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoveNonEmptyDirFails(t *testing.T) {
+	e := startEnv(t, MountOptions{})
+	e.fs.MkdirAll("/a/b")
+	err := e.fs.Remove("/a")
+	if !errors.Is(err, util.ErrNotEmpty) {
+		t.Fatalf("remove non-empty dir: %v", err)
+	}
+	if err := e.fs.RemoveAll("/a"); err != nil {
+		t.Fatal(err)
+	}
+	if e.fs.Exists("/a") {
+		t.Fatal("dir exists after RemoveAll")
+	}
+}
+
+func TestWriteReadRoundTripLarge(t *testing.T) {
+	e := startEnv(t, MountOptions{})
+	f, err := e.fs.Create("/big.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 MB spans multiple 128 KB packets.
+	data := make([]byte, util.MB)
+	r := util.NewRand(99)
+	for i := range data {
+		data[i] = byte(r.Uint64())
+	}
+	n, err := f.Write(data)
+	if err != nil || n != len(data) {
+		t.Fatalf("Write = %d, %v", n, err)
+	}
+	if err := f.Fsync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen and read back.
+	f2, err := e.fs.Open("/big.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2.Size() != uint64(len(data)) {
+		t.Fatalf("reopened size = %d", f2.Size())
+	}
+	got := make([]byte, len(data))
+	if _, err := io.ReadFull(f2, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("large file content mismatch after reopen")
+	}
+	f2.Close()
+}
+
+func TestSmallFileFastPath(t *testing.T) {
+	e := startEnv(t, MountOptions{})
+	f, _ := e.fs.Create("/small.txt")
+	content := []byte("product image bytes")
+	if _, err := f.Write(content); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	f2, err := e.fs.Open("/small.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(content))
+	if _, err := io.ReadFull(f2, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Fatalf("small file = %q", got)
+	}
+	f2.Close()
+}
+
+func TestRandomOverwriteInPlace(t *testing.T) {
+	e := startEnv(t, MountOptions{})
+	f, _ := e.fs.Create("/rand.bin")
+	base := bytes.Repeat([]byte("abcdefgh"), 64*1024) // 512 KB
+	if _, err := f.Write(base); err != nil {
+		t.Fatal(err)
+	}
+	f.Fsync()
+
+	// Overwrite a range in the middle (in-place, Raft path).
+	patch := bytes.Repeat([]byte("Z"), 1000)
+	if _, err := f.WriteAt(patch, 100000); err != nil {
+		t.Fatal(err)
+	}
+	copy(base[100000:], patch)
+
+	got := make([]byte, len(base))
+	if _, err := f.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, base) {
+		t.Fatal("content mismatch after in-place overwrite")
+	}
+	// In-place overwrite must not change the file size.
+	if f.Size() != uint64(len(base)) {
+		t.Fatalf("size changed by overwrite: %d", f.Size())
+	}
+	f.Close()
+}
+
+func TestWriteStraddlingEOF(t *testing.T) {
+	e := startEnv(t, MountOptions{})
+	f, _ := e.fs.Create("/straddle.bin")
+	f.Write(bytes.Repeat([]byte("A"), 300*1024))
+	// Write 200 KB starting 100 KB before EOF: half overwrite, half append.
+	patch := bytes.Repeat([]byte("B"), 200*1024)
+	if _, err := f.WriteAt(patch, 200*1024); err != nil {
+		t.Fatal(err)
+	}
+	if f.Size() != 400*1024 {
+		t.Fatalf("size = %d, want 400K", f.Size())
+	}
+	got := make([]byte, 400*1024)
+	f.ReadAt(got, 0)
+	for i := 0; i < 200*1024; i++ {
+		if got[i] != 'A' {
+			t.Fatalf("byte %d = %c, want A", i, got[i])
+		}
+	}
+	for i := 200 * 1024; i < 400*1024; i++ {
+		if got[i] != 'B' {
+			t.Fatalf("byte %d = %c, want B", i, got[i])
+		}
+	}
+	f.Close()
+}
+
+func TestWritePastEOFRejected(t *testing.T) {
+	e := startEnv(t, MountOptions{})
+	f, _ := e.fs.Create("/gap.bin")
+	f.Write([]byte("x"))
+	if _, err := f.WriteAt([]byte("y"), 100); !errors.Is(err, util.ErrOutOfRange) {
+		t.Fatalf("gapped write: %v", err)
+	}
+	f.Close()
+}
+
+func TestReadDirPlus(t *testing.T) {
+	e := startEnv(t, MountOptions{})
+	e.fs.Mkdir("/dir")
+	for i := 0; i < 20; i++ {
+		f, err := e.fs.Create(fmt.Sprintf("/dir/f%02d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Write([]byte("data"))
+		f.Close()
+	}
+	infos, err := e.fs.ReadDirPlus("/dir")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 20 {
+		t.Fatalf("ReadDirPlus returned %d entries", len(infos))
+	}
+	for _, info := range infos {
+		if info.Size != 4 {
+			t.Fatalf("entry %s size = %d", info.Name, info.Size)
+		}
+	}
+}
+
+func TestRenameFile(t *testing.T) {
+	e := startEnv(t, MountOptions{})
+	f, _ := e.fs.Create("/old.txt")
+	f.Write([]byte("payload"))
+	f.Close()
+	if err := e.fs.Rename("/old.txt", "/new.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if e.fs.Exists("/old.txt") {
+		t.Fatal("old name still exists")
+	}
+	info, err := e.fs.Stat("/new.txt")
+	if err != nil || info.Size != 7 || info.NLink != 1 {
+		t.Fatalf("renamed stat = %+v, %v", info, err)
+	}
+	f2, _ := e.fs.Open("/new.txt")
+	got := make([]byte, 7)
+	io.ReadFull(f2, got)
+	if string(got) != "payload" {
+		t.Fatalf("renamed content = %q", got)
+	}
+	f2.Close()
+}
+
+func TestRenameOverExisting(t *testing.T) {
+	e := startEnv(t, MountOptions{})
+	f1, _ := e.fs.Create("/src.txt")
+	f1.Write([]byte("source"))
+	f1.Close()
+	f2, _ := e.fs.Create("/dst.txt")
+	f2.Write([]byte("stale destination"))
+	f2.Close()
+	if err := e.fs.Rename("/src.txt", "/dst.txt"); err != nil {
+		t.Fatal(err)
+	}
+	info, err := e.fs.Stat("/dst.txt")
+	if err != nil || info.Size != 6 || info.NLink != 1 {
+		t.Fatalf("stat after clobbering rename = %+v, %v", info, err)
+	}
+	if e.fs.Exists("/src.txt") {
+		t.Fatal("source still exists")
+	}
+}
+
+func TestHardLink(t *testing.T) {
+	e := startEnv(t, MountOptions{})
+	f, _ := e.fs.Create("/orig")
+	f.Write([]byte("shared"))
+	f.Close()
+	if err := e.fs.Link("/orig", "/alias"); err != nil {
+		t.Fatal(err)
+	}
+	i1, _ := e.fs.Stat("/orig")
+	i2, _ := e.fs.Stat("/alias")
+	if i1.Inode != i2.Inode {
+		t.Fatalf("link points at different inode: %d vs %d", i1.Inode, i2.Inode)
+	}
+	if i1.NLink != 2 {
+		t.Fatalf("nlink = %d", i1.NLink)
+	}
+	// Removing one name keeps the inode alive.
+	if err := e.fs.Remove("/orig"); err != nil {
+		t.Fatal(err)
+	}
+	i3, err := e.fs.Stat("/alias")
+	if err != nil || i3.NLink != 1 {
+		t.Fatalf("after removing one link: %+v, %v", i3, err)
+	}
+	fr, err := e.fs.Open("/alias")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 6)
+	io.ReadFull(fr, got)
+	if string(got) != "shared" {
+		t.Fatalf("content via surviving link = %q", got)
+	}
+	fr.Close()
+}
+
+func TestSymlink(t *testing.T) {
+	e := startEnv(t, MountOptions{})
+	f, _ := e.fs.Create("/target.txt")
+	f.Close()
+	if err := e.fs.Symlink("/target.txt", "/sym"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.fs.Readlink("/sym")
+	if err != nil || got != "/target.txt" {
+		t.Fatalf("readlink = %q, %v", got, err)
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	e := startEnv(t, MountOptions{})
+	f, _ := e.fs.Create("/t.bin")
+	f.Write(bytes.Repeat([]byte("x"), 300*1024))
+	f.Close()
+	if err := e.fs.Truncate("/t.bin", 1000); err != nil {
+		t.Fatal(err)
+	}
+	info, _ := e.fs.Stat("/t.bin")
+	if info.Size != 1000 {
+		t.Fatalf("size after truncate = %d", info.Size)
+	}
+}
+
+func TestSeekSemantics(t *testing.T) {
+	e := startEnv(t, MountOptions{})
+	f, _ := e.fs.Create("/seek.bin")
+	f.Write([]byte("0123456789"))
+	if pos, _ := f.Seek(2, io.SeekStart); pos != 2 {
+		t.Fatalf("SeekStart pos = %d", pos)
+	}
+	buf := make([]byte, 3)
+	f.Read(buf)
+	if string(buf) != "234" {
+		t.Fatalf("read after seek = %q", buf)
+	}
+	if pos, _ := f.Seek(-2, io.SeekEnd); pos != 8 {
+		t.Fatalf("SeekEnd pos = %d", pos)
+	}
+	if pos, _ := f.Seek(1, io.SeekCurrent); pos != 9 {
+		t.Fatalf("SeekCurrent pos = %d", pos)
+	}
+	if _, err := f.Seek(-100, io.SeekStart); !errors.Is(err, util.ErrInvalidArgument) {
+		t.Fatalf("negative seek: %v", err)
+	}
+	f.Close()
+}
+
+func TestSharedVolumeTwoClients(t *testing.T) {
+	e := startEnv(t, MountOptions{})
+	// Second client mounts the same volume (containers sharing files).
+	fs2, err := Mount(e.nw, "master", "vol", MountOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs2.Unmount()
+
+	f, _ := e.fs.Create("/shared.txt")
+	f.Write([]byte("written by client 1"))
+	f.Close() // flushes extent keys to the meta node
+
+	f2, err := fs2.Open("/shared.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 19)
+	if _, err := io.ReadFull(f2, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "written by client 1" {
+		t.Fatalf("client 2 read %q", got)
+	}
+	f2.Close()
+}
+
+func TestConcurrentFileCreation(t *testing.T) {
+	e := startEnv(t, MountOptions{})
+	e.fs.Mkdir("/conc")
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			f, err := e.fs.Create(fmt.Sprintf("/conc/f%03d", i))
+			if err != nil {
+				errs <- err
+				return
+			}
+			if _, err := f.Write([]byte("x")); err != nil {
+				errs <- err
+				return
+			}
+			errs <- f.Close()
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	ents, err := e.fs.ReadDir("/conc")
+	if err != nil || len(ents) != 64 {
+		t.Fatalf("readdir after concurrent creates: %d entries, %v", len(ents), err)
+	}
+}
+
+func TestCreateDuplicateFails(t *testing.T) {
+	e := startEnv(t, MountOptions{})
+	f, _ := e.fs.Create("/dup")
+	f.Close()
+	_, err := e.fs.Create("/dup")
+	if !errors.Is(err, util.ErrExist) {
+		t.Fatalf("duplicate create: %v", err)
+	}
+	// The failed create's inode went onto the orphan list and gets
+	// evicted (Figure 3a failure path).
+	if n := e.fs.Client().Meta.OrphanCount(); n != 1 {
+		t.Fatalf("orphan count = %d, want 1", n)
+	}
+	if n := e.fs.Client().Meta.EvictOrphans(); n != 1 {
+		t.Fatalf("evicted = %d, want 1", n)
+	}
+}
+
+func TestExtentRollAcrossPartitions(t *testing.T) {
+	// With tiny extents, a large write must roll across extents (and
+	// possibly partitions) transparently.
+	nw := transport.NewMemory()
+	m, err := master.Start(nw, master.Config{
+		Addr: "master", ReplicaCount: 3, DisableBackground: true, Raft: fastRaft(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+	m.WaitLeader(5 * time.Second)
+	for i := 0; i < 3; i++ {
+		mn, err := meta.Start(nw, meta.Config{
+			Addr: fmt.Sprintf("mn%d", i), MasterAddr: "master",
+			DisableHeartbeat: true, Raft: fastRaft(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(mn.Close)
+	}
+	for i := 0; i < 3; i++ {
+		dn, err := datanode.Start(nw, datanode.Config{
+			Addr: fmt.Sprintf("dn%d", i), MasterAddr: "master",
+			Dir: t.TempDir(), DisableHeartbeat: true, Raft: fastRaft(),
+			ExtentSize: 256 * util.KB, // force rolling
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(dn.Close)
+	}
+	var resp proto.CreateVolumeResp
+	if err := nw.Call("master", uint8(proto.OpMasterCreateVolume), &proto.CreateVolumeReq{
+		Name: "vol", MetaPartitionCount: 1, DataPartitionCount: 4,
+	}, &resp); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := Mount(nw, "master", "vol", MountOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Unmount()
+
+	f, _ := fs.Create("/rolling.bin")
+	data := make([]byte, util.MB) // 4x the extent size
+	r := util.NewRand(7)
+	for i := range data {
+		data[i] = byte(r.Uint64())
+	}
+	n, err := f.Write(data)
+	if err != nil || n != len(data) {
+		t.Fatalf("rolling write = %d, %v", n, err)
+	}
+	f.Fsync()
+	got := make([]byte, len(data))
+	if _, err := f.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("content mismatch after extent rolling")
+	}
+	f.Close()
+
+	// The file must span multiple extents.
+	info, _ := fs.Stat("/rolling.bin")
+	ino, err := fs.Client().Meta.InodeGet(info.Inode, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ino.Extents) < 4 {
+		t.Fatalf("file has %d extents, expected >= 4", len(ino.Extents))
+	}
+}
+
+func TestClientCachesDisabledStillCorrect(t *testing.T) {
+	e := startEnv(t, MountOptions{Client: client.Config{}.DisableCaches()})
+	e.fs.Mkdir("/d")
+	f, _ := e.fs.Create("/d/f")
+	f.Write([]byte("no caches"))
+	f.Close()
+	infos, err := e.fs.ReadDirPlus("/d")
+	if err != nil || len(infos) != 1 || infos[0].Size != 9 {
+		t.Fatalf("uncached ReadDirPlus = %+v, %v", infos, err)
+	}
+}
+
+func TestDataNodeFailureDuringWrite(t *testing.T) {
+	e := startEnv(t, MountOptions{})
+	f, _ := e.fs.Create("/resilient.bin")
+	if _, err := f.Write(bytes.Repeat([]byte("a"), 256*1024)); err != nil {
+		t.Fatal(err)
+	}
+	// Partition one data node: appends through partitions whose chain
+	// includes it fail; the client rolls to other partitions or, if all
+	// are affected, surfaces an error. Here all partitions have 3
+	// replicas spanning the 3 nodes, so writes CANNOT proceed; verify
+	// the client reports an error rather than losing data silently.
+	e.nw.Partition("dn2")
+	_, werr := f.Write(bytes.Repeat([]byte("b"), 256*1024))
+	if werr == nil {
+		t.Fatal("write succeeded with an unreachable replica (primary-backup needs all)")
+	}
+	// Heal: writes work again.
+	e.nw.Heal("dn2")
+	if _, err := f.Write(bytes.Repeat([]byte("c"), 128*1024)); err != nil {
+		t.Fatalf("write after heal: %v", err)
+	}
+	f.Close()
+}
+
+func TestMetaLeaderFailover(t *testing.T) {
+	e := startEnv(t, MountOptions{})
+	f, _ := e.fs.Create("/before-failover")
+	f.Close()
+
+	// Kill the meta node hosting the root partition's leader.
+	var leaderAddr string
+	for _, mn := range e.metas {
+		if mn.IsLeader(e.rootMetaPartition()) {
+			leaderAddr = mn.Addr()
+		}
+	}
+	if leaderAddr == "" {
+		t.Fatal("no meta leader found")
+	}
+	e.nw.Partition(leaderAddr)
+
+	// The remaining replicas elect a new leader; client retries find it.
+	deadline := time.Now().Add(10 * time.Second)
+	var lastErr error
+	for time.Now().Before(deadline) {
+		f2, err := e.fs.Create("/after-failover")
+		if err == nil {
+			f2.Close()
+			return
+		}
+		lastErr = err
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("create never succeeded after meta failover: %v", lastErr)
+}
+
+func (e *testEnv) rootMetaPartition() uint64 {
+	var resp proto.GetVolumeResp
+	e.nw.Call("master", uint8(proto.OpMasterGetVolume), &proto.GetVolumeReq{Name: "vol"}, &resp)
+	for _, mp := range resp.View.MetaPartitions {
+		if mp.Start <= proto.RootInodeID && proto.RootInodeID <= mp.End {
+			return mp.PartitionID
+		}
+	}
+	return 0
+}

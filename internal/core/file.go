@@ -1,0 +1,341 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"cfs/internal/proto"
+	"cfs/internal/util"
+)
+
+// File is an open CFS file. It follows the paper's client write model:
+//
+//   - Sequential writes append through the primary-backup chain into the
+//     file's current extent, rolling to a fresh extent on a new partition
+//     when needed (Figure 4). Extent keys accumulate locally and sync to
+//     the meta node on Fsync/Close or periodically (Section 2.7.1).
+//   - Random writes are split at the current EOF: the overlapping part
+//     overwrites in place through Raft (no metadata update needed, Figure
+//     5); the rest is appended (Section 2.7.2).
+//   - Whole small files (size <= threshold) skip extent creation and go
+//     straight into a shared aggregated extent (Sections 2.2.3, 4.4).
+//
+// A File is safe for concurrent use by multiple goroutines, but CFS
+// provides no cross-client locking: concurrent writers to overlapping
+// ranges race (Section 2.7).
+type File struct {
+	fs   *FileSystem
+	path string
+
+	mu      sync.Mutex
+	inode   uint64
+	size    uint64
+	pos     uint64
+	extents []proto.ExtentKey // committed + locally pending, FileOffset order
+	dirty   []proto.ExtentKey // committed to data nodes, not yet on the meta node
+	dirtySz uint64            // size to report on next flush
+
+	// Current append target (Figure 4 step 3: chosen randomly, reused
+	// until full).
+	curDP     proto.DataPartitionInfo
+	curExtent uint64
+	haveDP    bool
+
+	closed bool
+}
+
+func newFile(fs *FileSystem, p string, ino *proto.Inode) *File {
+	f := &File{
+		fs:      fs,
+		path:    p,
+		inode:   ino.Inode,
+		size:    ino.Size,
+		extents: append([]proto.ExtentKey(nil), ino.Extents...),
+	}
+	sort.Slice(f.extents, func(i, j int) bool {
+		return f.extents[i].FileOffset < f.extents[j].FileOffset
+	})
+	return f
+}
+
+// Path returns the path the file was opened with.
+func (f *File) Path() string { return f.path }
+
+// Inode returns the file's inode id.
+func (f *File) Inode() uint64 { return f.inode }
+
+// Size returns the current file size (including unflushed appends).
+func (f *File) Size() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.size
+}
+
+// Write appends/overwrites at the current position (io.Writer).
+func (f *File) Write(p []byte) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n, err := f.writeAtLocked(f.pos, p)
+	f.pos += uint64(n)
+	return n, err
+}
+
+// WriteAt writes at an absolute offset (io.WriterAt).
+func (f *File) WriteAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("core: negative offset: %w", util.ErrInvalidArgument)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.writeAtLocked(uint64(off), p)
+}
+
+func (f *File) writeAtLocked(off uint64, p []byte) (int, error) {
+	if f.closed {
+		return 0, util.ErrClosed
+	}
+	if len(p) == 0 {
+		return 0, nil
+	}
+	if off > f.size {
+		return 0, fmt.Errorf("core: write at %d past EOF %d: %w", off, f.size, util.ErrOutOfRange)
+	}
+	written := 0
+	// Overwrite the part overlapping existing content in place
+	// (Section 2.7.2).
+	if off < f.size {
+		overlap := util.MinU64(f.size-off, uint64(len(p)))
+		if err := f.overwriteLocked(off, p[:overlap]); err != nil {
+			return written, err
+		}
+		written += int(overlap)
+		off += overlap
+		p = p[overlap:]
+	}
+	if len(p) == 0 {
+		return written, nil
+	}
+	// Append the rest sequentially.
+	n, err := f.appendLocked(off, p)
+	written += n
+	return written, err
+}
+
+// appendLocked appends data at off == f.size.
+func (f *File) appendLocked(off uint64, p []byte) (int, error) {
+	cfg := f.fs.c.Config()
+	// Whole-small-file fast path: one packet, no extent-creation RPC.
+	if off == 0 && len(p) <= cfg.SmallFileThreshold {
+		ek, err := f.fs.c.Data.WriteSmallFile(0, p)
+		if err != nil {
+			return 0, err
+		}
+		f.noteWritten(ek)
+		return len(p), nil
+	}
+	written := 0
+	for written < len(p) {
+		if !f.haveDP {
+			dp, err := f.fs.c.Data.PickWritable()
+			if err != nil {
+				return written, err
+			}
+			ext, err := f.fs.c.Data.CreateExtent(dp)
+			if err != nil {
+				// Partition may have gone read-only; refresh the view
+				// and try another (Section 2.3.3 exception handling).
+				_ = f.fs.c.Refresh()
+				dp2, err2 := f.fs.c.Data.PickWritable()
+				if err2 != nil {
+					return written, err2
+				}
+				ext, err = f.fs.c.Data.CreateExtent(dp2)
+				if err != nil {
+					return written, err
+				}
+				dp = dp2
+			}
+			f.curDP, f.curExtent, f.haveDP = dp, ext, true
+		}
+		chunk := p[written:]
+		keys, err := f.fs.c.Data.Append(f.curDP, f.curExtent, off+uint64(written), chunk)
+		for _, ek := range keys {
+			f.noteWritten(ek)
+			written += int(ek.Size)
+		}
+		if err != nil {
+			// Extent or partition full: roll to a fresh extent on a
+			// fresh partition and resend the remainder (the paper's
+			// "client will resend a write request for the remaining
+			// k-p MB to the extents in different data partitions").
+			f.haveDP = false
+			if retriableAppendErr(err) {
+				continue
+			}
+			return written, err
+		}
+	}
+	return written, nil
+}
+
+// noteWritten records a committed extent key locally (pending meta sync).
+func (f *File) noteWritten(ek proto.ExtentKey) {
+	f.extents = append(f.extents, ek)
+	f.dirty = append(f.dirty, ek)
+	if ek.End() > f.size {
+		f.size = ek.End()
+	}
+	if ek.End() > f.dirtySz {
+		f.dirtySz = ek.End()
+	}
+}
+
+// overwriteLocked rewrites [off, off+len(p)) which lies fully below size.
+func (f *File) overwriteLocked(off uint64, p []byte) error {
+	for len(p) > 0 {
+		ek, ok := f.keyCovering(off)
+		if !ok {
+			return fmt.Errorf("core: no extent covers offset %d of %s: %w", off, f.path, util.ErrNotFound)
+		}
+		span := util.MinU64(ek.End()-off, uint64(len(p)))
+		extOff := ek.ExtentOffset + (off - ek.FileOffset)
+		if err := f.fs.c.Data.Overwrite(ek, extOff, p[:span]); err != nil {
+			return err
+		}
+		off += span
+		p = p[span:]
+	}
+	return nil
+}
+
+// keyCovering finds the newest extent key covering a file offset.
+func (f *File) keyCovering(off uint64) (proto.ExtentKey, bool) {
+	// Later keys win (appends never overlap, but truncate+rewrite can
+	// produce stale earlier keys).
+	for i := len(f.extents) - 1; i >= 0; i-- {
+		ek := f.extents[i]
+		if ek.FileOffset <= off && off < ek.End() {
+			return ek, true
+		}
+	}
+	return proto.ExtentKey{}, false
+}
+
+// Read reads from the current position (io.Reader).
+func (f *File) Read(p []byte) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n, err := f.readAtLocked(f.pos, p)
+	f.pos += uint64(n)
+	return n, err
+}
+
+// ReadAt reads at an absolute offset (io.ReaderAt).
+func (f *File) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("core: negative offset: %w", util.ErrInvalidArgument)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.readAtLocked(uint64(off), p)
+}
+
+func (f *File) readAtLocked(off uint64, p []byte) (int, error) {
+	if f.closed {
+		return 0, util.ErrClosed
+	}
+	if off >= f.size {
+		return 0, io.EOF
+	}
+	want := util.MinU64(uint64(len(p)), f.size-off)
+	read := uint64(0)
+	for read < want {
+		cur := off + read
+		ek, ok := f.keyCovering(cur)
+		if !ok {
+			// Hole (e.g. truncate landed mid-extent): zeros.
+			p[read] = 0
+			read++
+			continue
+		}
+		span := util.MinU64(ek.End()-cur, want-read)
+		extOff := ek.ExtentOffset + (cur - ek.FileOffset)
+		data, err := f.fs.c.Data.Read(ek, extOff, uint32(span))
+		if err != nil {
+			return int(read), err
+		}
+		copy(p[read:], data)
+		read += uint64(len(data))
+	}
+	var err error
+	if int(read) < len(p) {
+		err = io.EOF
+	}
+	return int(read), err
+}
+
+// Seek implements io.Seeker.
+func (f *File) Seek(offset int64, whence int) (int64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var base int64
+	switch whence {
+	case io.SeekStart:
+		base = 0
+	case io.SeekCurrent:
+		base = int64(f.pos)
+	case io.SeekEnd:
+		base = int64(f.size)
+	default:
+		return 0, fmt.Errorf("core: bad whence %d: %w", whence, util.ErrInvalidArgument)
+	}
+	np := base + offset
+	if np < 0 {
+		return 0, fmt.Errorf("core: seek before start: %w", util.ErrInvalidArgument)
+	}
+	f.pos = uint64(np)
+	return np, nil
+}
+
+// Fsync pushes pending extent keys and the new size to the meta node
+// (Figure 4 step 8; triggered by the application's fsync in the paper).
+func (f *File) Fsync() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.fsyncLocked()
+}
+
+func (f *File) fsyncLocked() error {
+	if len(f.dirty) == 0 {
+		return nil
+	}
+	if err := f.fs.c.Meta.AppendExtentKeys(f.inode, f.dirty, f.dirtySz); err != nil {
+		return err
+	}
+	f.dirty = nil
+	f.dirtySz = 0
+	return nil
+}
+
+// Close flushes metadata and invalidates the handle.
+func (f *File) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return nil
+	}
+	if err := f.fsyncLocked(); err != nil {
+		return err
+	}
+	f.closed = true
+	return nil
+}
+
+// retriableAppendErr reports whether an append failure means "roll to
+// another partition/extent" rather than a hard error.
+func retriableAppendErr(err error) bool {
+	return errors.Is(err, util.ErrFull) || errors.Is(err, util.ErrReadOnly)
+}

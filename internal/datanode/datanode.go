@@ -1,0 +1,320 @@
+// Package datanode implements the CFS data subsystem (paper Section 2.2):
+// data nodes hosting data partitions, each backed by an extent store, with
+// scenario-aware replication - primary-backup for sequential writes and
+// Raft for overwrites (Section 2.2.4).
+package datanode
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"cfs/internal/proto"
+	"cfs/internal/raftstore"
+	"cfs/internal/storage"
+	"cfs/internal/transport"
+	"cfs/internal/util"
+)
+
+// Config configures a DataNode.
+type Config struct {
+	// Addr is the node's transport address.
+	Addr string
+	// MasterAddr is the resource manager address for heartbeats.
+	MasterAddr string
+	// Dir is the root directory for partition data.
+	Dir string
+	// Total is the advertised disk capacity in bytes (Section 2.3.1
+	// placement input). Zero means 1 TB.
+	Total uint64
+	// HeartbeatInterval is the period of master heartbeats. Zero means 1s.
+	HeartbeatInterval time.Duration
+	// ExtentSize caps each extent (tests use small ones). Zero means
+	// storage.DefaultExtentSize.
+	ExtentSize uint64
+	// Raft tunes the partition Raft groups.
+	Raft raftstore.Config
+	// DisableHeartbeat turns off the background heartbeat loop (tests
+	// drive heartbeats manually).
+	DisableHeartbeat bool
+}
+
+// DataNode hosts data partitions.
+type DataNode struct {
+	addr       string
+	masterAddr string
+	dir        string
+	total      uint64
+	extentSize uint64
+	nw         transport.Network
+	raft       *raftstore.Store
+
+	mu         sync.RWMutex
+	partitions map[uint64]*Partition
+	closed     bool
+
+	ln    transport.Listener
+	stopc chan struct{}
+	wg    sync.WaitGroup
+}
+
+// Start creates a DataNode, binds its transport address, registers with
+// the master, and begins heartbeating.
+func Start(nw transport.Network, cfg Config) (*DataNode, error) {
+	if cfg.Addr == "" || cfg.Dir == "" {
+		return nil, fmt.Errorf("datanode: %w: Addr and Dir are required", util.ErrInvalidArgument)
+	}
+	if cfg.Total == 0 {
+		cfg.Total = util.GB * 1024
+	}
+	if cfg.HeartbeatInterval == 0 {
+		cfg.HeartbeatInterval = time.Second
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	d := &DataNode{
+		addr:       cfg.Addr,
+		masterAddr: cfg.MasterAddr,
+		dir:        cfg.Dir,
+		total:      cfg.Total,
+		extentSize: cfg.ExtentSize,
+		nw:         nw,
+		partitions: make(map[uint64]*Partition),
+		stopc:      make(chan struct{}),
+	}
+	d.raft = raftstore.New(cfg.Addr, nw, cfg.Raft)
+	ln, err := nw.Listen(cfg.Addr, d.handle)
+	if err != nil {
+		d.raft.Close()
+		return nil, err
+	}
+	d.ln = ln
+	if cfg.MasterAddr != "" {
+		if err := d.register(); err != nil {
+			d.Close()
+			return nil, err
+		}
+		if !cfg.DisableHeartbeat {
+			d.wg.Add(1)
+			go d.heartbeatLoop(cfg.HeartbeatInterval)
+		}
+	}
+	return d, nil
+}
+
+// Addr returns the node's transport address.
+func (d *DataNode) Addr() string { return d.addr }
+
+// Close stops the node: heartbeats, Raft groups, extent stores, listener.
+func (d *DataNode) Close() {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return
+	}
+	d.closed = true
+	parts := make([]*Partition, 0, len(d.partitions))
+	for _, p := range d.partitions {
+		parts = append(parts, p)
+	}
+	d.mu.Unlock()
+	close(d.stopc)
+	d.wg.Wait()
+	d.raft.Close()
+	for _, p := range parts {
+		p.store.Close()
+	}
+	if d.ln != nil {
+		d.ln.Close()
+	}
+}
+
+// Partition returns the hosted partition with the given id, or nil.
+func (d *DataNode) Partition(id uint64) *Partition {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.partitions[id]
+}
+
+// PartitionCount returns the number of hosted partitions.
+func (d *DataNode) PartitionCount() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.partitions)
+}
+
+// Used sums used bytes across hosted partitions.
+func (d *DataNode) Used() uint64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	var used uint64
+	for _, p := range d.partitions {
+		used += p.Used()
+	}
+	return used
+}
+
+func (d *DataNode) register() error {
+	var resp proto.RegisterNodeResp
+	return d.nw.Call(d.masterAddr, uint8(proto.OpMasterRegisterNode),
+		&proto.RegisterNodeReq{Addr: d.addr, IsMeta: false, Total: d.total}, &resp)
+}
+
+func (d *DataNode) heartbeatLoop(interval time.Duration) {
+	defer d.wg.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-d.stopc:
+			return
+		case <-t.C:
+			d.SendHeartbeat()
+		}
+	}
+}
+
+// SendHeartbeat reports utilization and per-partition status to the master
+// (exported so tests and the bench harness can force synchronization).
+func (d *DataNode) SendHeartbeat() {
+	d.mu.RLock()
+	reports := make([]proto.PartitionReport, 0, len(d.partitions))
+	var used uint64
+	for _, p := range d.partitions {
+		u := p.Used()
+		used += u
+		reports = append(reports, proto.PartitionReport{
+			PartitionID: p.ID,
+			Used:        u,
+			ExtentCount: uint64(p.ExtentCount()),
+			IsLeader:    p.isLeader(),
+			Status:      p.Status(),
+		})
+	}
+	d.mu.RUnlock()
+	_ = d.nw.Call(d.masterAddr, uint8(proto.OpMasterHeartbeat), &proto.HeartbeatReq{
+		Addr:       d.addr,
+		IsMeta:     false,
+		Used:       used,
+		Total:      d.total,
+		Partitions: reports,
+	}, nil)
+}
+
+// CreatePartition hosts a new partition on this node (invoked by the
+// master's OpAdminCreateDataPartition task, or directly by tests).
+func (d *DataNode) CreatePartition(req *proto.CreateDataPartitionReq) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return util.ErrClosed
+	}
+	if _, ok := d.partitions[req.PartitionID]; ok {
+		return fmt.Errorf("datanode: partition %d: %w", req.PartitionID, util.ErrExist)
+	}
+	dir := filepath.Join(d.dir, fmt.Sprintf("dp_%d", req.PartitionID))
+	store, err := storage.Open(dir, storage.Options{ExtentSize: d.extentSize})
+	if err != nil {
+		return err
+	}
+	p := &Partition{
+		ID:        req.PartitionID,
+		Volume:    req.Volume,
+		Members:   append([]string(nil), req.Members...),
+		Capacity:  req.Capacity,
+		node:      d,
+		store:     store,
+		committed: make(map[uint64]uint64),
+		status:    proto.PartitionReadWrite,
+	}
+	if len(req.Members) > 1 {
+		node, err := d.raft.CreateGroup(req.PartitionID, req.Members, &partitionSM{p: p})
+		if err != nil {
+			store.Close()
+			return err
+		}
+		p.raft = node
+		// Bias the primary-backup leader to win the Raft election too,
+		// minimizing the window where the two leaders differ
+		// (Section 2.7.4 notes they may legitimately differ).
+		if p.isLeader() {
+			node.Campaign()
+		}
+	}
+	d.partitions[req.PartitionID] = p
+	return nil
+}
+
+// handle dispatches one RPC.
+func (d *DataNode) handle(op uint8, req any) (any, error) {
+	switch proto.Op(op) {
+	case proto.OpRaftMessage:
+		batch, ok := req.(*raftstore.MessageBatch)
+		if !ok {
+			return nil, fmt.Errorf("datanode: %w: raft body %T", util.ErrInvalidArgument, req)
+		}
+		d.raft.HandleBatch(batch)
+		return &proto.HeartbeatResp{}, nil
+
+	case proto.OpAdminCreateDataPartition:
+		r, ok := req.(*proto.CreateDataPartitionReq)
+		if !ok {
+			return nil, fmt.Errorf("datanode: %w: body %T", util.ErrInvalidArgument, req)
+		}
+		if err := d.CreatePartition(r); err != nil {
+			return nil, err
+		}
+		return &proto.CreateDataPartitionResp{}, nil
+
+	case proto.OpDataExtentInfo:
+		r, ok := req.(*proto.ExtentInfoReq)
+		if !ok {
+			return nil, fmt.Errorf("datanode: %w: body %T", util.ErrInvalidArgument, req)
+		}
+		p := d.Partition(r.PartitionID)
+		if p == nil {
+			return nil, fmt.Errorf("datanode: partition %d: %w", r.PartitionID, util.ErrNotFound)
+		}
+		return p.handleExtentInfo(r)
+
+	case proto.OpDataCreateExtent, proto.OpDataAppend, proto.OpDataOverwrite,
+		proto.OpDataRead, proto.OpDataMarkDelete, proto.OpDataFlush:
+		pkt, ok := req.(*proto.Packet)
+		if !ok {
+			return nil, fmt.Errorf("datanode: %w: packet body %T", util.ErrInvalidArgument, req)
+		}
+		p := d.Partition(pkt.PartitionID)
+		if p == nil {
+			return nil, fmt.Errorf("datanode: partition %d: %w", pkt.PartitionID, util.ErrNotFound)
+		}
+		return d.dispatchPacket(p, pkt)
+
+	default:
+		return nil, fmt.Errorf("datanode: %w: op %d", util.ErrInvalidArgument, op)
+	}
+}
+
+func (d *DataNode) dispatchPacket(p *Partition, pkt *proto.Packet) (*proto.Packet, error) {
+	switch pkt.Op {
+	case proto.OpDataCreateExtent:
+		return p.handleCreateExtent(pkt)
+	case proto.OpDataAppend:
+		return p.handleAppend(pkt)
+	case proto.OpDataOverwrite:
+		return p.handleOverwrite(pkt)
+	case proto.OpDataRead:
+		return p.handleRead(pkt)
+	case proto.OpDataMarkDelete:
+		return p.handleMarkDelete(pkt)
+	case proto.OpDataFlush:
+		if err := p.store.Flush(); err != nil {
+			return pkt.ErrResponse(proto.ResultErrIO, err.Error()), nil
+		}
+		return pkt.OKResponse(nil), nil
+	default:
+		return pkt.ErrResponse(proto.ResultErrArg, "unknown packet op"), nil
+	}
+}

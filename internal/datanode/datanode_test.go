@@ -1,0 +1,477 @@
+package datanode
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"cfs/internal/proto"
+	"cfs/internal/raftstore"
+	"cfs/internal/transport"
+	"cfs/internal/util"
+)
+
+// fakeMaster accepts register/heartbeat/failure-report calls.
+type fakeMaster struct {
+	failures chan proto.ReportFailureReq
+}
+
+func startFakeMaster(t *testing.T, nw *transport.Memory, addr string) *fakeMaster {
+	t.Helper()
+	fm := &fakeMaster{failures: make(chan proto.ReportFailureReq, 16)}
+	ln, err := nw.Listen(addr, func(op uint8, req any) (any, error) {
+		switch proto.Op(op) {
+		case proto.OpMasterRegisterNode:
+			return &proto.RegisterNodeResp{}, nil
+		case proto.OpMasterHeartbeat:
+			return &proto.HeartbeatResp{}, nil
+		case proto.OpMasterReportFailure:
+			if r, ok := req.(*proto.ReportFailureReq); ok {
+				select {
+				case fm.failures <- *r:
+				default:
+				}
+			}
+			return &proto.ReportFailureResp{}, nil
+		}
+		return nil, fmt.Errorf("fake master: op %d", op)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	return fm
+}
+
+type testCluster struct {
+	nw    *transport.Memory
+	nodes []*DataNode
+	addrs []string
+}
+
+func startCluster(t *testing.T, n int) *testCluster {
+	t.Helper()
+	nw := transport.NewMemory()
+	startFakeMaster(t, nw, "master")
+	tc := &testCluster{nw: nw}
+	for i := 0; i < n; i++ {
+		addr := fmt.Sprintf("dn%d", i)
+		dn, err := Start(nw, Config{
+			Addr:             addr,
+			MasterAddr:       "master",
+			Dir:              t.TempDir(),
+			DisableHeartbeat: true,
+			Raft: raftstore.Config{
+				FlushInterval: time.Millisecond,
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(dn.Close)
+		tc.nodes = append(tc.nodes, dn)
+		tc.addrs = append(tc.addrs, addr)
+	}
+	return tc
+}
+
+func (tc *testCluster) createPartition(t *testing.T, id uint64) {
+	t.Helper()
+	req := &proto.CreateDataPartitionReq{
+		PartitionID: id,
+		Volume:      "vol",
+		Capacity:    64 * util.MB,
+		Members:     tc.addrs,
+	}
+	for _, addr := range tc.addrs {
+		var resp proto.CreateDataPartitionResp
+		if err := tc.nw.Call(addr, uint8(proto.OpAdminCreateDataPartition), req, &resp); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func (tc *testCluster) leaderAddr() string { return tc.addrs[0] }
+
+func (tc *testCluster) createExtent(t *testing.T, pid uint64) uint64 {
+	t.Helper()
+	pkt := proto.NewPacket(proto.OpDataCreateExtent, 1, pid, 0, nil)
+	var resp proto.Packet
+	if err := tc.nw.Call(tc.leaderAddr(), uint8(proto.OpDataCreateExtent), pkt, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.ResultCode != proto.ResultOK {
+		t.Fatalf("create extent failed: %s", resp.Data)
+	}
+	return resp.ExtentID
+}
+
+func (tc *testCluster) append(t *testing.T, pid, eid uint64, data []byte) (uint64, uint64) {
+	t.Helper()
+	pkt := proto.NewPacket(proto.OpDataAppend, 2, pid, eid, data)
+	var resp proto.Packet
+	if err := tc.nw.Call(tc.leaderAddr(), uint8(proto.OpDataAppend), pkt, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.ResultCode != proto.ResultOK {
+		t.Fatalf("append failed: %s", resp.Data)
+	}
+	return resp.ExtentID, resp.ExtentOffset
+}
+
+func (tc *testCluster) read(t *testing.T, addr string, pid, eid, off uint64, length uint32) ([]byte, *proto.Packet) {
+	t.Helper()
+	lenBuf := make([]byte, 4)
+	binary.BigEndian.PutUint32(lenBuf, length)
+	pkt := proto.NewPacket(proto.OpDataRead, 3, pid, eid, lenBuf)
+	pkt.ExtentOffset = off
+	var resp proto.Packet
+	if err := tc.nw.Call(addr, uint8(proto.OpDataRead), pkt, &resp); err != nil {
+		t.Fatal(err)
+	}
+	return resp.Data, &resp
+}
+
+func TestAppendReplicatesToAllReplicas(t *testing.T) {
+	tc := startCluster(t, 3)
+	tc.createPartition(t, 100)
+	eid := tc.createExtent(t, 100)
+
+	_, off := tc.append(t, 100, eid, []byte("hello "))
+	if off != 0 {
+		t.Fatalf("first append offset = %d", off)
+	}
+	_, off = tc.append(t, 100, eid, []byte("world"))
+	if off != 6 {
+		t.Fatalf("second append offset = %d", off)
+	}
+
+	// Every replica can serve the committed range.
+	for _, addr := range tc.addrs {
+		data, resp := tc.read(t, addr, 100, eid, 0, 11)
+		if resp.ResultCode != proto.ResultOK || string(data) != "hello world" {
+			t.Fatalf("replica %s read = %q rc=%d", addr, data, resp.ResultCode)
+		}
+	}
+	// Leader tracked the committed offset.
+	p := tc.nodes[0].Partition(100)
+	if got := p.committedOf(eid); got != 11 {
+		t.Fatalf("committed = %d, want 11", got)
+	}
+}
+
+func TestAppendToFollowerRejected(t *testing.T) {
+	tc := startCluster(t, 3)
+	tc.createPartition(t, 100)
+	eid := tc.createExtent(t, 100)
+	pkt := proto.NewPacket(proto.OpDataAppend, 9, 100, eid, []byte("x"))
+	var resp proto.Packet
+	if err := tc.nw.Call(tc.addrs[1], uint8(proto.OpDataAppend), pkt, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.ResultCode != proto.ResultErrNotLeader {
+		t.Fatalf("follower accepted client append: rc=%d", resp.ResultCode)
+	}
+}
+
+func TestAppendCorruptPayloadRejected(t *testing.T) {
+	tc := startCluster(t, 3)
+	tc.createPartition(t, 100)
+	eid := tc.createExtent(t, 100)
+	pkt := proto.NewPacket(proto.OpDataAppend, 9, 100, eid, []byte("good"))
+	pkt.Data = []byte("evil") // CRC now stale
+	var resp proto.Packet
+	if err := tc.nw.Call(tc.leaderAddr(), uint8(proto.OpDataAppend), pkt, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.ResultCode != proto.ResultErrCRC {
+		t.Fatalf("corrupt payload accepted: rc=%d", resp.ResultCode)
+	}
+}
+
+func TestSmallFileAggregatedWrite(t *testing.T) {
+	tc := startCluster(t, 3)
+	tc.createPartition(t, 100)
+
+	// ExtentID 0 selects the small-file path; leader picks placement.
+	var locs []struct {
+		eid, off uint64
+		data     string
+	}
+	for i := 0; i < 5; i++ {
+		data := fmt.Sprintf("small-%d", i)
+		pkt := proto.NewPacket(proto.OpDataAppend, uint64(10+i), 100, 0, []byte(data))
+		var resp proto.Packet
+		if err := tc.nw.Call(tc.leaderAddr(), uint8(proto.OpDataAppend), pkt, &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.ResultCode != proto.ResultOK {
+			t.Fatalf("small write failed: %s", resp.Data)
+		}
+		locs = append(locs, struct {
+			eid, off uint64
+			data     string
+		}{resp.ExtentID, resp.ExtentOffset, data})
+	}
+	// All land in one shared extent, and every replica serves them.
+	for _, l := range locs[1:] {
+		if l.eid != locs[0].eid {
+			t.Fatalf("small files spread across extents: %d vs %d", l.eid, locs[0].eid)
+		}
+	}
+	for _, addr := range tc.addrs {
+		for _, l := range locs {
+			data, resp := tc.read(t, addr, 100, l.eid, l.off, uint32(len(l.data)))
+			if resp.ResultCode != proto.ResultOK || string(data) != l.data {
+				t.Fatalf("replica %s small read = %q rc=%d", addr, data, resp.ResultCode)
+			}
+		}
+	}
+}
+
+func waitRaftLeader(t *testing.T, tc *testCluster, pid uint64) *Partition {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		for _, n := range tc.nodes {
+			p := n.Partition(pid)
+			if p != nil && p.raft != nil && p.raft.IsLeader() {
+				return p
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("no raft leader for partition")
+	return nil
+}
+
+func TestOverwriteThroughRaft(t *testing.T) {
+	tc := startCluster(t, 3)
+	tc.createPartition(t, 100)
+	eid := tc.createExtent(t, 100)
+	tc.append(t, 100, eid, []byte("aaaaaaaaaa"))
+
+	leader := waitRaftLeader(t, tc, 100)
+	pkt := proto.NewPacket(proto.OpDataOverwrite, 20, 100, eid, []byte("XYZ"))
+	pkt.ExtentOffset = 3
+	var resp proto.Packet
+	if err := tc.nw.Call(leader.node.addr, uint8(proto.OpDataOverwrite), pkt, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.ResultCode != proto.ResultOK {
+		t.Fatalf("overwrite failed: %s", resp.Data)
+	}
+	// All replicas converge on the overwritten content.
+	for _, addr := range tc.addrs {
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			data, rr := tc.read(t, addr, 100, eid, 0, 10)
+			if rr.ResultCode == proto.ResultOK && string(data) == "aaaXYZaaaa" {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("replica %s never converged: %q", addr, data)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+}
+
+func TestOverwriteOnNonRaftLeaderRedirects(t *testing.T) {
+	tc := startCluster(t, 3)
+	tc.createPartition(t, 100)
+	eid := tc.createExtent(t, 100)
+	tc.append(t, 100, eid, []byte("aaaa"))
+	leader := waitRaftLeader(t, tc, 100)
+	for _, n := range tc.nodes {
+		if n.addr == leader.node.addr {
+			continue
+		}
+		pkt := proto.NewPacket(proto.OpDataOverwrite, 21, 100, eid, []byte("bb"))
+		var resp proto.Packet
+		if err := tc.nw.Call(n.addr, uint8(proto.OpDataOverwrite), pkt, &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.ResultCode != proto.ResultErrNotLeader {
+			t.Fatalf("non-leader %s accepted overwrite: rc=%d", n.addr, resp.ResultCode)
+		}
+		return
+	}
+}
+
+func TestReadBeyondCommittedFails(t *testing.T) {
+	tc := startCluster(t, 3)
+	tc.createPartition(t, 100)
+	eid := tc.createExtent(t, 100)
+	tc.append(t, 100, eid, []byte("12345"))
+	_, resp := tc.read(t, tc.leaderAddr(), 100, eid, 2, 10)
+	if resp.ResultCode != proto.ResultErrIO {
+		t.Fatalf("out-of-range read rc=%d", resp.ResultCode)
+	}
+}
+
+func TestMarkDeletePunchesHoles(t *testing.T) {
+	tc := startCluster(t, 3)
+	tc.createPartition(t, 100)
+
+	pkt := proto.NewPacket(proto.OpDataAppend, 30, 100, 0, []byte("0123456789"))
+	var wr proto.Packet
+	if err := tc.nw.Call(tc.leaderAddr(), uint8(proto.OpDataAppend), pkt, &wr); err != nil {
+		t.Fatal(err)
+	}
+	eid, off := wr.ExtentID, wr.ExtentOffset
+
+	lenBuf := make([]byte, 8)
+	binary.BigEndian.PutUint64(lenBuf, 10)
+	del := proto.NewPacket(proto.OpDataMarkDelete, 31, 100, eid, lenBuf)
+	del.ExtentOffset = off
+	var dr proto.Packet
+	if err := tc.nw.Call(tc.leaderAddr(), uint8(proto.OpDataMarkDelete), del, &dr); err != nil {
+		t.Fatal(err)
+	}
+	if dr.ResultCode != proto.ResultOK {
+		t.Fatalf("mark delete failed: %s", dr.Data)
+	}
+	data, rr := tc.read(t, tc.leaderAddr(), 100, eid, off, 10)
+	if rr.ResultCode != proto.ResultOK || !bytes.Equal(data, make([]byte, 10)) {
+		t.Fatalf("holed range = %q rc=%d", data, rr.ResultCode)
+	}
+}
+
+func TestFollowerFailureReportedAndWriteFails(t *testing.T) {
+	tc := startCluster(t, 3)
+	tc.createPartition(t, 100)
+	eid := tc.createExtent(t, 100)
+	tc.append(t, 100, eid, []byte("before"))
+
+	tc.nw.Partition(tc.addrs[2])
+	pkt := proto.NewPacket(proto.OpDataAppend, 40, 100, eid, []byte("after"))
+	var resp proto.Packet
+	if err := tc.nw.Call(tc.leaderAddr(), uint8(proto.OpDataAppend), pkt, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.ResultCode == proto.ResultOK {
+		t.Fatal("append succeeded with unreachable follower (primary-backup requires all)")
+	}
+	// Committed never advanced past the earlier write.
+	p := tc.nodes[0].Partition(100)
+	if got := p.committedOf(eid); got != 6 {
+		t.Fatalf("committed = %d, want 6", got)
+	}
+}
+
+func TestAlignReplicasCatchesUpLaggingFollower(t *testing.T) {
+	tc := startCluster(t, 3)
+	tc.createPartition(t, 100)
+	eid := tc.createExtent(t, 100)
+	tc.append(t, 100, eid, []byte("committed-data-"))
+
+	// Partition follower 2; writes now fail but leader + follower 1 hold
+	// more data than follower 2 (stale tail allowed, never served).
+	tc.nw.Partition(tc.addrs[2])
+	pkt := proto.NewPacket(proto.OpDataAppend, 50, 100, eid, []byte("tail"))
+	var resp proto.Packet
+	tc.nw.Call(tc.leaderAddr(), uint8(proto.OpDataAppend), pkt, &resp)
+
+	tc.nw.Heal(tc.addrs[2])
+	leaderP := tc.nodes[0].Partition(100)
+	shipped, err := leaderP.AlignReplicas(tc.addrs[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shipped == 0 {
+		t.Fatal("alignment shipped nothing to the lagging follower")
+	}
+	// Follower 2 now serves the leader's local watermark worth of data.
+	data, rr := tc.read(t, tc.addrs[2], 100, eid, 0, 19)
+	if rr.ResultCode != proto.ResultOK || string(data) != "committed-data-tail" {
+		t.Fatalf("aligned follower read = %q rc=%d", data, rr.ResultCode)
+	}
+}
+
+func TestCreatePartitionDuplicate(t *testing.T) {
+	tc := startCluster(t, 1)
+	tc.createPartition(t, 7)
+	err := tc.nodes[0].CreatePartition(&proto.CreateDataPartitionReq{
+		PartitionID: 7, Volume: "vol", Members: tc.addrs,
+	})
+	if !errors.Is(err, util.ErrExist) {
+		t.Fatalf("duplicate partition: %v", err)
+	}
+}
+
+func TestSingleReplicaPartitionWorks(t *testing.T) {
+	tc := startCluster(t, 1)
+	tc.createPartition(t, 7)
+	eid := tc.createExtent(t, 7)
+	tc.append(t, 7, eid, []byte("solo"))
+	data, rr := tc.read(t, tc.addrs[0], 7, eid, 0, 4)
+	if rr.ResultCode != proto.ResultOK || string(data) != "solo" {
+		t.Fatalf("single replica read = %q", data)
+	}
+}
+
+func TestNodeStatsAndHeartbeat(t *testing.T) {
+	tc := startCluster(t, 3)
+	tc.createPartition(t, 100)
+	eid := tc.createExtent(t, 100)
+	tc.append(t, 100, eid, []byte("0123456789"))
+	if tc.nodes[0].PartitionCount() != 1 {
+		t.Fatalf("PartitionCount = %d", tc.nodes[0].PartitionCount())
+	}
+	if tc.nodes[0].Used() != 10 {
+		t.Fatalf("Used = %d", tc.nodes[0].Used())
+	}
+	tc.nodes[0].SendHeartbeat() // must not panic or error
+}
+
+func TestUnknownPartitionRejected(t *testing.T) {
+	tc := startCluster(t, 1)
+	pkt := proto.NewPacket(proto.OpDataRead, 1, 999, 1, make([]byte, 4))
+	var resp proto.Packet
+	err := tc.nw.Call(tc.addrs[0], uint8(proto.OpDataRead), pkt, &resp)
+	if !errors.Is(err, util.ErrNotFound) {
+		t.Fatalf("unknown partition: %v", err)
+	}
+}
+
+func TestPartitionFullGoesReadOnly(t *testing.T) {
+	nw := transport.NewMemory()
+	startFakeMaster(t, nw, "master")
+	dn, err := Start(nw, Config{
+		Addr: "solo", MasterAddr: "master", Dir: t.TempDir(),
+		DisableHeartbeat: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(dn.Close)
+	if err := dn.CreatePartition(&proto.CreateDataPartitionReq{
+		PartitionID: 1, Volume: "v", Capacity: 8, Members: []string{"solo"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	pkt := proto.NewPacket(proto.OpDataAppend, 1, 1, 0, []byte("12345678"))
+	var resp proto.Packet
+	if err := nw.Call("solo", uint8(proto.OpDataAppend), pkt, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.ResultCode != proto.ResultOK {
+		t.Fatalf("first write failed: %s", resp.Data)
+	}
+	// Next write exceeds capacity and must flip the partition read-only.
+	pkt2 := proto.NewPacket(proto.OpDataAppend, 2, 1, 0, []byte("x"))
+	var resp2 proto.Packet
+	if err := nw.Call("solo", uint8(proto.OpDataAppend), pkt2, &resp2); err != nil {
+		t.Fatal(err)
+	}
+	if resp2.ResultCode == proto.ResultOK {
+		t.Fatal("write beyond capacity accepted")
+	}
+	if dn.Partition(1).Status() != proto.PartitionReadOnly {
+		t.Fatalf("partition status = %v", dn.Partition(1).Status())
+	}
+}

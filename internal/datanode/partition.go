@@ -1,0 +1,451 @@
+package datanode
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"cfs/internal/proto"
+	"cfs/internal/raft"
+	"cfs/internal/storage"
+	"cfs/internal/util"
+)
+
+// Partition is one data partition: an extent store plus the two
+// replication protocols of Section 2.2.4.
+//
+//   - Sequential writes (appends) use primary-backup replication: the
+//     replica array order from the resource manager is the replication
+//     order, Members[0] is the leader, and a write is committed once every
+//     replica has acknowledged it (Figure 4).
+//   - Overwrites replicate through the partition's Raft group (Figure 5),
+//     accepting Raft's write amplification because overwrites are rare.
+//
+// During sequential writes, stale tails are allowed on replicas as long as
+// they are never returned to a client: the leader tracks, per extent, the
+// offset committed by ALL replicas and only exposes that (Section 2.2.5).
+type Partition struct {
+	ID       uint64
+	Volume   string
+	Members  []string // replication order; Members[0] is the leader
+	Capacity uint64
+
+	node  *DataNode
+	store *storage.ExtentStore
+	raft  *raft.Node
+
+	mu        sync.Mutex
+	committed map[uint64]uint64 // extent id -> all-replica committed offset
+	status    proto.PartitionStatus
+}
+
+// isLeader reports whether this node is the partition's primary-backup
+// leader (the first entry of the replica array).
+func (p *Partition) isLeader() bool {
+	return len(p.Members) > 0 && p.Members[0] == p.node.addr
+}
+
+// followers returns every member except this node.
+func (p *Partition) followers() []string {
+	out := make([]string, 0, len(p.Members)-1)
+	for _, m := range p.Members {
+		if m != p.node.addr {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Status returns the partition's current lifecycle state.
+func (p *Partition) Status() proto.PartitionStatus {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.status
+}
+
+func (p *Partition) setStatus(s proto.PartitionStatus) {
+	p.mu.Lock()
+	p.status = s
+	p.mu.Unlock()
+}
+
+// Used returns the bytes stored in the partition's extent store.
+func (p *Partition) Used() uint64 { return p.store.Used() }
+
+// ExtentCount returns the number of extents in the partition.
+func (p *Partition) ExtentCount() int { return p.store.ExtentCount() }
+
+// committedOf returns the all-replica committed offset for an extent.
+func (p *Partition) committedOf(extentID uint64) uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.committed[extentID]
+}
+
+func (p *Partition) advanceCommitted(extentID, end uint64) {
+	p.mu.Lock()
+	if end > p.committed[extentID] {
+		p.committed[extentID] = end
+	}
+	p.mu.Unlock()
+}
+
+// checkWritable fails writes once the partition is read-only or full
+// (Section 2.3.1: a full partition can still be modified, not extended).
+func (p *Partition) checkWritable() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.status != proto.PartitionReadWrite {
+		return fmt.Errorf("datanode: partition %d: %w", p.ID, util.ErrReadOnly)
+	}
+	if p.Capacity > 0 && p.store.Used() >= p.Capacity {
+		p.status = proto.PartitionReadOnly
+		return fmt.Errorf("datanode: partition %d: %w", p.ID, util.ErrFull)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Create extent (leader assigns the id, then fans out).
+
+func (p *Partition) handleCreateExtent(pkt *proto.Packet) (*proto.Packet, error) {
+	if pkt.ResultCode == resultHopFollower {
+		// Follower hop: create the extent the leader assigned.
+		if err := p.store.Create(pkt.ExtentID); err != nil {
+			return pkt.ErrResponse(proto.ResultErrIO, err.Error()), nil
+		}
+		return pkt.OKResponse(nil), nil
+	}
+	// Leader hop: allocate an id, create locally, forward.
+	if !p.isLeader() {
+		return pkt.ErrResponse(proto.ResultErrNotLeader, "not primary"), nil
+	}
+	if err := p.checkWritable(); err != nil {
+		return pkt.ErrResponse(proto.ResultErrIO, err.Error()), nil
+	}
+	id := p.store.NextID()
+	if err := p.store.Create(id); err != nil {
+		return pkt.ErrResponse(proto.ResultErrIO, err.Error()), nil
+	}
+	fwd := &proto.Packet{
+		Op:          proto.OpDataCreateExtent,
+		ResultCode:  resultHopFollower,
+		ReqID:       pkt.ReqID,
+		PartitionID: p.ID,
+		ExtentID:    id,
+	}
+	for _, f := range p.followers() {
+		var resp proto.Packet
+		if err := p.node.nw.Call(f, uint8(proto.OpDataCreateExtent), fwd, &resp); err != nil {
+			p.reportFailure(f)
+			return pkt.ErrResponse(proto.ResultErrIO, err.Error()), nil
+		}
+		if resp.ResultCode != proto.ResultOK {
+			return pkt.ErrResponse(resp.ResultCode, string(resp.Data)), nil
+		}
+	}
+	out := pkt.OKResponse(nil)
+	out.ExtentID = id
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Sequential write: primary-backup replication (Figure 4).
+
+func (p *Partition) handleAppend(pkt *proto.Packet) (*proto.Packet, error) {
+	if !pkt.VerifyCRC() {
+		return pkt.ErrResponse(proto.ResultErrCRC, "payload crc mismatch"), nil
+	}
+	if pkt.ResultCode == resultHopFollower {
+		return p.followerAppend(pkt)
+	}
+	return p.leaderAppend(pkt)
+}
+
+// resultHopFollower in a request's ResultCode marks a forwarded
+// (leader -> follower) hop; requests from clients carry ResultOK.
+const resultHopFollower uint8 = 0xF7
+
+func (p *Partition) leaderAppend(pkt *proto.Packet) (*proto.Packet, error) {
+	if !p.isLeader() {
+		return pkt.ErrResponse(proto.ResultErrNotLeader, "not primary"), nil
+	}
+	if err := p.checkWritable(); err != nil {
+		return pkt.ErrResponse(proto.ResultErrIO, err.Error()), nil
+	}
+
+	var extentID, off uint64
+	var err error
+	small := pkt.ExtentID == 0
+	if small {
+		// Small file: aggregate into the shared extent (Section 2.2.3).
+		extentID, off, err = p.store.AppendSmallFile(pkt.Data)
+	} else {
+		extentID = pkt.ExtentID
+		off, err = p.store.Append(extentID, pkt.Data)
+	}
+	if err != nil {
+		return pkt.ErrResponse(proto.ResultErrIO, err.Error()), nil
+	}
+
+	// Forward in replica-array order; all must ack before commit.
+	fwd := &proto.Packet{
+		Op:           pkt.Op,
+		ResultCode:   resultHopFollower,
+		ReqID:        pkt.ReqID,
+		PartitionID:  p.ID,
+		ExtentID:     extentID,
+		ExtentOffset: off,
+		FileOffset:   pkt.FileOffset,
+		CRC:          pkt.CRC,
+		Data:         pkt.Data,
+	}
+	if small {
+		fwd.FileOffset = smallFileMarker
+	}
+	for _, f := range p.followers() {
+		var resp proto.Packet
+		if err := p.node.nw.Call(f, uint8(pkt.Op), fwd, &resp); err != nil {
+			p.reportFailure(f)
+			return pkt.ErrResponse(proto.ResultErrIO, err.Error()), nil
+		}
+		if resp.ResultCode != proto.ResultOK {
+			return pkt.ErrResponse(resp.ResultCode, string(resp.Data)), nil
+		}
+	}
+	end := off + uint64(len(pkt.Data))
+	p.advanceCommitted(extentID, end)
+
+	out := pkt.OKResponse(nil)
+	out.ExtentID = extentID
+	out.ExtentOffset = off
+	return out, nil
+}
+
+// smallFileMarker in FileOffset tells a follower hop to use the small-file
+// write path (extent created on demand).
+const smallFileMarker = ^uint64(0)
+
+func (p *Partition) followerAppend(pkt *proto.Packet) (*proto.Packet, error) {
+	var err error
+	if pkt.FileOffset == smallFileMarker {
+		err = p.store.SmallFileAt(pkt.ExtentID, pkt.ExtentOffset, pkt.Data)
+	} else {
+		err = p.store.AppendAt(pkt.ExtentID, pkt.ExtentOffset, pkt.Data)
+	}
+	if err != nil {
+		return pkt.ErrResponse(proto.ResultErrIO, err.Error()), nil
+	}
+	return pkt.OKResponse(nil), nil
+}
+
+// ---------------------------------------------------------------------------
+// Overwrite: Raft replication (Figure 5).
+
+// overwriteCmd is the Raft log payload for in-place writes:
+// extentID(8) offset(8) data.
+func encodeOverwrite(extentID, off uint64, data []byte) []byte {
+	buf := make([]byte, 16+len(data))
+	binary.BigEndian.PutUint64(buf[0:], extentID)
+	binary.BigEndian.PutUint64(buf[8:], off)
+	copy(buf[16:], data)
+	return buf
+}
+
+func decodeOverwrite(cmd []byte) (extentID, off uint64, data []byte, err error) {
+	if len(cmd) < 16 {
+		return 0, 0, nil, fmt.Errorf("datanode: overwrite cmd of %d bytes: %w", len(cmd), util.ErrInvalidArgument)
+	}
+	return binary.BigEndian.Uint64(cmd[0:]), binary.BigEndian.Uint64(cmd[8:]), cmd[16:], nil
+}
+
+func (p *Partition) handleOverwrite(pkt *proto.Packet) (*proto.Packet, error) {
+	if !pkt.VerifyCRC() {
+		return pkt.ErrResponse(proto.ResultErrCRC, "payload crc mismatch"), nil
+	}
+	// Any replica can receive the request, but only the Raft leader can
+	// propose; others redirect the client.
+	if p.raft == nil || !p.raft.IsLeader() {
+		return pkt.ErrResponse(proto.ResultErrNotLeader, "not raft leader"), nil
+	}
+	if _, err := p.raft.Propose(encodeOverwrite(pkt.ExtentID, pkt.ExtentOffset, pkt.Data)); err != nil {
+		return pkt.ErrResponse(proto.ResultErrIO, err.Error()), nil
+	}
+	return pkt.OKResponse(nil), nil
+}
+
+// partitionSM applies committed overwrite commands to the extent store.
+type partitionSM struct {
+	p *Partition
+}
+
+// Apply implements raft.StateMachine.
+func (sm *partitionSM) Apply(index uint64, cmd []byte) (any, error) {
+	extentID, off, data, err := decodeOverwrite(cmd)
+	if err != nil {
+		return nil, err
+	}
+	if err := sm.p.store.WriteAt(extentID, off, data); err != nil {
+		// A replica missing the extent tail cannot apply; surfacing the
+		// error fails the proposal on the leader, which is correct: the
+		// client retries and recovery realigns the replica.
+		return nil, err
+	}
+	return nil, nil
+}
+
+// Snapshot implements raft.StateMachine. Data partitions snapshot only the
+// overwrite high-water mark: extents themselves are already on disk, and a
+// replica that falls behind is realigned by the primary-backup recovery
+// pass that precedes Raft recovery (Section 2.2.5), so the snapshot carries
+// no bulk data.
+func (sm *partitionSM) Snapshot() ([]byte, error) { return []byte("dp-snap"), nil }
+
+// Restore implements raft.StateMachine.
+func (sm *partitionSM) Restore(data []byte) error { return nil }
+
+// ---------------------------------------------------------------------------
+// Read (Section 2.7.4).
+
+func (p *Partition) handleRead(pkt *proto.Packet) (*proto.Packet, error) {
+	length := binary.BigEndian.Uint32(pkt.Data)
+	buf, err := p.store.ReadAt(pkt.ExtentID, pkt.ExtentOffset, length)
+	if err != nil {
+		return pkt.ErrResponse(proto.ResultErrIO, err.Error()), nil
+	}
+	return pkt.OKResponse(buf), nil
+}
+
+// ---------------------------------------------------------------------------
+// Delete / punch hole (Sections 2.2.3, 2.7.3).
+
+func (p *Partition) handleMarkDelete(pkt *proto.Packet) (*proto.Packet, error) {
+	apply := func() error {
+		if pkt.ExtentOffset == 0 && binary.BigEndian.Uint64(pkt.Data) == 0 {
+			return p.store.Delete(pkt.ExtentID)
+		}
+		length := binary.BigEndian.Uint64(pkt.Data)
+		return p.store.PunchHole(pkt.ExtentID, pkt.ExtentOffset, length)
+	}
+	if pkt.ResultCode == resultHopFollower {
+		if err := apply(); err != nil {
+			return pkt.ErrResponse(proto.ResultErrIO, err.Error()), nil
+		}
+		return pkt.OKResponse(nil), nil
+	}
+	if !p.isLeader() {
+		return pkt.ErrResponse(proto.ResultErrNotLeader, "not primary"), nil
+	}
+	if err := apply(); err != nil {
+		return pkt.ErrResponse(proto.ResultErrIO, err.Error()), nil
+	}
+	// Deletes are asynchronous and best-effort on followers; a missed
+	// delete leaves garbage that the next alignment pass clears.
+	fwd := *pkt
+	fwd.ResultCode = resultHopFollower
+	fwd.Followers = nil
+	for _, f := range p.followers() {
+		go func(addr string, pkt proto.Packet) {
+			var resp proto.Packet
+			_ = p.node.nw.Call(addr, uint8(pkt.Op), &pkt, &resp)
+		}(f, fwd)
+	}
+	return pkt.OKResponse(nil), nil
+}
+
+// ---------------------------------------------------------------------------
+// Failure recovery (Section 2.2.5): first align extents (primary-backup
+// recovery), then let Raft recovery proceed on its own.
+
+// AlignReplicas pushes missing extent tails from this (leader) replica to
+// the given follower so that every extent's watermark matches the leader's
+// committed offset. Returns the number of bytes shipped.
+func (p *Partition) AlignReplicas(follower string) (uint64, error) {
+	if !p.isLeader() {
+		return 0, util.ErrNotLeader
+	}
+	var infoResp proto.ExtentInfoResp
+	err := p.node.nw.Call(follower, uint8(proto.OpDataExtentInfo),
+		&proto.ExtentInfoReq{PartitionID: p.ID}, &infoResp)
+	if err != nil {
+		return 0, err
+	}
+	remote := make(map[uint64]uint64, len(infoResp.Extents))
+	for _, e := range infoResp.Extents {
+		remote[e.ID] = e.Size
+	}
+	var shipped uint64
+	for _, info := range p.store.Infos() {
+		// Align to the leader's local watermark. A tail past the old
+		// committed offset is "stale data" in the paper's sense - never
+		// served to clients - but alignment may legitimately promote it:
+		// once every replica stores it, it is committed by definition.
+		target := info.Size
+		have := remote[info.ID]
+		for have < target {
+			chunk := util.MinU64(target-have, 128*util.KB)
+			data, err := p.store.ReadAt(info.ID, have, uint32(chunk))
+			if err != nil {
+				return shipped, err
+			}
+			pkt := &proto.Packet{
+				Op:           proto.OpDataAppend,
+				ResultCode:   resultHopFollower,
+				PartitionID:  p.ID,
+				ExtentID:     info.ID,
+				ExtentOffset: have,
+				CRC:          util.CRC(data),
+				Data:         data,
+			}
+			var resp proto.Packet
+			if err := p.node.nw.Call(follower, uint8(proto.OpDataAppend), pkt, &resp); err != nil {
+				return shipped, err
+			}
+			if resp.ResultCode != proto.ResultOK {
+				return shipped, fmt.Errorf("datanode: align extent %d: %s", info.ID, resp.Data)
+			}
+			have += chunk
+			shipped += chunk
+		}
+	}
+	return shipped, nil
+}
+
+// Recover runs the full failure-recovery sequence of Section 2.2.5 on the
+// leader: first the primary-backup pass aligns every follower's extents,
+// then the committed offsets advance to the aligned watermark (Raft
+// recovery for the overwrite path proceeds on its own through snapshot
+// installation). Returns total bytes shipped.
+func (p *Partition) Recover() (uint64, error) {
+	if !p.isLeader() {
+		return 0, util.ErrNotLeader
+	}
+	var shipped uint64
+	for _, f := range p.followers() {
+		n, err := p.AlignReplicas(f)
+		shipped += n
+		if err != nil {
+			return shipped, err
+		}
+	}
+	for _, info := range p.store.Infos() {
+		p.advanceCommitted(info.ID, info.Size)
+	}
+	return shipped, nil
+}
+
+func (p *Partition) handleExtentInfo(req *proto.ExtentInfoReq) (*proto.ExtentInfoResp, error) {
+	infos := p.store.Infos()
+	out := &proto.ExtentInfoResp{Extents: make([]proto.ExtentSummary, len(infos))}
+	for i, e := range infos {
+		out.Extents[i] = proto.ExtentSummary{ID: e.ID, Size: e.Size, CRC: e.CRC, Holed: e.Holed}
+	}
+	return out, nil
+}
+
+func (p *Partition) reportFailure(addr string) {
+	go func() {
+		_ = p.node.nw.Call(p.node.masterAddr, uint8(proto.OpMasterReportFailure),
+			&proto.ReportFailureReq{PartitionID: p.ID, Addr: addr}, nil)
+	}()
+}

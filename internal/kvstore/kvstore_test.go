@@ -1,0 +1,306 @@
+package kvstore
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"cfs/internal/util"
+)
+
+func openTemp(t *testing.T) (*Store, string) {
+	t.Helper()
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, dir
+}
+
+func TestPutGetDelete(t *testing.T) {
+	s, _ := openTemp(t)
+	defer s.Close()
+	if err := s.Put("a", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.Get("a")
+	if err != nil || string(v) != "1" {
+		t.Fatalf("Get = %q, %v", v, err)
+	}
+	if !s.Has("a") || s.Has("b") {
+		t.Fatal("Has wrong")
+	}
+	if err := s.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("a"); !errors.Is(err, util.ErrNotFound) {
+		t.Fatalf("deleted key still readable: %v", err)
+	}
+	if err := s.Delete("never-existed"); err != nil {
+		t.Fatalf("deleting missing key errored: %v", err)
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	s, _ := openTemp(t)
+	defer s.Close()
+	s.Put("k", []byte("abc"))
+	v, _ := s.Get("k")
+	v[0] = 'X'
+	v2, _ := s.Get("k")
+	if string(v2) != "abc" {
+		t.Fatalf("internal state mutated through Get result: %q", v2)
+	}
+}
+
+func TestPutCopiesInput(t *testing.T) {
+	s, _ := openTemp(t)
+	defer s.Close()
+	buf := []byte("abc")
+	s.Put("k", buf)
+	buf[0] = 'X'
+	v, _ := s.Get("k")
+	if string(v) != "abc" {
+		t.Fatalf("store aliased caller buffer: %q", v)
+	}
+}
+
+func TestPersistenceAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		s.Put(fmt.Sprintf("key%03d", i), []byte(fmt.Sprintf("val%d", i)))
+	}
+	s.Delete("key050")
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 99 {
+		t.Fatalf("reopened Len = %d, want 99", s2.Len())
+	}
+	v, err := s2.Get("key007")
+	if err != nil || string(v) != "val7" {
+		t.Fatalf("key007 = %q, %v", v, err)
+	}
+	if s2.Has("key050") {
+		t.Fatal("deleted key came back after reopen")
+	}
+}
+
+func TestSnapshotCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		s.Put("k", []byte(fmt.Sprintf("%d", i))) // same key overwritten
+	}
+	if s.WALRecords() != 500 {
+		t.Fatalf("WALRecords = %d", s.WALRecords())
+	}
+	if err := s.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if s.WALRecords() != 0 {
+		t.Fatalf("WAL not truncated: %d records", s.WALRecords())
+	}
+	wfi, err := os.Stat(filepath.Join(dir, walName))
+	if err != nil || wfi.Size() != 0 {
+		t.Fatalf("wal file not empty after snapshot: %v %d", err, wfi.Size())
+	}
+	s.Put("k2", []byte("after-snap"))
+	s.Close()
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	v, _ := s2.Get("k")
+	if string(v) != "499" {
+		t.Fatalf("k = %q after snapshot+reopen", v)
+	}
+	v2, _ := s2.Get("k2")
+	if string(v2) != "after-snap" {
+		t.Fatalf("k2 = %q after snapshot+reopen", v2)
+	}
+}
+
+func TestTornTailRecordIgnored(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir, Options{})
+	s.Put("good", []byte("value"))
+	s.Close()
+
+	// Append garbage to simulate a crash mid-record.
+	f, err := os.OpenFile(filepath.Join(dir, walName), os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{recPut, 0, 0, 0, 5, 0, 0}) // truncated header
+	f.Close()
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("open with torn tail failed: %v", err)
+	}
+	defer s2.Close()
+	v, err := s2.Get("good")
+	if err != nil || string(v) != "value" {
+		t.Fatalf("intact record lost: %q %v", v, err)
+	}
+}
+
+func TestCorruptRecordStopsReplay(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir, Options{})
+	s.Put("a", []byte("1"))
+	s.Put("b", []byte("2"))
+	s.Close()
+
+	// Flip a byte in the middle of the WAL (in record b's value).
+	path := filepath.Join(dir, walName)
+	data, _ := os.ReadFile(path)
+	data[len(data)-5] ^= 0xFF
+	os.WriteFile(path, data, 0o644)
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	// Record a is before the corruption and must survive.
+	if _, err := s2.Get("a"); err != nil {
+		t.Fatalf("record before corruption lost: %v", err)
+	}
+}
+
+func TestScanPrefixOrdered(t *testing.T) {
+	s, _ := openTemp(t)
+	defer s.Close()
+	s.Put("vol/b", []byte("2"))
+	s.Put("vol/a", []byte("1"))
+	s.Put("node/x", []byte("9"))
+	s.Put("vol/c", []byte("3"))
+	var keys []string
+	s.Scan("vol/", func(k string, v []byte) bool {
+		keys = append(keys, k)
+		return true
+	})
+	if len(keys) != 3 || keys[0] != "vol/a" || keys[1] != "vol/b" || keys[2] != "vol/c" {
+		t.Fatalf("Scan = %v", keys)
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	s, _ := openTemp(t)
+	defer s.Close()
+	for i := 0; i < 10; i++ {
+		s.Put(fmt.Sprintf("k%d", i), nil)
+	}
+	count := 0
+	s.Scan("", func(k string, v []byte) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func TestClosedStoreErrors(t *testing.T) {
+	s, _ := openTemp(t)
+	s.Close()
+	if err := s.Put("k", nil); !errors.Is(err, util.ErrClosed) {
+		t.Fatalf("Put after close: %v", err)
+	}
+	if _, err := s.Get("k"); !errors.Is(err, util.ErrClosed) {
+		t.Fatalf("Get after close: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestQuickDurabilityRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	prop := func(pairs map[string][]byte) bool {
+		dir, err := os.MkdirTemp("", "kvquick")
+		if err != nil {
+			return false
+		}
+		defer os.RemoveAll(dir)
+		s, err := Open(dir, Options{})
+		if err != nil {
+			return false
+		}
+		for k, v := range pairs {
+			if err := s.Put(k, v); err != nil {
+				return false
+			}
+		}
+		s.Close()
+		s2, err := Open(dir, Options{})
+		if err != nil {
+			return false
+		}
+		defer s2.Close()
+		if s2.Len() != len(pairs) {
+			return false
+		}
+		for k, v := range pairs {
+			got, err := s2.Get(k)
+			if err != nil || string(got) != string(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFsyncEveryOption(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{FsyncEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 10; i++ {
+		if err := s.Put(fmt.Sprintf("k%d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPut(b *testing.B) {
+	dir := b.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	val := make([]byte, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Put(fmt.Sprintf("key%d", i%10000), val)
+	}
+}

@@ -1,0 +1,702 @@
+// Package master implements the CFS resource manager (paper Sections 2,
+// 2.3): a replicated control-plane service that creates volumes, places
+// meta and data partitions on the least-utilized nodes, splits meta
+// partitions per Algorithm 1, tracks node liveness and utilization via
+// heartbeats, and marks partitions read-only or unavailable on failures.
+//
+// The manager's own state replicates through a Raft group across its
+// replicas and persists to a key-value store (the paper uses RocksDB; this
+// reproduction uses internal/kvstore) for backup and recovery.
+package master
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"cfs/internal/kvstore"
+	"cfs/internal/proto"
+	"cfs/internal/raft"
+	"cfs/internal/raftstore"
+	"cfs/internal/transport"
+	"cfs/internal/util"
+)
+
+// masterGroupID is the reserved Raft group id for the manager replicas.
+const masterGroupID = 1
+
+// Config configures a Master replica.
+type Config struct {
+	// Addr is this replica's transport address.
+	Addr string
+	// Peers lists every master replica (including Addr). Single-element
+	// for an unreplicated manager.
+	Peers []string
+	// Dir is the kvstore directory. Empty disables disk persistence.
+	Dir string
+	// ReplicaCount is replicas per partition. Zero means min(3, nodes).
+	ReplicaCount int
+	// RaftSetSize groups nodes into raft sets (Section 2.5.1). Zero
+	// means 5.
+	RaftSetSize int
+	// MetaPartitionInodeLimit triggers Algorithm 1 splitting once a meta
+	// partition's inode count crosses it. Zero means 1<<20.
+	MetaPartitionInodeLimit uint64
+	// SplitDelta is Algorithm 1's delta added past maxInodeID when
+	// cutting the range. Zero means 1<<16.
+	SplitDelta uint64
+	// DataPartitionCapacity is the per-partition byte capacity handed to
+	// data nodes. Zero means 1 GB.
+	DataPartitionCapacity uint64
+	// FailureThreshold marks a partition unavailable after this many
+	// failure reports (Section 2.3.3). Zero means 3.
+	FailureThreshold int
+	// CheckInterval is the background scan period for splitting and
+	// capacity expansion. Zero means 500ms.
+	CheckInterval time.Duration
+	// Raft tunes the manager's own consensus group.
+	Raft raftstore.Config
+	// DisableBackground turns off the split/expansion scanner (tests
+	// invoke CheckOnce directly).
+	DisableBackground bool
+}
+
+// Master is one resource-manager replica.
+type Master struct {
+	cfg Config
+	nw  transport.Network
+
+	raftStore *raftstore.Store
+	node      *raft.Node
+	kv        *kvstore.Store
+
+	mu    sync.Mutex
+	state *clusterState
+	soft  *softState
+	// nextAlloc is the leader-local partition-id allocation cursor. It
+	// always runs at or ahead of state.NextID (the replicated watermark),
+	// so concurrent placements never hand out the same id.
+	nextAlloc uint64
+
+	ln    transport.Listener
+	stopc chan struct{}
+	wg    sync.WaitGroup
+}
+
+// Start launches a master replica and binds its address.
+func Start(nw transport.Network, cfg Config) (*Master, error) {
+	if cfg.Addr == "" {
+		return nil, fmt.Errorf("master: %w: Addr required", util.ErrInvalidArgument)
+	}
+	if len(cfg.Peers) == 0 {
+		cfg.Peers = []string{cfg.Addr}
+	}
+	if cfg.RaftSetSize == 0 {
+		cfg.RaftSetSize = 5
+	}
+	if cfg.MetaPartitionInodeLimit == 0 {
+		cfg.MetaPartitionInodeLimit = 1 << 20
+	}
+	if cfg.SplitDelta == 0 {
+		cfg.SplitDelta = 1 << 16
+	}
+	if cfg.DataPartitionCapacity == 0 {
+		cfg.DataPartitionCapacity = util.GB
+	}
+	if cfg.FailureThreshold == 0 {
+		cfg.FailureThreshold = 3
+	}
+	if cfg.CheckInterval == 0 {
+		cfg.CheckInterval = 500 * time.Millisecond
+	}
+	m := &Master{
+		cfg:   cfg,
+		nw:    nw,
+		state: newClusterState(),
+		soft:  newSoftState(),
+		stopc: make(chan struct{}),
+	}
+	if cfg.Dir != "" {
+		kv, err := kvstore.Open(cfg.Dir, kvstore.Options{})
+		if err != nil {
+			return nil, err
+		}
+		m.kv = kv
+		if data, err := kv.Get("state"); err == nil {
+			if err := m.state.restore(data); err != nil {
+				kv.Close()
+				return nil, fmt.Errorf("master: corrupt persisted state: %w", err)
+			}
+		}
+	}
+	m.raftStore = raftstore.New(cfg.Addr, nw, cfg.Raft)
+	node, err := m.raftStore.CreateGroup(masterGroupID, cfg.Peers, (*masterSM)(m))
+	if err != nil {
+		m.closeStores()
+		return nil, err
+	}
+	m.node = node
+	if cfg.Peers[0] == cfg.Addr {
+		node.Campaign()
+	}
+	ln, err := nw.Listen(cfg.Addr, m.handle)
+	if err != nil {
+		node.Stop()
+		m.closeStores()
+		return nil, err
+	}
+	m.ln = ln
+	if !cfg.DisableBackground {
+		m.wg.Add(1)
+		go m.backgroundLoop()
+	}
+	return m, nil
+}
+
+func (m *Master) closeStores() {
+	m.raftStore.Close()
+	if m.kv != nil {
+		m.kv.Close()
+	}
+}
+
+// Addr returns this replica's address.
+func (m *Master) Addr() string { return m.cfg.Addr }
+
+// IsLeader reports whether this replica leads the manager group.
+func (m *Master) IsLeader() bool { return m.node.IsLeader() }
+
+// WaitLeader blocks until some replica (possibly another process) is known
+// leader locally, or the timeout passes. Returns true on success.
+func (m *Master) WaitLeader(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if st := m.node.Status(); st.Leader != "" {
+			return true
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return false
+}
+
+// Close stops the replica.
+func (m *Master) Close() {
+	select {
+	case <-m.stopc:
+		return
+	default:
+	}
+	close(m.stopc)
+	m.wg.Wait()
+	m.persist()
+	m.raftStore.Close()
+	if m.kv != nil {
+		m.kv.Close()
+	}
+	if m.ln != nil {
+		m.ln.Close()
+	}
+}
+
+func (m *Master) persist() {
+	if m.kv == nil {
+		return
+	}
+	m.mu.Lock()
+	data, err := m.state.snapshot()
+	m.mu.Unlock()
+	if err == nil {
+		_ = m.kv.Put("state", data)
+		_ = m.kv.Snapshot()
+	}
+}
+
+// masterSM adapts Master to raft.StateMachine.
+type masterSM Master
+
+// Apply implements raft.StateMachine.
+func (sm *masterSM) Apply(index uint64, data []byte) (any, error) {
+	c, err := decodeCommand(data)
+	if err != nil {
+		return nil, err
+	}
+	m := (*Master)(sm)
+	m.mu.Lock()
+	out, err := m.state.apply(c, m.cfg.RaftSetSize)
+	m.mu.Unlock()
+	if err == nil && m.kv != nil {
+		// Durable backup of the post-apply state (Section 2: "persisted
+		// to a key-value store ... for backup and recovery").
+		m.mu.Lock()
+		if data, serr := m.state.snapshot(); serr == nil {
+			_ = m.kv.Put("state", data)
+		}
+		m.mu.Unlock()
+	}
+	return out, err
+}
+
+// Snapshot implements raft.StateMachine.
+func (sm *masterSM) Snapshot() ([]byte, error) {
+	m := (*Master)(sm)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.state.snapshot()
+}
+
+// Restore implements raft.StateMachine.
+func (sm *masterSM) Restore(data []byte) error {
+	m := (*Master)(sm)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.state.restore(data)
+}
+
+func (m *Master) propose(c *command) (any, error) {
+	data, err := encodeCommand(c)
+	if err != nil {
+		return nil, err
+	}
+	return m.node.Propose(data)
+}
+
+// ---------------------------------------------------------------------------
+// RPC handlers.
+
+func (m *Master) handle(op uint8, req any) (any, error) {
+	switch proto.Op(op) {
+	case proto.OpRaftMessage:
+		batch, ok := req.(*raftstore.MessageBatch)
+		if !ok {
+			return nil, fmt.Errorf("master: %w: raft body %T", util.ErrInvalidArgument, req)
+		}
+		m.raftStore.HandleBatch(batch)
+		return &proto.HeartbeatResp{}, nil
+	case proto.OpMasterRegisterNode:
+		return m.handleRegister(req.(*proto.RegisterNodeReq))
+	case proto.OpMasterHeartbeat:
+		return m.handleHeartbeat(req.(*proto.HeartbeatReq))
+	case proto.OpMasterCreateVolume:
+		return m.handleCreateVolume(req.(*proto.CreateVolumeReq))
+	case proto.OpMasterGetVolume:
+		return m.handleGetVolume(req.(*proto.GetVolumeReq))
+	case proto.OpMasterReportFailure:
+		return m.handleReportFailure(req.(*proto.ReportFailureReq))
+	case proto.OpMasterClusterStats:
+		return m.handleClusterStats()
+	default:
+		return nil, fmt.Errorf("master: %w: op %d", util.ErrInvalidArgument, op)
+	}
+}
+
+func (m *Master) requireLeader() error {
+	if !m.node.IsLeader() {
+		return fmt.Errorf("master: %s: %w", m.cfg.Addr, util.ErrNotLeader)
+	}
+	return nil
+}
+
+func (m *Master) handleRegister(req *proto.RegisterNodeReq) (*proto.RegisterNodeResp, error) {
+	if err := m.requireLeader(); err != nil {
+		return nil, err
+	}
+	out, err := m.propose(&command{Kind: cmdRegisterNode, Node: &proto.NodeInfo{
+		Addr: req.Addr, IsMeta: req.IsMeta, Total: req.Total,
+	}})
+	if err != nil {
+		return nil, err
+	}
+	return &proto.RegisterNodeResp{RaftSet: out.(int)}, nil
+}
+
+func (m *Master) handleHeartbeat(req *proto.HeartbeatReq) (*proto.HeartbeatResp, error) {
+	// Heartbeats refresh soft state only; no Raft round trip.
+	m.mu.Lock()
+	m.soft.used[req.Addr] = req.Used
+	m.soft.lastHeartbeat[req.Addr] = time.Now()
+	for _, pr := range req.Partitions {
+		// Every replica reports each partition; the leader's view is
+		// authoritative (followers may lag a commit round and would
+		// otherwise understate MaxInodeID, breaking Algorithm 1's cut).
+		if prev, ok := m.soft.partStats[pr.PartitionID]; ok && prev.IsLeader && !pr.IsLeader {
+			continue
+		}
+		m.soft.partStats[pr.PartitionID] = pr
+	}
+	m.mu.Unlock()
+	return &proto.HeartbeatResp{}, nil
+}
+
+func (m *Master) handleCreateVolume(req *proto.CreateVolumeReq) (*proto.CreateVolumeResp, error) {
+	if err := m.requireLeader(); err != nil {
+		return nil, err
+	}
+	if req.Name == "" || req.MetaPartitionCount < 1 || req.DataPartitionCount < 1 {
+		return nil, fmt.Errorf("master: %w: bad volume spec", util.ErrInvalidArgument)
+	}
+	if _, err := m.propose(&command{Kind: cmdCreateVolume, VolumeName: req.Name, Capacity: req.Capacity}); err != nil {
+		return nil, err
+	}
+	// Carve the inode-id space across the initial meta partitions; the
+	// last one is unbounded (MaxUint64), mirroring the paper's split
+	// topology where ranges end at infinity.
+	const initialRange = uint64(1) << 24
+	start := uint64(1)
+	for i := 0; i < req.MetaPartitionCount; i++ {
+		end := ^uint64(0)
+		if i < req.MetaPartitionCount-1 {
+			end = start + initialRange - 1
+		}
+		if _, err := m.addMetaPartition(req.Name, start, end); err != nil {
+			return nil, err
+		}
+		start = end + 1
+	}
+	for i := 0; i < req.DataPartitionCount; i++ {
+		if _, err := m.addDataPartition(req.Name); err != nil {
+			return nil, err
+		}
+	}
+	view, err := m.viewOf(req.Name)
+	if err != nil {
+		return nil, err
+	}
+	// The first meta partition owns inode id 1: create the volume root.
+	if len(view.MetaPartitions) > 0 {
+		mp := view.MetaPartitions[0]
+		var resp proto.CreateInodeResp
+		if err := m.callMetaLeader(mp, uint8(proto.OpMetaCreateInode),
+			&proto.CreateInodeReq{PartitionID: mp.PartitionID, Type: proto.TypeDir}, &resp); err != nil {
+			return nil, fmt.Errorf("master: create volume root: %w", err)
+		}
+	}
+	return &proto.CreateVolumeResp{View: view}, nil
+}
+
+// callMetaLeader tries each member of a meta partition until one accepts
+// (the designated leader is first, so retries are rare).
+func (m *Master) callMetaLeader(mp proto.MetaPartitionInfo, op uint8, req, resp any) error {
+	var lastErr error
+	for attempt := 0; attempt < 10; attempt++ {
+		for _, addr := range mp.Members {
+			err := m.nw.Call(addr, op, req, resp)
+			if err == nil {
+				return nil
+			}
+			lastErr = err
+		}
+		time.Sleep(20 * time.Millisecond) // leader may still be electing
+	}
+	return lastErr
+}
+
+// addMetaPartition places and provisions a new meta partition.
+func (m *Master) addMetaPartition(volume string, start, end uint64) (*proto.MetaPartitionInfo, error) {
+	m.mu.Lock()
+	members, err := pickNodes(m.state, m.soft, true, m.replicaCountLocked(true))
+	id := m.allocPartitionIDLocked()
+	m.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	mp := &proto.MetaPartitionInfo{
+		PartitionID: id,
+		Volume:      volume,
+		Start:       start,
+		End:         end,
+		Members:     members,
+		LeaderAddr:  members[0],
+		Status:      proto.PartitionReadWrite,
+	}
+	// Provision on the nodes first, then commit the record; a failure
+	// leaves at most unused partitions on nodes, never a dangling record.
+	req := &proto.CreateMetaPartitionReq{
+		PartitionID: id, Volume: volume, Start: start, End: end, Members: members,
+	}
+	for _, addr := range members {
+		var resp proto.CreateMetaPartitionResp
+		if err := m.nw.Call(addr, uint8(proto.OpAdminCreateMetaPartition), req, &resp); err != nil {
+			return nil, fmt.Errorf("master: provision meta partition on %s: %w", addr, err)
+		}
+	}
+	if _, err := m.propose(&command{Kind: cmdAddMetaPartition, VolumeName: volume, MetaPartition: mp}); err != nil {
+		return nil, err
+	}
+	return mp, nil
+}
+
+// allocPartitionIDLocked hands out a partition id unique on this leader.
+// Caller holds m.mu.
+func (m *Master) allocPartitionIDLocked() uint64 {
+	if m.nextAlloc < m.state.NextID {
+		m.nextAlloc = m.state.NextID
+	}
+	id := m.nextAlloc
+	m.nextAlloc++
+	return id
+}
+
+func (m *Master) replicaCountLocked(isMeta bool) int {
+	if m.cfg.ReplicaCount > 0 {
+		return m.cfg.ReplicaCount
+	}
+	n := 0
+	for _, node := range m.state.Nodes {
+		if node.IsMeta == isMeta && node.Active {
+			n++
+		}
+	}
+	return util.Min(3, util.Max(n, 1))
+}
+
+// addDataPartition places and provisions a new data partition.
+func (m *Master) addDataPartition(volume string) (*proto.DataPartitionInfo, error) {
+	m.mu.Lock()
+	members, err := pickNodes(m.state, m.soft, false, m.replicaCountLocked(false))
+	id := m.allocPartitionIDLocked()
+	m.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	dp := &proto.DataPartitionInfo{
+		PartitionID: id,
+		Volume:      volume,
+		Members:     members,
+		LeaderAddr:  members[0],
+		Status:      proto.PartitionReadWrite,
+		Capacity:    m.cfg.DataPartitionCapacity,
+	}
+	req := &proto.CreateDataPartitionReq{
+		PartitionID: id, Volume: volume, Capacity: dp.Capacity, Members: members,
+	}
+	for _, addr := range members {
+		var resp proto.CreateDataPartitionResp
+		if err := m.nw.Call(addr, uint8(proto.OpAdminCreateDataPartition), req, &resp); err != nil {
+			return nil, fmt.Errorf("master: provision data partition on %s: %w", addr, err)
+		}
+	}
+	if _, err := m.propose(&command{Kind: cmdAddDataPartition, VolumeName: volume, DataPartition: dp}); err != nil {
+		return nil, err
+	}
+	return dp, nil
+}
+
+func (m *Master) handleGetVolume(req *proto.GetVolumeReq) (*proto.GetVolumeResp, error) {
+	m.mu.Lock()
+	v, ok := m.state.Volumes[req.Name]
+	if !ok {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("master: volume %q: %w", req.Name, util.ErrNotFound)
+	}
+	if req.Epoch != 0 && req.Epoch == v.Epoch {
+		m.mu.Unlock()
+		return &proto.GetVolumeResp{Unchanged: true}, nil
+	}
+	m.mu.Unlock()
+	view, err := m.viewOf(req.Name)
+	if err != nil {
+		return nil, err
+	}
+	return &proto.GetVolumeResp{View: view}, nil
+}
+
+func (m *Master) viewOf(name string) (*proto.VolumeView, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	v, ok := m.state.Volumes[name]
+	if !ok {
+		return nil, fmt.Errorf("master: volume %q: %w", name, util.ErrNotFound)
+	}
+	view := &proto.VolumeView{
+		Name:           name,
+		Epoch:          v.Epoch,
+		MetaPartitions: append([]proto.MetaPartitionInfo(nil), v.MetaPartitions...),
+		DataPartitions: append([]proto.DataPartitionInfo(nil), v.DataPartitions...),
+	}
+	// Refresh soft fields from heartbeat stats.
+	for i := range view.MetaPartitions {
+		if pr, ok := m.soft.partStats[view.MetaPartitions[i].PartitionID]; ok {
+			view.MetaPartitions[i].InodeCount = pr.InodeCount
+			view.MetaPartitions[i].MaxInodeID = pr.MaxInodeID
+		}
+	}
+	for i := range view.DataPartitions {
+		if pr, ok := m.soft.partStats[view.DataPartitions[i].PartitionID]; ok {
+			view.DataPartitions[i].Used = pr.Used
+			view.DataPartitions[i].ExtentCount = pr.ExtentCount
+			if pr.Status != proto.PartitionReadWrite &&
+				view.DataPartitions[i].Status == proto.PartitionReadWrite {
+				view.DataPartitions[i].Status = pr.Status
+			}
+		}
+	}
+	return view, nil
+}
+
+// handleReportFailure implements Section 2.3.3: on a replica timeout the
+// remaining replicas go read-only; repeated failures mark the partition
+// unavailable (manual migration territory).
+func (m *Master) handleReportFailure(req *proto.ReportFailureReq) (*proto.ReportFailureResp, error) {
+	if err := m.requireLeader(); err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	m.soft.failures[req.PartitionID]++
+	count := m.soft.failures[req.PartitionID]
+	var volume string
+	var isMeta bool
+	for _, v := range m.state.Volumes {
+		for _, mp := range v.MetaPartitions {
+			if mp.PartitionID == req.PartitionID {
+				volume, isMeta = v.Name, true
+			}
+		}
+		for _, dp := range v.DataPartitions {
+			if dp.PartitionID == req.PartitionID {
+				volume, isMeta = v.Name, false
+			}
+		}
+	}
+	m.mu.Unlock()
+	if volume == "" {
+		return nil, fmt.Errorf("master: partition %d: %w", req.PartitionID, util.ErrNotFound)
+	}
+	status := proto.PartitionReadOnly
+	if count >= m.cfg.FailureThreshold {
+		status = proto.PartitionUnavailable
+	}
+	if _, err := m.propose(&command{
+		Kind: cmdSetPartitionStatus, VolumeName: volume,
+		PartitionID: req.PartitionID, Status: status, IsMeta: isMeta,
+	}); err != nil {
+		return nil, err
+	}
+	return &proto.ReportFailureResp{}, nil
+}
+
+func (m *Master) handleClusterStats() (*proto.ClusterStatsResp, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	resp := &proto.ClusterStatsResp{}
+	for _, n := range m.state.Nodes {
+		info := *n
+		info.Used = m.soft.used[n.Addr]
+		info.LastHeartbeat = m.soft.lastHeartbeat[n.Addr]
+		if n.IsMeta {
+			resp.MetaNodes = append(resp.MetaNodes, info)
+		} else {
+			resp.DataNodes = append(resp.DataNodes, info)
+		}
+	}
+	for name, v := range m.state.Volumes {
+		resp.Volumes = append(resp.Volumes, name)
+		resp.MetaPartitions += len(v.MetaPartitions)
+		resp.DataPartitions += len(v.DataPartitions)
+	}
+	return resp, nil
+}
+
+// ---------------------------------------------------------------------------
+// Background maintenance: Algorithm 1 splitting + capacity expansion
+// (Section 2.3.1 "when the resource manager finds that all the partitions
+// in a volume is about to be full, it automatically adds a set of new
+// partitions").
+
+func (m *Master) backgroundLoop() {
+	defer m.wg.Done()
+	t := time.NewTicker(m.cfg.CheckInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.stopc:
+			return
+		case <-t.C:
+			if m.node.IsLeader() {
+				m.CheckOnce()
+			}
+		}
+	}
+}
+
+// CheckOnce runs one maintenance scan (exported for tests and the bench
+// harness). It splits meta partitions whose inode count crossed the limit
+// and expands volumes whose writable data partitions are nearly full.
+func (m *Master) CheckOnce() {
+	m.mu.Lock()
+	type splitTask struct {
+		volume string
+		mp     proto.MetaPartitionInfo
+		maxIno uint64
+	}
+	var splits []splitTask
+	type expandTask struct{ volume string }
+	var expands []expandTask
+	for _, v := range m.state.Volumes {
+		maxPartitionID := uint64(0)
+		for _, mp := range v.MetaPartitions {
+			if mp.PartitionID > maxPartitionID {
+				maxPartitionID = mp.PartitionID
+			}
+		}
+		for _, mp := range v.MetaPartitions {
+			pr, ok := m.soft.partStats[mp.PartitionID]
+			if !ok || mp.Status != proto.PartitionReadWrite {
+				continue
+			}
+			// Algorithm 1 guard: only the latest partition (the one
+			// with the unbounded range) splits.
+			if mp.PartitionID < maxPartitionID {
+				continue
+			}
+			if mp.End != ^uint64(0) {
+				continue
+			}
+			if pr.InodeCount >= m.cfg.MetaPartitionInodeLimit {
+				splits = append(splits, splitTask{volume: v.Name, mp: mp, maxIno: pr.MaxInodeID})
+			}
+		}
+		writable := 0
+		for _, dp := range v.DataPartitions {
+			pr, ok := m.soft.partStats[dp.PartitionID]
+			if dp.Status == proto.PartitionReadWrite &&
+				(!ok || pr.Used < dp.Capacity*9/10) {
+				writable++
+			}
+		}
+		if writable == 0 && len(v.DataPartitions) > 0 {
+			expands = append(expands, expandTask{volume: v.Name})
+		}
+	}
+	m.mu.Unlock()
+
+	for _, s := range splits {
+		_ = m.SplitMetaPartition(s.volume, s.mp, s.maxIno)
+	}
+	for _, e := range expands {
+		_, _ = m.addDataPartition(e.volume)
+	}
+}
+
+// SplitMetaPartition runs Algorithm 1 on one partition: cut the inode
+// range at maxInodeID+delta, sync the cut with the meta node, update the
+// record, and create the successor partition covering (end, MaxUint64].
+func (m *Master) SplitMetaPartition(volume string, mp proto.MetaPartitionInfo, maxInodeID uint64) error {
+	end := maxInodeID + m.cfg.SplitDelta
+	// Sync with the meta node first (Algorithm 1: addTask).
+	var resp proto.SplitMetaPartitionResp
+	if err := m.callMetaLeader(mp, uint8(proto.OpMetaSplitPartition),
+		&proto.SplitMetaPartitionReq{PartitionID: mp.PartitionID, End: end}, &resp); err != nil {
+		return err
+	}
+	// Update the original partition record (updateMetaPartition).
+	if _, err := m.propose(&command{
+		Kind: cmdCutMetaPartition, VolumeName: volume,
+		PartitionID: mp.PartitionID, End: end,
+	}); err != nil {
+		return err
+	}
+	// Create the successor covering [end+1, MaxUint64] on the
+	// least-utilized meta nodes (createMetaPartition).
+	_, err := m.addMetaPartition(volume, end+1, ^uint64(0))
+	return err
+}

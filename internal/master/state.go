@@ -1,0 +1,306 @@
+package master
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+	"time"
+
+	"cfs/internal/proto"
+	"cfs/internal/util"
+)
+
+// clusterState is the replicated, durable state of the resource manager:
+// registered nodes, volumes, and partition records. Soft state (utilization
+// and liveness from heartbeats) lives beside it on the leader and is NOT
+// replicated; it is reconstructed from heartbeats after failover.
+type clusterState struct {
+	Nodes       map[string]*proto.NodeInfo
+	Volumes     map[string]*volumeState
+	NextID      uint64 // next partition id
+	NextRaftSet int    // round-robin raft-set assignment cursor
+}
+
+// volumeState is a volume's partition membership.
+type volumeState struct {
+	Name           string
+	Capacity       uint64
+	MetaPartitions []proto.MetaPartitionInfo
+	DataPartitions []proto.DataPartitionInfo
+	Epoch          uint64
+}
+
+func newClusterState() *clusterState {
+	return &clusterState{
+		Nodes:   make(map[string]*proto.NodeInfo),
+		Volumes: make(map[string]*volumeState),
+		NextID:  10,
+	}
+}
+
+// cmdKind enumerates replicated master commands.
+type cmdKind uint8
+
+const (
+	cmdRegisterNode cmdKind = iota + 1
+	cmdCreateVolume
+	cmdAddMetaPartition
+	cmdAddDataPartition
+	cmdCutMetaPartition
+	cmdSetPartitionStatus
+)
+
+// command is the Raft log payload for master mutations.
+type command struct {
+	Kind cmdKind
+
+	Node *proto.NodeInfo
+
+	VolumeName string
+	Capacity   uint64
+
+	MetaPartition *proto.MetaPartitionInfo
+	DataPartition *proto.DataPartitionInfo
+
+	PartitionID uint64
+	End         uint64
+	Status      proto.PartitionStatus
+	IsMeta      bool
+}
+
+func init() {
+	gob.Register(&command{})
+}
+
+func encodeCommand(c *command) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(c); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeCommand(data []byte) (*command, error) {
+	c := &command{}
+	return c, gob.NewDecoder(bytes.NewReader(data)).Decode(c)
+}
+
+// apply mutates state with one committed command. Must be deterministic.
+func (s *clusterState) apply(c *command, raftSetSize int) (any, error) {
+	switch c.Kind {
+	case cmdRegisterNode:
+		if existing, ok := s.Nodes[c.Node.Addr]; ok {
+			// Re-registration (node restart): keep the raft set stable.
+			existing.Total = c.Node.Total
+			existing.Active = true
+			return existing.RaftSet, nil
+		}
+		n := *c.Node
+		n.RaftSet = s.NextRaftSet / util.Max(raftSetSize, 1)
+		s.NextRaftSet++
+		n.Active = true
+		s.Nodes[n.Addr] = &n
+		return n.RaftSet, nil
+
+	case cmdCreateVolume:
+		if _, ok := s.Volumes[c.VolumeName]; ok {
+			return nil, fmt.Errorf("master: volume %q: %w", c.VolumeName, util.ErrExist)
+		}
+		s.Volumes[c.VolumeName] = &volumeState{
+			Name:     c.VolumeName,
+			Capacity: c.Capacity,
+			Epoch:    1,
+		}
+		return nil, nil
+
+	case cmdAddMetaPartition:
+		v, ok := s.Volumes[c.VolumeName]
+		if !ok {
+			return nil, fmt.Errorf("master: volume %q: %w", c.VolumeName, util.ErrNotFound)
+		}
+		mp := *c.MetaPartition
+		if mp.PartitionID >= s.NextID {
+			s.NextID = mp.PartitionID + 1
+		}
+		v.MetaPartitions = append(v.MetaPartitions, mp)
+		for _, m := range mp.Members {
+			if n := s.Nodes[m]; n != nil {
+				n.PartitionCnt++
+			}
+		}
+		v.Epoch++
+		return nil, nil
+
+	case cmdAddDataPartition:
+		v, ok := s.Volumes[c.VolumeName]
+		if !ok {
+			return nil, fmt.Errorf("master: volume %q: %w", c.VolumeName, util.ErrNotFound)
+		}
+		dp := *c.DataPartition
+		if dp.PartitionID >= s.NextID {
+			s.NextID = dp.PartitionID + 1
+		}
+		v.DataPartitions = append(v.DataPartitions, dp)
+		for _, m := range dp.Members {
+			if n := s.Nodes[m]; n != nil {
+				n.PartitionCnt++
+			}
+		}
+		v.Epoch++
+		return nil, nil
+
+	case cmdCutMetaPartition:
+		v, ok := s.Volumes[c.VolumeName]
+		if !ok {
+			return nil, fmt.Errorf("master: volume %q: %w", c.VolumeName, util.ErrNotFound)
+		}
+		for i := range v.MetaPartitions {
+			if v.MetaPartitions[i].PartitionID == c.PartitionID {
+				v.MetaPartitions[i].End = c.End
+				v.Epoch++
+				return nil, nil
+			}
+		}
+		return nil, fmt.Errorf("master: meta partition %d: %w", c.PartitionID, util.ErrNotFound)
+
+	case cmdSetPartitionStatus:
+		v, ok := s.Volumes[c.VolumeName]
+		if !ok {
+			return nil, fmt.Errorf("master: volume %q: %w", c.VolumeName, util.ErrNotFound)
+		}
+		if c.IsMeta {
+			for i := range v.MetaPartitions {
+				if v.MetaPartitions[i].PartitionID == c.PartitionID {
+					v.MetaPartitions[i].Status = c.Status
+					v.Epoch++
+					return nil, nil
+				}
+			}
+		} else {
+			for i := range v.DataPartitions {
+				if v.DataPartitions[i].PartitionID == c.PartitionID {
+					v.DataPartitions[i].Status = c.Status
+					v.Epoch++
+					return nil, nil
+				}
+			}
+		}
+		return nil, fmt.Errorf("master: partition %d: %w", c.PartitionID, util.ErrNotFound)
+
+	default:
+		return nil, fmt.Errorf("master: unknown command %d: %w", c.Kind, util.ErrInvalidArgument)
+	}
+}
+
+// snapshot serializes the whole state.
+func (s *clusterState) snapshot() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(s); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func (s *clusterState) restore(data []byte) error {
+	fresh := newClusterState()
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(fresh); err != nil {
+		return err
+	}
+	*s = *fresh
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Utilization-based placement (Section 2.3.1).
+
+// softState is the leader's unreplicated view of node utilization and
+// liveness, refreshed by heartbeats.
+type softState struct {
+	used          map[string]uint64
+	lastHeartbeat map[string]time.Time
+	// partStats caches per-partition heartbeat reports keyed by id.
+	partStats map[uint64]proto.PartitionReport
+	// failures counts failure reports per partition (Section 2.3.3).
+	failures map[uint64]int
+}
+
+func newSoftState() *softState {
+	return &softState{
+		used:          make(map[string]uint64),
+		lastHeartbeat: make(map[string]time.Time),
+		partStats:     make(map[uint64]proto.PartitionReport),
+		failures:      make(map[uint64]int),
+	}
+}
+
+// pickNodes selects `count` nodes of the wanted kind with the lowest
+// utilization, preferring nodes that share a raft set (Section 2.5.1) so
+// partition replicas exchange heartbeats inside one set. Returns addresses
+// in placement order (the first is the designated leader).
+func pickNodes(state *clusterState, soft *softState, isMeta bool, count int) ([]string, error) {
+	type cand struct {
+		addr    string
+		ratio   float64
+		raftSet int
+	}
+	var cands []cand
+	for addr, n := range state.Nodes {
+		if n.IsMeta != isMeta || !n.Active {
+			continue
+		}
+		used := soft.used[addr]
+		ratio := 1.0
+		if n.Total > 0 {
+			ratio = float64(used) / float64(n.Total)
+		}
+		cands = append(cands, cand{addr: addr, ratio: ratio, raftSet: n.RaftSet})
+	}
+	if len(cands) < count {
+		return nil, fmt.Errorf("master: need %d %s nodes, have %d: %w",
+			count, nodeKind(isMeta), len(cands), util.ErrNoAvailableNode)
+	}
+	// Group by raft set; pick the set with the lowest average utilization
+	// that has enough members; fall back to global lowest-utilization.
+	bySet := make(map[int][]cand)
+	for _, c := range cands {
+		bySet[c.raftSet] = append(bySet[c.raftSet], c)
+	}
+	bestSet := -1
+	bestAvg := 2.0
+	for set, members := range bySet {
+		if len(members) < count {
+			continue
+		}
+		var sum float64
+		for _, m := range members {
+			sum += m.ratio
+		}
+		avg := sum / float64(len(members))
+		if avg < bestAvg || (avg == bestAvg && (bestSet == -1 || set < bestSet)) {
+			bestAvg, bestSet = avg, set
+		}
+	}
+	pool := cands
+	if bestSet >= 0 {
+		pool = bySet[bestSet]
+	}
+	sort.Slice(pool, func(i, j int) bool {
+		if pool[i].ratio != pool[j].ratio {
+			return pool[i].ratio < pool[j].ratio
+		}
+		return pool[i].addr < pool[j].addr
+	})
+	out := make([]string, count)
+	for i := 0; i < count; i++ {
+		out[i] = pool[i].addr
+	}
+	return out, nil
+}
+
+func nodeKind(isMeta bool) string {
+	if isMeta {
+		return "meta"
+	}
+	return "data"
+}

@@ -1,0 +1,505 @@
+// Package meta implements the CFS metadata subsystem (paper Section 2.1):
+// meta nodes hosting in-memory meta partitions, each a Raft group
+// replicating inode and dentry state indexed by two B-Trees.
+package meta
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"cfs/internal/proto"
+	"cfs/internal/raftstore"
+	"cfs/internal/transport"
+	"cfs/internal/util"
+)
+
+// Config configures a MetaNode.
+type Config struct {
+	// Addr is the node's transport address.
+	Addr string
+	// MasterAddr is the resource manager address.
+	MasterAddr string
+	// Dir is where partition snapshots persist (Section 2.1.3). Empty
+	// disables disk persistence (benchmarks).
+	Dir string
+	// Total is the advertised memory capacity in bytes. Zero means 32 GB.
+	Total uint64
+	// HeartbeatInterval for master heartbeats. Zero means 1s.
+	HeartbeatInterval time.Duration
+	// SnapshotInterval for persisting partitions to disk. Zero means 10s.
+	SnapshotInterval time.Duration
+	// Raft tunes partition Raft groups.
+	Raft raftstore.Config
+	// DisableHeartbeat turns off background loops (tests drive manually).
+	DisableHeartbeat bool
+}
+
+// MetaNode hosts meta partitions.
+type MetaNode struct {
+	addr       string
+	masterAddr string
+	dir        string
+	total      uint64
+	nw         transport.Network
+	raft       *raftstore.Store
+
+	mu         sync.RWMutex
+	partitions map[uint64]*Partition
+	closed     bool
+
+	ln    transport.Listener
+	stopc chan struct{}
+	wg    sync.WaitGroup
+}
+
+// Start creates a MetaNode, binds its address, registers with the master,
+// and begins heartbeating and snapshotting.
+func Start(nw transport.Network, cfg Config) (*MetaNode, error) {
+	if cfg.Addr == "" {
+		return nil, fmt.Errorf("meta: %w: Addr is required", util.ErrInvalidArgument)
+	}
+	if cfg.Total == 0 {
+		cfg.Total = 32 * util.GB
+	}
+	if cfg.HeartbeatInterval == 0 {
+		cfg.HeartbeatInterval = time.Second
+	}
+	if cfg.SnapshotInterval == 0 {
+		cfg.SnapshotInterval = 10 * time.Second
+	}
+	m := &MetaNode{
+		addr:       cfg.Addr,
+		masterAddr: cfg.MasterAddr,
+		dir:        cfg.Dir,
+		total:      cfg.Total,
+		nw:         nw,
+		partitions: make(map[uint64]*Partition),
+		stopc:      make(chan struct{}),
+	}
+	m.raft = raftstore.New(cfg.Addr, nw, cfg.Raft)
+	if cfg.Dir != "" {
+		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+			m.raft.Close()
+			return nil, err
+		}
+		if err := m.loadSnapshots(); err != nil {
+			m.raft.Close()
+			return nil, err
+		}
+	}
+	ln, err := nw.Listen(cfg.Addr, m.handle)
+	if err != nil {
+		m.raft.Close()
+		return nil, err
+	}
+	m.ln = ln
+	if cfg.MasterAddr != "" {
+		if err := m.register(); err != nil {
+			m.Close()
+			return nil, err
+		}
+		if !cfg.DisableHeartbeat {
+			m.wg.Add(1)
+			go m.heartbeatLoop(cfg.HeartbeatInterval)
+			if cfg.Dir != "" {
+				m.wg.Add(1)
+				go m.snapshotLoop(cfg.SnapshotInterval)
+			}
+		}
+	}
+	return m, nil
+}
+
+// Addr returns the node's transport address.
+func (m *MetaNode) Addr() string { return m.addr }
+
+// Close stops loops, Raft groups, and the listener, persisting partitions
+// first when a directory is configured.
+func (m *MetaNode) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	m.mu.Unlock()
+	close(m.stopc)
+	m.wg.Wait()
+	if m.dir != "" {
+		m.PersistSnapshots()
+	}
+	m.raft.Close()
+	if m.ln != nil {
+		m.ln.Close()
+	}
+}
+
+// Partition returns the hosted partition with the given id, or nil.
+func (m *MetaNode) Partition(id uint64) *Partition {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.partitions[id]
+}
+
+// PartitionCount returns the number of hosted partitions.
+func (m *MetaNode) PartitionCount() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.partitions)
+}
+
+// MemUsed sums the estimated footprint of hosted partitions; it is the
+// utilization figure heartbeats report for placement (Section 2.3.1).
+func (m *MetaNode) MemUsed() uint64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var used uint64
+	for _, p := range m.partitions {
+		used += p.MemUsed()
+	}
+	return used
+}
+
+// CreatePartition hosts a new meta partition (master admin task).
+func (m *MetaNode) CreatePartition(req *proto.CreateMetaPartitionReq) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return util.ErrClosed
+	}
+	if _, ok := m.partitions[req.PartitionID]; ok {
+		return fmt.Errorf("meta: partition %d: %w", req.PartitionID, util.ErrExist)
+	}
+	p := NewPartition(req.PartitionID, req.Volume, req.Start, req.End, req.Members)
+	if len(req.Members) > 1 {
+		node, err := m.raft.CreateGroup(req.PartitionID, req.Members, p)
+		if err != nil {
+			return err
+		}
+		p.raft = node
+		if len(req.Members) > 0 && req.Members[0] == m.addr {
+			node.Campaign() // bias the designated leader
+		}
+	}
+	m.partitions[req.PartitionID] = p
+	return nil
+}
+
+// IsLeader reports whether this node leads the given partition's group.
+func (m *MetaNode) IsLeader(partitionID uint64) bool {
+	p := m.Partition(partitionID)
+	if p == nil {
+		return false
+	}
+	if p.raft == nil {
+		return true
+	}
+	return p.raft.IsLeader()
+}
+
+func (m *MetaNode) register() error {
+	var resp proto.RegisterNodeResp
+	return m.nw.Call(m.masterAddr, uint8(proto.OpMasterRegisterNode),
+		&proto.RegisterNodeReq{Addr: m.addr, IsMeta: true, Total: m.total}, &resp)
+}
+
+func (m *MetaNode) heartbeatLoop(interval time.Duration) {
+	defer m.wg.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.stopc:
+			return
+		case <-t.C:
+			m.SendHeartbeat()
+		}
+	}
+}
+
+// SendHeartbeat reports utilization, per-partition counts and maxInodeID to
+// the master (Algorithm 1 reads maxInodeID from these reports).
+func (m *MetaNode) SendHeartbeat() {
+	m.mu.RLock()
+	reports := make([]proto.PartitionReport, 0, len(m.partitions))
+	var used uint64
+	for _, p := range m.partitions {
+		u := p.MemUsed()
+		used += u
+		isLeader := p.raft == nil || p.raft.IsLeader()
+		reports = append(reports, proto.PartitionReport{
+			PartitionID: p.ID,
+			Used:        u,
+			InodeCount:  p.InodeCount(),
+			MaxInodeID:  p.MaxInodeID(),
+			IsLeader:    isLeader,
+			Status:      proto.PartitionReadWrite,
+		})
+	}
+	m.mu.RUnlock()
+	_ = m.nw.Call(m.masterAddr, uint8(proto.OpMasterHeartbeat), &proto.HeartbeatReq{
+		Addr:       m.addr,
+		IsMeta:     true,
+		Used:       used,
+		Total:      m.total,
+		Partitions: reports,
+	}, nil)
+}
+
+// ---------------------------------------------------------------------------
+// Disk persistence (Section 2.1.3): partitions snapshot to files; restart
+// reloads them. Raft then reconciles replicas that diverged while down.
+
+func (m *MetaNode) snapshotLoop(interval time.Duration) {
+	defer m.wg.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.stopc:
+			return
+		case <-t.C:
+			m.PersistSnapshots()
+		}
+	}
+}
+
+// PersistSnapshots writes every partition's snapshot to disk atomically.
+func (m *MetaNode) PersistSnapshots() {
+	m.mu.RLock()
+	parts := make([]*Partition, 0, len(m.partitions))
+	for _, p := range m.partitions {
+		parts = append(parts, p)
+	}
+	m.mu.RUnlock()
+	for _, p := range parts {
+		data, err := p.Snapshot()
+		if err != nil {
+			continue
+		}
+		path := filepath.Join(m.dir, fmt.Sprintf("mp_%d.snap", p.ID))
+		tmp := path + ".tmp"
+		if err := os.WriteFile(tmp, data, 0o644); err != nil {
+			continue
+		}
+		_ = os.Rename(tmp, path)
+	}
+}
+
+func (m *MetaNode) loadSnapshots() error {
+	entries, err := os.ReadDir(m.dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		var id uint64
+		if _, err := fmt.Sscanf(e.Name(), "mp_%d.snap", &id); err != nil {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(m.dir, e.Name()))
+		if err != nil {
+			return err
+		}
+		p := NewPartition(id, "", 1, 0, nil)
+		if err := p.Restore(data); err != nil {
+			return fmt.Errorf("meta: corrupt snapshot for partition %d: %w", id, err)
+		}
+		m.partitions[id] = p
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// RPC dispatch.
+
+func (m *MetaNode) handle(op uint8, req any) (any, error) {
+	switch proto.Op(op) {
+	case proto.OpRaftMessage:
+		batch, ok := req.(*raftstore.MessageBatch)
+		if !ok {
+			return nil, fmt.Errorf("meta: %w: raft body %T", util.ErrInvalidArgument, req)
+		}
+		m.raft.HandleBatch(batch)
+		return &proto.HeartbeatResp{}, nil
+	case proto.OpAdminCreateMetaPartition:
+		r, ok := req.(*proto.CreateMetaPartitionReq)
+		if !ok {
+			return nil, fmt.Errorf("meta: %w: body %T", util.ErrInvalidArgument, req)
+		}
+		if err := m.CreatePartition(r); err != nil {
+			return nil, err
+		}
+		return &proto.CreateMetaPartitionResp{}, nil
+	}
+
+	// All remaining ops address a specific partition.
+	pid, err := partitionIDOf(req)
+	if err != nil {
+		return nil, err
+	}
+	p := m.Partition(pid)
+	if p == nil {
+		return nil, fmt.Errorf("meta: partition %d: %w", pid, util.ErrNotFound)
+	}
+	// Writes must go through the group leader; reads are served by the
+	// leader to keep the sequential-consistency contract.
+	if p.raft != nil && !p.raft.IsLeader() {
+		return nil, fmt.Errorf("meta: partition %d on %s: %w", pid, m.addr, util.ErrNotLeader)
+	}
+
+	switch proto.Op(op) {
+	case proto.OpMetaCreateInode:
+		r := req.(*proto.CreateInodeReq)
+		out, err := p.propose(&command{Kind: cmdCreateInode, Type: r.Type, LinkTarget: r.LinkTarget})
+		if err != nil {
+			return nil, err
+		}
+		return &proto.CreateInodeResp{Info: out.(*proto.Inode)}, nil
+
+	case proto.OpMetaUnlinkInode:
+		r := req.(*proto.UnlinkInodeReq)
+		out, err := p.propose(&command{Kind: cmdUnlinkInode, Inode: r.Inode})
+		if err != nil {
+			return nil, err
+		}
+		return &proto.UnlinkInodeResp{Info: out.(*proto.Inode)}, nil
+
+	case proto.OpMetaEvictInode:
+		r := req.(*proto.EvictInodeReq)
+		if _, err := p.propose(&command{Kind: cmdEvictInode, Inode: r.Inode}); err != nil {
+			return nil, err
+		}
+		return &proto.EvictInodeResp{}, nil
+
+	case proto.OpMetaLinkInode:
+		r := req.(*proto.LinkInodeReq)
+		out, err := p.propose(&command{Kind: cmdLinkInode, Inode: r.Inode})
+		if err != nil {
+			return nil, err
+		}
+		return &proto.LinkInodeResp{Info: out.(*proto.Inode)}, nil
+
+	case proto.OpMetaCreateDentry:
+		r := req.(*proto.CreateDentryReq)
+		if _, err := p.propose(&command{
+			Kind: cmdCreateDentry, ParentID: r.ParentID, Name: r.Name,
+			Inode: r.Inode, DentryType: r.Type,
+		}); err != nil {
+			return nil, err
+		}
+		return &proto.CreateDentryResp{}, nil
+
+	case proto.OpMetaDeleteDentry:
+		r := req.(*proto.DeleteDentryReq)
+		out, err := p.propose(&command{Kind: cmdDeleteDentry, ParentID: r.ParentID, Name: r.Name})
+		if err != nil {
+			return nil, err
+		}
+		return out.(*proto.DeleteDentryResp), nil
+
+	case proto.OpMetaUpdateDentry:
+		r := req.(*proto.UpdateDentryReq)
+		out, err := p.propose(&command{
+			Kind: cmdUpdateDentry, ParentID: r.ParentID, Name: r.Name, Inode: r.Inode,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return out.(*proto.UpdateDentryResp), nil
+
+	case proto.OpMetaSetAttr:
+		r := req.(*proto.SetAttrReq)
+		if _, err := p.propose(&command{
+			Kind: cmdSetAttr, Inode: r.Inode, Valid: r.Valid,
+			Size: r.Size, ModifyTime: r.ModifyTime,
+		}); err != nil {
+			return nil, err
+		}
+		return &proto.SetAttrResp{}, nil
+
+	case proto.OpMetaAppendExtentKeys:
+		r := req.(*proto.AppendExtentKeysReq)
+		if _, err := p.propose(&command{
+			Kind: cmdAppendExtentKeys, Inode: r.Inode, Extents: r.Extents, Size: r.Size,
+		}); err != nil {
+			return nil, err
+		}
+		return &proto.AppendExtentKeysResp{}, nil
+
+	case proto.OpMetaSplitPartition:
+		r := req.(*proto.SplitMetaPartitionReq)
+		out, err := p.propose(&command{Kind: cmdSplit, End: r.End})
+		if err != nil {
+			return nil, err
+		}
+		return out.(*proto.SplitMetaPartitionResp), nil
+
+	case proto.OpMetaLookup:
+		r := req.(*proto.LookupReq)
+		return p.Lookup(r.ParentID, r.Name)
+
+	case proto.OpMetaInodeGet:
+		r := req.(*proto.InodeGetReq)
+		ino, err := p.InodeGet(r.Inode)
+		if err != nil {
+			return nil, err
+		}
+		return &proto.InodeGetResp{Info: ino}, nil
+
+	case proto.OpMetaBatchInodeGet:
+		r := req.(*proto.BatchInodeGetReq)
+		return &proto.BatchInodeGetResp{Infos: p.BatchInodeGet(r.Inodes)}, nil
+
+	case proto.OpMetaReadDir:
+		r := req.(*proto.ReadDirReq)
+		return &proto.ReadDirResp{Children: p.ReadDir(r.ParentID)}, nil
+
+	case proto.OpMetaSnapshot:
+		snapInodes := p.BatchAllInodes()
+		return &proto.MetaSnapshotResp{Inodes: snapInodes, Dentries: p.AllDentries()}, nil
+
+	default:
+		return nil, fmt.Errorf("meta: %w: op %d", util.ErrInvalidArgument, op)
+	}
+}
+
+// partitionIDOf extracts the target partition from a request body.
+func partitionIDOf(req any) (uint64, error) {
+	switch r := req.(type) {
+	case *proto.CreateInodeReq:
+		return r.PartitionID, nil
+	case *proto.UnlinkInodeReq:
+		return r.PartitionID, nil
+	case *proto.EvictInodeReq:
+		return r.PartitionID, nil
+	case *proto.LinkInodeReq:
+		return r.PartitionID, nil
+	case *proto.CreateDentryReq:
+		return r.PartitionID, nil
+	case *proto.DeleteDentryReq:
+		return r.PartitionID, nil
+	case *proto.UpdateDentryReq:
+		return r.PartitionID, nil
+	case *proto.LookupReq:
+		return r.PartitionID, nil
+	case *proto.InodeGetReq:
+		return r.PartitionID, nil
+	case *proto.BatchInodeGetReq:
+		return r.PartitionID, nil
+	case *proto.ReadDirReq:
+		return r.PartitionID, nil
+	case *proto.SetAttrReq:
+		return r.PartitionID, nil
+	case *proto.AppendExtentKeysReq:
+		return r.PartitionID, nil
+	case *proto.SplitMetaPartitionReq:
+		return r.PartitionID, nil
+	case *proto.MetaSnapshotReq:
+		return r.PartitionID, nil
+	default:
+		return 0, fmt.Errorf("meta: %w: body %T", util.ErrInvalidArgument, req)
+	}
+}

@@ -1,0 +1,594 @@
+package meta
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sync"
+
+	"cfs/internal/btree"
+	"cfs/internal/proto"
+	"cfs/internal/raft"
+	"cfs/internal/util"
+)
+
+// Partition is one meta partition (paper Section 2.1.1): an in-memory
+// slice of a volume's namespace holding the inodes whose ids fall in
+// [Start, End] plus the dentries of the directories owned by those ids.
+// Two B-Trees index the state: inodeTree by inode id and dentryTree by
+// (parent inode id, name). All mutations replicate through the partition's
+// Raft group; reads are served from the leader's memory.
+type Partition struct {
+	ID      uint64
+	Volume  string
+	Start   uint64
+	End     uint64
+	Members []string
+
+	raft *raft.Node // nil until attached
+
+	mu         sync.RWMutex
+	inodeTree  *btree.BTree
+	dentryTree *btree.BTree
+	maxInodeID uint64 // largest inode id allocated so far in this partition
+	// freeList holds inode ids that were marked deleted and evicted; the
+	// paper's metaPartition carries the same field for background
+	// content cleanup (Section 2.1.1).
+	freeList []uint64
+	// scrubQueue carries the extent inventory of evicted inodes to the
+	// async delete worker (Section 2.7.3).
+	scrubQueue []ScrubRecord
+}
+
+// inodeItem adapts *proto.Inode to btree.Item keyed by inode id.
+type inodeItem struct{ ino *proto.Inode }
+
+// Less implements btree.Item.
+func (a inodeItem) Less(b btree.Item) bool { return a.ino.Inode < b.(inodeItem).ino.Inode }
+
+// dentryItem adapts proto.Dentry to btree.Item keyed by (parent, name).
+type dentryItem struct{ d proto.Dentry }
+
+// Less implements btree.Item.
+func (a dentryItem) Less(b btree.Item) bool {
+	o := b.(dentryItem)
+	if a.d.ParentID != o.d.ParentID {
+		return a.d.ParentID < o.d.ParentID
+	}
+	return a.d.Name < o.d.Name
+}
+
+// NewPartition builds an empty partition covering [start, end].
+func NewPartition(id uint64, volume string, start, end uint64, members []string) *Partition {
+	if start == 0 {
+		start = 1 // inode ids start at 1 (the volume root)
+	}
+	return &Partition{
+		ID:         id,
+		Volume:     volume,
+		Start:      start,
+		End:        end,
+		Members:    append([]string(nil), members...),
+		inodeTree:  btree.New(),
+		dentryTree: btree.New(),
+		maxInodeID: start - 1,
+	}
+}
+
+// InodeCount returns the number of inodes held.
+func (p *Partition) InodeCount() uint64 {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return uint64(p.inodeTree.Len())
+}
+
+// DentryCount returns the number of dentries held.
+func (p *Partition) DentryCount() uint64 {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return uint64(p.dentryTree.Len())
+}
+
+// MaxInodeID returns the largest inode id allocated so far; the resource
+// manager polls it through heartbeats for Algorithm 1.
+func (p *Partition) MaxInodeID() uint64 {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.maxInodeID
+}
+
+// MemUsed estimates the partition's memory footprint for utilization-based
+// placement (Section 2.3.1): a flat per-record cost model keeps the figure
+// deterministic across runs.
+func (p *Partition) MemUsed() uint64 {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	const inodeCost, dentryCost = 256, 96
+	return uint64(p.inodeTree.Len())*inodeCost + uint64(p.dentryTree.Len())*dentryCost
+}
+
+// ---------------------------------------------------------------------------
+// Replicated command plumbing. Every mutation is gob-encoded as a command,
+// proposed through Raft, and applied identically on every replica.
+
+type cmdKind uint8
+
+const (
+	cmdCreateInode cmdKind = iota + 1
+	cmdUnlinkInode
+	cmdEvictInode
+	cmdLinkInode
+	cmdCreateDentry
+	cmdDeleteDentry
+	cmdUpdateDentry
+	cmdSetAttr
+	cmdAppendExtentKeys
+	cmdSplit
+)
+
+// command is the Raft log payload for meta mutations.
+type command struct {
+	Kind cmdKind
+
+	Type       uint32
+	LinkTarget []byte
+	Inode      uint64
+	ParentID   uint64
+	Name       string
+	DentryType uint32
+	Valid      uint32
+	Size       uint64
+	ModifyTime int64
+	Extents    []proto.ExtentKey
+	End        uint64
+}
+
+func init() {
+	gob.Register(&command{})
+}
+
+func encodeCommand(c *command) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(c); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeCommand(data []byte) (*command, error) {
+	c := &command{}
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(c); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// propose replicates a command and returns the apply result.
+func (p *Partition) propose(c *command) (any, error) {
+	data, err := encodeCommand(c)
+	if err != nil {
+		return nil, err
+	}
+	if p.raft == nil {
+		// Unreplicated partition (single-node tools, fsck): apply
+		// directly.
+		return p.applyCommand(c)
+	}
+	return p.raft.Propose(data)
+}
+
+// Apply implements raft.StateMachine.
+func (p *Partition) Apply(index uint64, data []byte) (any, error) {
+	c, err := decodeCommand(data)
+	if err != nil {
+		return nil, err
+	}
+	return p.applyCommand(c)
+}
+
+func (p *Partition) applyCommand(c *command) (any, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	switch c.Kind {
+	case cmdCreateInode:
+		return p.applyCreateInode(c)
+	case cmdUnlinkInode:
+		return p.applyUnlinkInode(c)
+	case cmdEvictInode:
+		return p.applyEvictInode(c)
+	case cmdLinkInode:
+		return p.applyLinkInode(c)
+	case cmdCreateDentry:
+		return p.applyCreateDentry(c)
+	case cmdDeleteDentry:
+		return p.applyDeleteDentry(c)
+	case cmdUpdateDentry:
+		return p.applyUpdateDentry(c)
+	case cmdSetAttr:
+		return p.applySetAttr(c)
+	case cmdAppendExtentKeys:
+		return p.applyAppendExtentKeys(c)
+	case cmdSplit:
+		return p.applySplit(c)
+	default:
+		return nil, fmt.Errorf("meta: unknown command %d: %w", c.Kind, util.ErrInvalidArgument)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Apply functions (called with p.mu held).
+
+func (p *Partition) getInode(id uint64) *proto.Inode {
+	it := p.inodeTree.Get(inodeItem{ino: &proto.Inode{Inode: id}})
+	if it == nil {
+		return nil
+	}
+	return it.(inodeItem).ino
+}
+
+// applyCreateInode allocates the smallest unused inode id (Section 2.6.1:
+// "picks up the smallest inode id that has not been used so far ... and
+// updates its largest inode id accordingly").
+func (p *Partition) applyCreateInode(c *command) (any, error) {
+	next := p.maxInodeID + 1
+	if next < p.Start {
+		next = p.Start
+	}
+	if next > p.End {
+		return nil, fmt.Errorf("meta: partition %d inode range exhausted: %w", p.ID, util.ErrFull)
+	}
+	now := proto.Now()
+	ino := &proto.Inode{
+		Inode:      next,
+		Type:       c.Type,
+		LinkTarget: append([]byte(nil), c.LinkTarget...),
+		NLink:      1,
+		CreateTime: now,
+		ModifyTime: now,
+	}
+	if c.Type == proto.TypeDir {
+		ino.NLink = 2
+	}
+	p.inodeTree.ReplaceOrInsert(inodeItem{ino: ino})
+	p.maxInodeID = next
+	return ino.Copy(), nil
+}
+
+// CreateRootInode installs the volume root directory (inode 1). It is only
+// valid on the partition owning id 1 and is idempotent.
+func (p *Partition) CreateRootInode() error {
+	_, err := p.propose(&command{Kind: cmdCreateInode, Type: proto.TypeDir})
+	return err
+}
+
+func (p *Partition) applyUnlinkInode(c *command) (any, error) {
+	ino := p.getInode(c.Inode)
+	if ino == nil {
+		return nil, fmt.Errorf("meta: inode %d: %w", c.Inode, util.ErrNotFound)
+	}
+	if ino.NLink > 0 {
+		ino.NLink--
+	}
+	// Threshold: 0 for files, 2 for directories (Section 2.6.3). At or
+	// below it the inode is marked deleted; content cleanup is
+	// asynchronous (Section 2.7.3).
+	if (!ino.IsDir() && ino.NLink == 0) || (ino.IsDir() && ino.NLink < 2) {
+		ino.Flag |= proto.FlagDeleteMark
+	}
+	ino.ModifyTime = proto.Now()
+	return ino.Copy(), nil
+}
+
+func (p *Partition) applyEvictInode(c *command) (any, error) {
+	ino := p.getInode(c.Inode)
+	if ino == nil {
+		return &proto.EvictInodeResp{}, nil // already gone: idempotent
+	}
+	if ino.Flag&proto.FlagDeleteMark == 0 {
+		return nil, fmt.Errorf("meta: inode %d not marked deleted: %w", c.Inode, util.ErrInvalidArgument)
+	}
+	p.inodeTree.Delete(inodeItem{ino: &proto.Inode{Inode: c.Inode}})
+	p.freeList = append(p.freeList, c.Inode)
+	if len(ino.Extents) > 0 {
+		p.scrubQueue = append(p.scrubQueue, ScrubRecord{
+			Inode:   ino.Inode,
+			Size:    ino.Size,
+			Extents: append([]proto.ExtentKey(nil), ino.Extents...),
+		})
+	}
+	return &proto.EvictInodeResp{}, nil
+}
+
+func (p *Partition) applyLinkInode(c *command) (any, error) {
+	ino := p.getInode(c.Inode)
+	if ino == nil {
+		return nil, fmt.Errorf("meta: inode %d: %w", c.Inode, util.ErrNotFound)
+	}
+	if ino.Flag&proto.FlagDeleteMark != 0 {
+		return nil, fmt.Errorf("meta: inode %d is deleted: %w", c.Inode, util.ErrNotFound)
+	}
+	ino.NLink++
+	ino.ModifyTime = proto.Now()
+	return ino.Copy(), nil
+}
+
+func (p *Partition) applyCreateDentry(c *command) (any, error) {
+	parent := p.getInode(c.ParentID)
+	if parent == nil {
+		return nil, fmt.Errorf("meta: parent inode %d: %w", c.ParentID, util.ErrNotFound)
+	}
+	if !parent.IsDir() {
+		return nil, fmt.Errorf("meta: parent inode %d: %w", c.ParentID, util.ErrNotDir)
+	}
+	key := dentryItem{d: proto.Dentry{ParentID: c.ParentID, Name: c.Name}}
+	if p.dentryTree.Has(key) {
+		return nil, fmt.Errorf("meta: dentry %d/%q: %w", c.ParentID, c.Name, util.ErrExist)
+	}
+	p.dentryTree.ReplaceOrInsert(dentryItem{d: proto.Dentry{
+		ParentID: c.ParentID, Name: c.Name, Inode: c.Inode, Type: c.DentryType,
+	}})
+	if c.DentryType == proto.TypeDir {
+		parent.NLink++ // subdirectory's ".." reference
+	}
+	parent.ModifyTime = proto.Now()
+	return &proto.CreateDentryResp{}, nil
+}
+
+func (p *Partition) applyDeleteDentry(c *command) (any, error) {
+	key := dentryItem{d: proto.Dentry{ParentID: c.ParentID, Name: c.Name}}
+	it := p.dentryTree.Delete(key)
+	if it == nil {
+		return nil, fmt.Errorf("meta: dentry %d/%q: %w", c.ParentID, c.Name, util.ErrNotFound)
+	}
+	d := it.(dentryItem).d
+	if parent := p.getInode(c.ParentID); parent != nil {
+		if d.Type == proto.TypeDir && parent.NLink > 0 {
+			parent.NLink--
+		}
+		parent.ModifyTime = proto.Now()
+	}
+	return &proto.DeleteDentryResp{Inode: d.Inode}, nil
+}
+
+func (p *Partition) applyUpdateDentry(c *command) (any, error) {
+	key := dentryItem{d: proto.Dentry{ParentID: c.ParentID, Name: c.Name}}
+	it := p.dentryTree.Get(key)
+	if it == nil {
+		return nil, fmt.Errorf("meta: dentry %d/%q: %w", c.ParentID, c.Name, util.ErrNotFound)
+	}
+	d := it.(dentryItem).d
+	old := d.Inode
+	d.Inode = c.Inode
+	p.dentryTree.ReplaceOrInsert(dentryItem{d: d})
+	return &proto.UpdateDentryResp{OldInode: old}, nil
+}
+
+func (p *Partition) applySetAttr(c *command) (any, error) {
+	ino := p.getInode(c.Inode)
+	if ino == nil {
+		return nil, fmt.Errorf("meta: inode %d: %w", c.Inode, util.ErrNotFound)
+	}
+	if c.Valid&proto.AttrSize != 0 {
+		ino.Size = c.Size
+		// Truncation drops extent keys entirely beyond the new size.
+		kept := ino.Extents[:0]
+		for _, ek := range ino.Extents {
+			if ek.FileOffset < c.Size {
+				kept = append(kept, ek)
+			}
+		}
+		ino.Extents = kept
+		ino.Gen++
+	}
+	if c.Valid&proto.AttrModifyTime != 0 {
+		ino.ModifyTime = c.ModifyTime
+	} else {
+		ino.ModifyTime = proto.Now()
+	}
+	return &proto.SetAttrResp{}, nil
+}
+
+func (p *Partition) applyAppendExtentKeys(c *command) (any, error) {
+	ino := p.getInode(c.Inode)
+	if ino == nil {
+		return nil, fmt.Errorf("meta: inode %d: %w", c.Inode, util.ErrNotFound)
+	}
+	ino.Extents = append(ino.Extents, c.Extents...)
+	if c.Size > ino.Size {
+		ino.Size = c.Size
+	}
+	ino.Gen++
+	ino.ModifyTime = proto.Now()
+	return &proto.AppendExtentKeysResp{}, nil
+}
+
+// applySplit cuts the partition's inode range at End (Algorithm 1 step:
+// "update the inode id range from 1 to end for the original partition").
+func (p *Partition) applySplit(c *command) (any, error) {
+	if c.End < p.maxInodeID {
+		return nil, fmt.Errorf("meta: split end %d below maxInodeID %d: %w",
+			c.End, p.maxInodeID, util.ErrInvalidArgument)
+	}
+	p.End = c.End
+	return &proto.SplitMetaPartitionResp{MaxInodeID: p.maxInodeID}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Reads (leader memory, no Raft round trip).
+
+// Lookup resolves (parent, name).
+func (p *Partition) Lookup(parentID uint64, name string) (*proto.LookupResp, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	it := p.dentryTree.Get(dentryItem{d: proto.Dentry{ParentID: parentID, Name: name}})
+	if it == nil {
+		return nil, fmt.Errorf("meta: dentry %d/%q: %w", parentID, name, util.ErrNotFound)
+	}
+	d := it.(dentryItem).d
+	return &proto.LookupResp{Inode: d.Inode, Type: d.Type}, nil
+}
+
+// InodeGet fetches one inode.
+func (p *Partition) InodeGet(id uint64) (*proto.Inode, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	ino := p.getInode(id)
+	if ino == nil || ino.Flag&proto.FlagDeleteMark != 0 {
+		return nil, fmt.Errorf("meta: inode %d: %w", id, util.ErrNotFound)
+	}
+	return ino.Copy(), nil
+}
+
+// BatchInodeGet fetches many inodes in one call - the readdir optimization
+// behind the paper's DirStat result (Section 4.2). Missing or deleted
+// inodes are skipped.
+func (p *Partition) BatchInodeGet(ids []uint64) []*proto.Inode {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make([]*proto.Inode, 0, len(ids))
+	for _, id := range ids {
+		if ino := p.getInode(id); ino != nil && ino.Flag&proto.FlagDeleteMark == 0 {
+			out = append(out, ino.Copy())
+		}
+	}
+	return out
+}
+
+// ReadDir lists the dentries under parentID in name order.
+func (p *Partition) ReadDir(parentID uint64) []proto.Dentry {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	var out []proto.Dentry
+	from := dentryItem{d: proto.Dentry{ParentID: parentID, Name: ""}}
+	to := dentryItem{d: proto.Dentry{ParentID: parentID + 1, Name: ""}}
+	p.dentryTree.AscendRange(from, to, func(it btree.Item) bool {
+		out = append(out, it.(dentryItem).d)
+		return true
+	})
+	return out
+}
+
+// BatchAllInodes returns a copy of every live inode (fsck inventory).
+func (p *Partition) BatchAllInodes() []*proto.Inode {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make([]*proto.Inode, 0, p.inodeTree.Len())
+	p.inodeTree.Ascend(func(it btree.Item) bool {
+		out = append(out, it.(inodeItem).ino.Copy())
+		return true
+	})
+	return out
+}
+
+// AllDentries returns a copy of every dentry (fsck inventory).
+func (p *Partition) AllDentries() []proto.Dentry {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make([]proto.Dentry, 0, p.dentryTree.Len())
+	p.dentryTree.Ascend(func(it btree.Item) bool {
+		out = append(out, it.(dentryItem).d)
+		return true
+	})
+	return out
+}
+
+// DeletedInodes returns a copy of the free list (inodes awaiting content
+// cleanup); the fsck tool and the async scrubber consume it.
+func (p *Partition) DeletedInodes() []uint64 {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return append([]uint64(nil), p.freeList...)
+}
+
+// OrphanInodes returns inodes with no dentry pointing at them anywhere in
+// this partition. Cross-partition orphans are assembled by fsck from every
+// partition's inventory; this method only reports what is locally visible.
+func (p *Partition) OrphanInodes() []*proto.Inode {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	referenced := make(map[uint64]bool, p.dentryTree.Len())
+	p.dentryTree.Ascend(func(it btree.Item) bool {
+		referenced[it.(dentryItem).d.Inode] = true
+		return true
+	})
+	var out []*proto.Inode
+	p.inodeTree.Ascend(func(it btree.Item) bool {
+		ino := it.(inodeItem).ino
+		if !referenced[ino.Inode] && ino.Inode != proto.RootInodeID {
+			out = append(out, ino.Copy())
+		}
+		return true
+	})
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Snapshots (raft.StateMachine + disk persistence, Section 2.1.3).
+
+// partitionSnapshot is the serialized form of a partition's full state.
+type partitionSnapshot struct {
+	ID         uint64
+	Volume     string
+	Start      uint64
+	End        uint64
+	MaxInodeID uint64
+	FreeList   []uint64
+	Inodes     []*proto.Inode
+	Dentries   []proto.Dentry
+}
+
+// Snapshot implements raft.StateMachine. Clone() gives O(1) consistent
+// trees, so serialization does not block concurrent reads.
+func (p *Partition) Snapshot() ([]byte, error) {
+	p.mu.Lock()
+	inodes := p.inodeTree.Clone()
+	dentries := p.dentryTree.Clone()
+	snap := partitionSnapshot{
+		ID:         p.ID,
+		Volume:     p.Volume,
+		Start:      p.Start,
+		End:        p.End,
+		MaxInodeID: p.maxInodeID,
+		FreeList:   append([]uint64(nil), p.freeList...),
+	}
+	p.mu.Unlock()
+
+	inodes.Ascend(func(it btree.Item) bool {
+		snap.Inodes = append(snap.Inodes, it.(inodeItem).ino.Copy())
+		return true
+	})
+	dentries.Ascend(func(it btree.Item) bool {
+		snap.Dentries = append(snap.Dentries, it.(dentryItem).d)
+		return true
+	})
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&snap); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Restore implements raft.StateMachine.
+func (p *Partition) Restore(data []byte) error {
+	var snap partitionSnapshot
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap); err != nil {
+		return err
+	}
+	inodeTree := btree.New()
+	dentryTree := btree.New()
+	for _, ino := range snap.Inodes {
+		inodeTree.ReplaceOrInsert(inodeItem{ino: ino})
+	}
+	for _, d := range snap.Dentries {
+		dentryTree.ReplaceOrInsert(dentryItem{d: d})
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.Start = snap.Start
+	p.End = snap.End
+	p.maxInodeID = snap.MaxInodeID
+	p.freeList = snap.FreeList
+	p.inodeTree = inodeTree
+	p.dentryTree = dentryTree
+	return nil
+}

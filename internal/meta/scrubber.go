@@ -1,0 +1,187 @@
+package meta
+
+import (
+	"encoding/binary"
+	"sync"
+	"time"
+
+	"cfs/internal/proto"
+	"cfs/internal/transport"
+	"cfs/internal/util"
+)
+
+// Scrubber is the paper's asynchronous delete worker (Section 2.7.3):
+// "there will be a separate process to clear up this inode and communicate
+// with the data node to delete the file content". It periodically drains
+// every partition's free list of marked-deleted inodes and releases their
+// extents - whole-extent deletes for large files, punch holes for
+// aggregated small files.
+//
+// The scrubber runs beside a MetaNode (one per node); only partitions this
+// node currently leads are scrubbed, so work is not duplicated across
+// replicas.
+type Scrubber struct {
+	node      *MetaNode
+	nw        transport.Network
+	interval  time.Duration
+	threshold uint64 // small-file boundary for punch-vs-delete
+
+	mu      sync.Mutex
+	scanned uint64
+	freed   uint64
+	leaders map[uint64]string // data partition id -> leader addr
+
+	stopc chan struct{}
+	wg    sync.WaitGroup
+}
+
+// NewScrubber creates a scrubber for node. Interval zero means 1s;
+// smallFileThreshold zero means util.DefaultSmallFileThreshold.
+func NewScrubber(node *MetaNode, nw transport.Network, interval time.Duration, smallFileThreshold uint64) *Scrubber {
+	if interval == 0 {
+		interval = time.Second
+	}
+	if smallFileThreshold == 0 {
+		smallFileThreshold = util.DefaultSmallFileThreshold
+	}
+	return &Scrubber{
+		node:      node,
+		nw:        nw,
+		interval:  interval,
+		threshold: smallFileThreshold,
+		leaders:   make(map[uint64]string),
+		stopc:     make(chan struct{}),
+	}
+}
+
+// refreshLeaders learns data-partition leaders from the resource manager;
+// stale entries are refreshed lazily on the next pass.
+func (s *Scrubber) refreshLeaders(volume string) {
+	var resp proto.GetVolumeResp
+	if err := s.nw.Call(s.node.masterAddr, uint8(proto.OpMasterGetVolume),
+		&proto.GetVolumeReq{Name: volume}, &resp); err != nil || resp.View == nil {
+		return
+	}
+	s.mu.Lock()
+	for _, dp := range resp.View.DataPartitions {
+		if len(dp.Members) > 0 {
+			s.leaders[dp.PartitionID] = dp.Members[0]
+		}
+	}
+	s.mu.Unlock()
+}
+
+// Start launches the background loop.
+func (s *Scrubber) Start() {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		t := time.NewTicker(s.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.stopc:
+				return
+			case <-t.C:
+				s.ScrubOnce()
+			}
+		}
+	}()
+}
+
+// Stop terminates the loop.
+func (s *Scrubber) Stop() {
+	close(s.stopc)
+	s.wg.Wait()
+}
+
+// Stats returns (inodes scanned, inodes whose content was freed).
+func (s *Scrubber) Stats() (scanned, freed uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.scanned, s.freed
+}
+
+// ScrubOnce drains the free lists of all led partitions once, returning
+// the number of inodes whose content was released. Exported so tests and
+// tools can force a pass.
+func (s *Scrubber) ScrubOnce() int {
+	s.node.mu.RLock()
+	parts := make([]*Partition, 0, len(s.node.partitions))
+	for _, p := range s.node.partitions {
+		parts = append(parts, p)
+	}
+	s.node.mu.RUnlock()
+
+	total := 0
+	for _, p := range parts {
+		if p.raft != nil && !p.raft.IsLeader() {
+			continue
+		}
+		recs := p.TakeScrubRecords()
+		if len(recs) == 0 {
+			continue
+		}
+		s.refreshLeaders(p.Volume)
+		for _, rec := range recs {
+			s.mu.Lock()
+			s.scanned++
+			s.mu.Unlock()
+			if s.releaseContent(rec) {
+				total++
+				s.mu.Lock()
+				s.freed++
+				s.mu.Unlock()
+			}
+		}
+	}
+	return total
+}
+
+// releaseContent frees one dead inode's extents. Failures are tolerated:
+// the extent stays as garbage until a later alignment pass, which matches
+// the paper's best-effort async cleanup.
+func (s *Scrubber) releaseContent(rec ScrubRecord) bool {
+	ok := true
+	small := rec.Size <= s.threshold
+	for _, ek := range rec.Extents {
+		s.mu.Lock()
+		leader := s.leaders[ek.PartitionID]
+		s.mu.Unlock()
+		if leader == "" {
+			ok = false
+			continue
+		}
+		lenBuf := make([]byte, 8)
+		pkt := proto.NewPacket(proto.OpDataMarkDelete, rec.Inode, ek.PartitionID, ek.ExtentID, lenBuf)
+		if small {
+			binary.BigEndian.PutUint64(lenBuf, uint64(ek.Size))
+			pkt = proto.NewPacket(proto.OpDataMarkDelete, rec.Inode, ek.PartitionID, ek.ExtentID, lenBuf)
+			pkt.ExtentOffset = ek.ExtentOffset
+		}
+		var resp proto.Packet
+		if err := s.nw.Call(leader, uint8(proto.OpDataMarkDelete), pkt, &resp); err != nil ||
+			resp.ResultCode != proto.ResultOK {
+			ok = false
+		}
+	}
+	return ok
+}
+
+// ScrubRecord is one dead inode's content inventory, queued when the
+// inode was evicted.
+type ScrubRecord struct {
+	Inode   uint64
+	Size    uint64
+	Extents []proto.ExtentKey
+}
+
+// TakeScrubRecords atomically drains the partition's pending content
+// cleanup queue.
+func (p *Partition) TakeScrubRecords() []ScrubRecord {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := p.scrubQueue
+	p.scrubQueue = nil
+	return out
+}

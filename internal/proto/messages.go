@@ -1,0 +1,419 @@
+package proto
+
+// Op identifies an RPC operation. One flat space is shared by the meta,
+// data, and master planes so a transport handler can dispatch on it.
+type Op uint8
+
+// Meta-node operations (Section 2.6).
+const (
+	OpMetaCreateInode Op = iota + 1
+	OpMetaUnlinkInode
+	OpMetaEvictInode
+	OpMetaLinkInode
+	OpMetaCreateDentry
+	OpMetaDeleteDentry
+	OpMetaUpdateDentry
+	OpMetaLookup
+	OpMetaInodeGet
+	OpMetaBatchInodeGet
+	OpMetaReadDir
+	OpMetaSetAttr
+	OpMetaAppendExtentKeys
+	OpMetaSplitPartition
+	OpMetaSnapshot
+
+	// Data-node operations (Section 2.7).
+	OpDataCreateExtent
+	OpDataAppend    // sequential write, primary-backup replicated
+	OpDataOverwrite // random in-place write, Raft replicated
+	OpDataRead
+	OpDataMarkDelete // delete extent / punch hole
+	OpDataFlush
+	OpDataExtentInfo // replica alignment during failure recovery
+
+	// Resource-manager operations (Section 2.3).
+	OpMasterCreateVolume
+	OpMasterGetVolume
+	OpMasterRegisterNode
+	OpMasterHeartbeat
+	OpMasterReportFailure
+	OpMasterClusterStats
+
+	// Master -> node admin tasks.
+	OpAdminCreateMetaPartition
+	OpAdminCreateDataPartition
+
+	// Raft traffic (consensus messages ride the same transport).
+	OpRaftMessage
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpMetaCreateInode:
+		return "MetaCreateInode"
+	case OpMetaUnlinkInode:
+		return "MetaUnlinkInode"
+	case OpMetaEvictInode:
+		return "MetaEvictInode"
+	case OpMetaLinkInode:
+		return "MetaLinkInode"
+	case OpMetaCreateDentry:
+		return "MetaCreateDentry"
+	case OpMetaDeleteDentry:
+		return "MetaDeleteDentry"
+	case OpMetaUpdateDentry:
+		return "MetaUpdateDentry"
+	case OpMetaLookup:
+		return "MetaLookup"
+	case OpMetaInodeGet:
+		return "MetaInodeGet"
+	case OpMetaBatchInodeGet:
+		return "MetaBatchInodeGet"
+	case OpMetaReadDir:
+		return "MetaReadDir"
+	case OpMetaSetAttr:
+		return "MetaSetAttr"
+	case OpMetaAppendExtentKeys:
+		return "MetaAppendExtentKeys"
+	case OpMetaSplitPartition:
+		return "MetaSplitPartition"
+	case OpMetaSnapshot:
+		return "MetaSnapshot"
+	case OpDataCreateExtent:
+		return "DataCreateExtent"
+	case OpDataAppend:
+		return "DataAppend"
+	case OpDataOverwrite:
+		return "DataOverwrite"
+	case OpDataRead:
+		return "DataRead"
+	case OpDataMarkDelete:
+		return "DataMarkDelete"
+	case OpDataFlush:
+		return "DataFlush"
+	case OpDataExtentInfo:
+		return "DataExtentInfo"
+	case OpMasterCreateVolume:
+		return "MasterCreateVolume"
+	case OpMasterGetVolume:
+		return "MasterGetVolume"
+	case OpMasterRegisterNode:
+		return "MasterRegisterNode"
+	case OpMasterHeartbeat:
+		return "MasterHeartbeat"
+	case OpMasterReportFailure:
+		return "MasterReportFailure"
+	case OpMasterClusterStats:
+		return "MasterClusterStats"
+	case OpAdminCreateMetaPartition:
+		return "AdminCreateMetaPartition"
+	case OpAdminCreateDataPartition:
+		return "AdminCreateDataPartition"
+	case OpRaftMessage:
+		return "RaftMessage"
+	default:
+		return "Op(unknown)"
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Meta-node messages. Every request names the target partition so a meta
+// node hosting hundreds of partitions can route it (Section 2.1.1).
+
+// CreateInodeReq allocates a fresh inode on the target partition. The
+// partition picks the smallest unused inode id in its range (Section 2.6.1).
+type CreateInodeReq struct {
+	PartitionID uint64
+	Type        uint32
+	LinkTarget  []byte
+}
+
+type CreateInodeResp struct {
+	Info *Inode
+}
+
+// UnlinkInodeReq decrements nlink; when it reaches the threshold (0 for
+// files, 2 for directories) the inode is marked deleted (Section 2.6.3).
+type UnlinkInodeReq struct {
+	PartitionID uint64
+	Inode       uint64
+}
+
+type UnlinkInodeResp struct {
+	Info *Inode // post-decrement state
+}
+
+// EvictInodeReq removes a marked-deleted (orphan) inode from memory after
+// the client's orphan list flushes (Section 2.6.1).
+type EvictInodeReq struct {
+	PartitionID uint64
+	Inode       uint64
+}
+
+type EvictInodeResp struct{}
+
+// LinkInodeReq increments nlink as the first step of link() (Section 2.6.2).
+type LinkInodeReq struct {
+	PartitionID uint64
+	Inode       uint64
+}
+
+type LinkInodeResp struct {
+	Info *Inode
+}
+
+// CreateDentryReq inserts (ParentID, Name) -> Inode into the partition
+// owning the parent directory.
+type CreateDentryReq struct {
+	PartitionID uint64
+	ParentID    uint64
+	Name        string
+	Inode       uint64
+	Type        uint32
+}
+
+type CreateDentryResp struct{}
+
+// DeleteDentryReq removes (ParentID, Name), returning the inode id it
+// pointed at so the client can follow up with an unlink.
+type DeleteDentryReq struct {
+	PartitionID uint64
+	ParentID    uint64
+	Name        string
+}
+
+type DeleteDentryResp struct {
+	Inode uint64
+}
+
+// UpdateDentryReq repoints (ParentID, Name) at a new inode (used by
+// rename), returning the previous inode id.
+type UpdateDentryReq struct {
+	PartitionID uint64
+	ParentID    uint64
+	Name        string
+	Inode       uint64
+}
+
+type UpdateDentryResp struct {
+	OldInode uint64
+}
+
+// LookupReq resolves (ParentID, Name) to an inode id and type.
+type LookupReq struct {
+	PartitionID uint64
+	ParentID    uint64
+	Name        string
+}
+
+type LookupResp struct {
+	Inode uint64
+	Type  uint32
+}
+
+// InodeGetReq fetches one inode.
+type InodeGetReq struct {
+	PartitionID uint64
+	Inode       uint64
+}
+
+type InodeGetResp struct {
+	Info *Inode
+}
+
+// BatchInodeGetReq fetches many inodes in one round trip; this is the
+// readdir optimization the paper credits for the DirStat win (Section 4.2).
+type BatchInodeGetReq struct {
+	PartitionID uint64
+	Inodes      []uint64
+}
+
+type BatchInodeGetResp struct {
+	Infos []*Inode
+}
+
+// ReadDirReq lists the dentries under a directory inode.
+type ReadDirReq struct {
+	PartitionID uint64
+	ParentID    uint64
+}
+
+type ReadDirResp struct {
+	Children []Dentry
+}
+
+// SetAttrReq updates inode attributes (size for truncate, times, type
+// bits). Zero-valued fields selected by Valid bits are applied.
+type SetAttrReq struct {
+	PartitionID uint64
+	Inode       uint64
+	Valid       uint32
+	Size        uint64
+	ModifyTime  int64
+}
+
+// SetAttr valid bits.
+const (
+	AttrSize uint32 = 1 << iota
+	AttrModifyTime
+)
+
+type SetAttrResp struct{}
+
+// AppendExtentKeysReq records newly written extents on the file's inode
+// after the data path committed them (Section 2.7.1 step 8).
+type AppendExtentKeysReq struct {
+	PartitionID uint64
+	Inode       uint64
+	Extents     []ExtentKey
+	Size        uint64 // new file size if larger than current
+}
+
+type AppendExtentKeysResp struct{}
+
+// SplitMetaPartitionReq is the master->meta task from Algorithm 1: cut the
+// partition's inode range at End.
+type SplitMetaPartitionReq struct {
+	PartitionID uint64
+	End         uint64
+}
+
+type SplitMetaPartitionResp struct {
+	MaxInodeID uint64
+}
+
+// MetaSnapshotReq asks a partition for a serialized snapshot (used by
+// failure recovery and by fsck).
+type MetaSnapshotReq struct {
+	PartitionID uint64
+}
+
+type MetaSnapshotResp struct {
+	Inodes   []*Inode
+	Dentries []Dentry
+}
+
+// ---------------------------------------------------------------------------
+// Master messages.
+
+// CreateVolumeReq provisions a volume with the given number of meta and
+// data partitions (Section 2).
+type CreateVolumeReq struct {
+	Name               string
+	MetaPartitionCount int
+	DataPartitionCount int
+	Capacity           uint64
+}
+
+type CreateVolumeResp struct {
+	View *VolumeView
+}
+
+// GetVolumeReq fetches the current volume view; clients poll this
+// periodically over non-persistent connections (Sections 2.4, 2.5.2).
+type GetVolumeReq struct {
+	Name  string
+	Epoch uint64 // client's cached epoch; 0 forces a full view
+}
+
+type GetVolumeResp struct {
+	View      *VolumeView
+	Unchanged bool // true when the client's epoch is current
+}
+
+// RegisterNodeReq announces a meta or data node to the resource manager.
+type RegisterNodeReq struct {
+	Addr   string
+	IsMeta bool
+	Total  uint64
+}
+
+type RegisterNodeResp struct {
+	RaftSet int
+}
+
+// HeartbeatReq reports utilization and per-partition status (Section 2.3).
+type HeartbeatReq struct {
+	Addr       string
+	IsMeta     bool
+	Used       uint64
+	Total      uint64
+	Partitions []PartitionReport
+}
+
+// PartitionReport is one partition's status inside a heartbeat.
+type PartitionReport struct {
+	PartitionID uint64
+	Used        uint64
+	InodeCount  uint64
+	ExtentCount uint64
+	MaxInodeID  uint64
+	IsLeader    bool
+	Status      PartitionStatus
+}
+
+type HeartbeatResp struct{}
+
+// ReportFailureReq tells the master a replica failed to respond; repeated
+// failures mark the partition unavailable (Section 2.3.3).
+type ReportFailureReq struct {
+	PartitionID uint64
+	Addr        string
+	IsMeta      bool
+}
+
+type ReportFailureResp struct{}
+
+// ClusterStatsReq asks for cluster-wide counters (used by tools and tests).
+type ClusterStatsReq struct{}
+
+type ClusterStatsResp struct {
+	MetaNodes      []NodeInfo
+	DataNodes      []NodeInfo
+	Volumes        []string
+	MetaPartitions int
+	DataPartitions int
+}
+
+// ---------------------------------------------------------------------------
+// Admin tasks (master -> nodes).
+
+// CreateMetaPartitionReq instructs a meta node to host a new partition.
+type CreateMetaPartitionReq struct {
+	PartitionID uint64
+	Volume      string
+	Start       uint64
+	End         uint64
+	Members     []string
+}
+
+type CreateMetaPartitionResp struct{}
+
+// ExtentInfoReq asks a replica for its per-extent summaries; the leader
+// uses it to check and align extents during failure recovery (Section
+// 2.2.5).
+type ExtentInfoReq struct {
+	PartitionID uint64
+}
+
+// ExtentSummary mirrors one extent's metadata across the wire.
+type ExtentSummary struct {
+	ID    uint64
+	Size  uint64
+	CRC   uint32
+	Holed uint64
+}
+
+type ExtentInfoResp struct {
+	Extents []ExtentSummary
+}
+
+// CreateDataPartitionReq instructs a data node to host a new partition.
+type CreateDataPartitionReq struct {
+	PartitionID uint64
+	Volume      string
+	Capacity    uint64
+	Members     []string
+}
+
+type CreateDataPartitionResp struct{}

@@ -1,0 +1,191 @@
+package proto
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"cfs/internal/util"
+)
+
+// PacketMagic guards against desynchronized streams.
+const PacketMagic uint8 = 0xCF
+
+// Packet is the fixed-header frame used on the data path (Section 2.7.1).
+// The client slices file writes into fixed-size packets (128 KB by default)
+// and streams them to the replica-array leader; the leader forwards to the
+// followers in array order (primary-backup) or proposes through Raft
+// (overwrite).
+//
+// Header layout (big endian), 58 bytes:
+//
+//	magic(1) op(1) resultCode(1) followerCnt(1)
+//	reqID(8) partitionID(8) extentID(8) extentOffset(8)
+//	size(4) crc(4) fileOffset(8) reserved(6)
+//
+// followed by followerCnt length-prefixed follower addresses, then size
+// bytes of payload.
+type Packet struct {
+	Op           Op
+	ResultCode   uint8
+	ReqID        uint64
+	PartitionID  uint64
+	ExtentID     uint64
+	ExtentOffset uint64
+	FileOffset   uint64
+	CRC          uint32
+	Followers    []string // replication order tail; empty on follower hops
+	Data         []byte
+}
+
+// Packet result codes.
+const (
+	ResultOK uint8 = iota
+	ResultErrAgain
+	ResultErrNotLeader
+	ResultErrCRC
+	ResultErrIO
+	ResultErrArg
+)
+
+const packetHeaderSize = 58
+
+// NewPacket builds a request packet and stamps the payload CRC.
+func NewPacket(op Op, reqID, partitionID, extentID uint64, data []byte) *Packet {
+	return &Packet{
+		Op:          op,
+		ReqID:       reqID,
+		PartitionID: partitionID,
+		ExtentID:    extentID,
+		CRC:         util.CRC(data),
+		Data:        data,
+	}
+}
+
+// WriteTo serializes the packet to w.
+func (p *Packet) WriteTo(w io.Writer) (int64, error) {
+	if len(p.Followers) > 255 {
+		return 0, fmt.Errorf("proto: %d followers exceeds packet limit", len(p.Followers))
+	}
+	if len(p.Data) > int(^uint32(0)) {
+		return 0, fmt.Errorf("proto: payload of %d bytes exceeds packet limit", len(p.Data))
+	}
+	hdr := make([]byte, packetHeaderSize)
+	hdr[0] = PacketMagic
+	hdr[1] = uint8(p.Op)
+	hdr[2] = p.ResultCode
+	hdr[3] = uint8(len(p.Followers))
+	binary.BigEndian.PutUint64(hdr[4:], p.ReqID)
+	binary.BigEndian.PutUint64(hdr[12:], p.PartitionID)
+	binary.BigEndian.PutUint64(hdr[20:], p.ExtentID)
+	binary.BigEndian.PutUint64(hdr[28:], p.ExtentOffset)
+	binary.BigEndian.PutUint32(hdr[36:], uint32(len(p.Data)))
+	binary.BigEndian.PutUint32(hdr[40:], p.CRC)
+	binary.BigEndian.PutUint64(hdr[44:], p.FileOffset)
+	var total int64
+	n, err := w.Write(hdr)
+	total += int64(n)
+	if err != nil {
+		return total, err
+	}
+	for _, f := range p.Followers {
+		var lbuf [2]byte
+		binary.BigEndian.PutUint16(lbuf[:], uint16(len(f)))
+		n, err = w.Write(lbuf[:])
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+		n, err = io.WriteString(w, f)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	n, err = w.Write(p.Data)
+	total += int64(n)
+	return total, err
+}
+
+// ReadFrom deserializes a packet from r, replacing p's contents.
+func (p *Packet) ReadFrom(r io.Reader) (int64, error) {
+	hdr := make([]byte, packetHeaderSize)
+	var total int64
+	n, err := io.ReadFull(r, hdr)
+	total += int64(n)
+	if err != nil {
+		return total, err
+	}
+	if hdr[0] != PacketMagic {
+		return total, fmt.Errorf("proto: bad packet magic 0x%02x", hdr[0])
+	}
+	p.Op = Op(hdr[1])
+	p.ResultCode = hdr[2]
+	followerCnt := int(hdr[3])
+	p.ReqID = binary.BigEndian.Uint64(hdr[4:])
+	p.PartitionID = binary.BigEndian.Uint64(hdr[12:])
+	p.ExtentID = binary.BigEndian.Uint64(hdr[20:])
+	p.ExtentOffset = binary.BigEndian.Uint64(hdr[28:])
+	size := binary.BigEndian.Uint32(hdr[36:])
+	p.CRC = binary.BigEndian.Uint32(hdr[40:])
+	p.FileOffset = binary.BigEndian.Uint64(hdr[44:])
+	p.Followers = nil
+	for i := 0; i < followerCnt; i++ {
+		var lbuf [2]byte
+		n, err = io.ReadFull(r, lbuf[:])
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+		fl := int(binary.BigEndian.Uint16(lbuf[:]))
+		fbuf := make([]byte, fl)
+		n, err = io.ReadFull(r, fbuf)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+		p.Followers = append(p.Followers, string(fbuf))
+	}
+	p.Data = make([]byte, size)
+	n, err = io.ReadFull(r, p.Data)
+	total += int64(n)
+	return total, err
+}
+
+// VerifyCRC reports whether the payload matches the stamped checksum
+// (Section 2.2.1: extent CRCs are checked on the data path).
+func (p *Packet) VerifyCRC() bool { return util.CRC(p.Data) == p.CRC }
+
+// OKResponse builds the success reply for a request packet, carrying data
+// back to the caller (reads) or empty (writes).
+func (p *Packet) OKResponse(data []byte) *Packet {
+	return &Packet{
+		Op:           p.Op,
+		ResultCode:   ResultOK,
+		ReqID:        p.ReqID,
+		PartitionID:  p.PartitionID,
+		ExtentID:     p.ExtentID,
+		ExtentOffset: p.ExtentOffset,
+		FileOffset:   p.FileOffset,
+		CRC:          util.CRC(data),
+		Data:         data,
+	}
+}
+
+// ErrResponse builds a failure reply with the given result code and
+// human-readable message as payload.
+func (p *Packet) ErrResponse(code uint8, msg string) *Packet {
+	return &Packet{
+		Op:          p.Op,
+		ResultCode:  code,
+		ReqID:       p.ReqID,
+		PartitionID: p.PartitionID,
+		ExtentID:    p.ExtentID,
+		Data:        []byte(msg),
+	}
+}
+
+func (p *Packet) String() string {
+	return fmt.Sprintf("pkt{op=%s req=%d dp=%d ext=%d eoff=%d len=%d rc=%d}",
+		p.Op, p.ReqID, p.PartitionID, p.ExtentID, p.ExtentOffset, len(p.Data), p.ResultCode)
+}

@@ -1,0 +1,883 @@
+// Package raft implements the Raft consensus protocol (Ongaro &
+// Ousterhout, USENIX ATC'14), which CFS uses for meta-partition
+// replication, the overwrite path of data partitions, and the resource
+// manager's own state (paper Sections 2, 2.1.2, 2.2.4).
+//
+// The implementation covers leader election with randomized timeouts, log
+// replication, commitment, synchronous state-machine application, log
+// compaction by snapshot, and snapshot installation for lagging followers.
+// Each Node runs a single event-loop goroutine; messages move through a
+// Sender so that package raftstore can multiplex many groups over one
+// network connection per peer (the MultiRaft arrangement the paper adopts
+// to reduce heartbeat traffic).
+package raft
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"cfs/internal/util"
+)
+
+// MsgType enumerates Raft messages.
+type MsgType uint8
+
+const (
+	MsgVote MsgType = iota + 1
+	MsgVoteResp
+	MsgApp
+	MsgAppResp
+	MsgSnap
+	MsgSnapResp
+)
+
+func (m MsgType) String() string {
+	switch m {
+	case MsgVote:
+		return "Vote"
+	case MsgVoteResp:
+		return "VoteResp"
+	case MsgApp:
+		return "App"
+	case MsgAppResp:
+		return "AppResp"
+	case MsgSnap:
+		return "Snap"
+	case MsgSnapResp:
+		return "SnapResp"
+	default:
+		return "Msg(unknown)"
+	}
+}
+
+// Entry is one replicated log record.
+type Entry struct {
+	Index uint64
+	Term  uint64
+	Data  []byte
+}
+
+// Message is the single frame type exchanged between peers. Fields are a
+// union across message types; GroupID routes it to the right Node when many
+// groups share a transport.
+type Message struct {
+	GroupID uint64
+	Type    MsgType
+	From    string
+	To      string
+	Term    uint64
+
+	// MsgVote / MsgVoteResp
+	LastLogIndex uint64
+	LastLogTerm  uint64
+	Granted      bool
+
+	// MsgApp / MsgAppResp
+	PrevLogIndex uint64
+	PrevLogTerm  uint64
+	Entries      []Entry
+	Commit       uint64
+	Success      bool
+	MatchIndex   uint64
+	HintIndex    uint64 // follower's conflict hint for fast backoff
+
+	// MsgSnap
+	SnapIndex uint64
+	SnapTerm  uint64
+	SnapData  []byte
+}
+
+// Sender delivers messages to peers; delivery is best-effort and may drop
+// or reorder (Raft tolerates both). Implementations must not block for
+// long: the node event loop calls Send inline.
+type Sender interface {
+	Send(msg *Message)
+}
+
+// SenderFunc adapts a function to the Sender interface.
+type SenderFunc func(msg *Message)
+
+// Send implements Sender.
+func (f SenderFunc) Send(msg *Message) { f(msg) }
+
+// StateMachine is the replicated application. Apply is called exactly once
+// per committed entry, in index order, from the node's event loop. The
+// returned value completes the corresponding Propose on the leader.
+type StateMachine interface {
+	Apply(index uint64, data []byte) (any, error)
+	// Snapshot serializes the full state at the current applied index.
+	Snapshot() ([]byte, error)
+	// Restore replaces state from a snapshot produced by Snapshot.
+	Restore(data []byte) error
+}
+
+// Role is a node's current Raft role.
+type Role int32
+
+const (
+	Follower Role = iota
+	Candidate
+	Leader
+)
+
+func (r Role) String() string {
+	switch r {
+	case Follower:
+		return "follower"
+	case Candidate:
+		return "candidate"
+	case Leader:
+		return "leader"
+	default:
+		return "role(unknown)"
+	}
+}
+
+// Errors returned by Propose and reads.
+var (
+	// ErrNotLeader reports the proposal was submitted to a non-leader;
+	// use Status().Leader for a redirect hint.
+	ErrNotLeader = util.ErrNotLeader
+	// ErrStopped reports the node has been shut down.
+	ErrStopped = errors.New("raft: node stopped")
+	// ErrProposalDropped reports a proposal lost leadership before commit.
+	ErrProposalDropped = errors.New("raft: proposal dropped")
+	// ErrTimeout reports a proposal did not commit in time.
+	ErrTimeout = util.ErrTimeout
+)
+
+// Config configures a Node.
+type Config struct {
+	// ID is this member's address (unique within the group).
+	ID string
+	// Peers lists every member including ID.
+	Peers []string
+	// GroupID distinguishes groups multiplexed on one transport.
+	GroupID uint64
+	// Sender delivers outgoing messages.
+	Sender Sender
+	// SM is the replicated state machine.
+	SM StateMachine
+
+	// TickInterval is the logical clock period. Heartbeats fire every
+	// HeartbeatTicks ticks; elections fire after a randomized timeout in
+	// [ElectionTicks, 2*ElectionTicks). Zero values take defaults
+	// (tick 10ms, heartbeat 2 ticks, election 10 ticks).
+	TickInterval   time.Duration
+	HeartbeatTicks int
+	ElectionTicks  int
+
+	// MaxLogEntries triggers snapshot-based compaction once the
+	// in-memory log grows past it. Zero means 4096.
+	MaxLogEntries int
+	// MaxEntriesPerMsg bounds entries per AppendEntries. Zero means 64.
+	MaxEntriesPerMsg int
+	// ProposeTimeout bounds Propose. Zero means 5s.
+	ProposeTimeout time.Duration
+	// Seed randomizes election timeouts; zero derives from ID.
+	Seed uint64
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.TickInterval == 0 {
+		out.TickInterval = 10 * time.Millisecond
+	}
+	if out.HeartbeatTicks == 0 {
+		out.HeartbeatTicks = 2
+	}
+	if out.ElectionTicks == 0 {
+		out.ElectionTicks = 10
+	}
+	if out.MaxLogEntries == 0 {
+		out.MaxLogEntries = 4096
+	}
+	if out.MaxEntriesPerMsg == 0 {
+		out.MaxEntriesPerMsg = 64
+	}
+	if out.ProposeTimeout == 0 {
+		out.ProposeTimeout = 5 * time.Second
+	}
+	if out.Seed == 0 {
+		var h uint64 = 1469598103934665603
+		for i := 0; i < len(out.ID); i++ {
+			h ^= uint64(out.ID[i])
+			h *= 1099511628211
+		}
+		out.Seed = h | 1
+	}
+	return out
+}
+
+// Status is a point-in-time view of a node.
+type Status struct {
+	ID      string
+	Role    Role
+	Term    uint64
+	Leader  string
+	Commit  uint64
+	Applied uint64
+	// FirstIndex is the first log index still held (post-compaction).
+	FirstIndex uint64
+	LastIndex  uint64
+}
+
+type proposal struct {
+	data []byte
+	resp chan proposeResult
+}
+
+type proposeResult struct {
+	value any
+	err   error
+}
+
+type pendingApply struct {
+	term uint64
+	resp chan proposeResult
+}
+
+// Node is one Raft group member.
+type Node struct {
+	cfg  Config
+	rand *util.Rand
+
+	// Event-loop state (owned by run goroutine).
+	role        Role
+	term        uint64
+	votedFor    string
+	leader      string
+	log         []Entry // log[0].Index == firstIndex
+	firstIndex  uint64  // index of log[0]; snapshot covers < firstIndex
+	snapTerm    uint64  // term at snapshot boundary (firstIndex-1)
+	commitIndex uint64
+	applied     uint64
+	votes       map[string]bool
+	nextIndex   map[string]uint64
+	matchIndex  map[string]uint64
+	pending     map[uint64]pendingApply // log index -> waiter
+	elapsed     int                     // ticks since last reset
+	timeoutIn   int                     // randomized election deadline in ticks
+	hbElapsed   int
+
+	recvq    chan *Message
+	propq    chan proposal
+	statusq  chan chan Status
+	campq    chan struct{}
+	stopOnce sync.Once
+	stopc    chan struct{}
+	donec    chan struct{}
+	ticker   *time.Ticker
+}
+
+// NewNode starts a Raft node and its event loop.
+func NewNode(cfg Config) (*Node, error) {
+	c := cfg.withDefaults()
+	if c.ID == "" || len(c.Peers) == 0 || c.Sender == nil || c.SM == nil {
+		return nil, fmt.Errorf("raft: %w: ID, Peers, Sender and SM are required", util.ErrInvalidArgument)
+	}
+	found := false
+	for _, p := range c.Peers {
+		if p == c.ID {
+			found = true
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("raft: %w: ID %q not in Peers", util.ErrInvalidArgument, c.ID)
+	}
+	n := &Node{
+		cfg:        c,
+		rand:       util.NewRand(c.Seed),
+		role:       Follower,
+		firstIndex: 1,
+		votes:      make(map[string]bool),
+		nextIndex:  make(map[string]uint64),
+		matchIndex: make(map[string]uint64),
+		pending:    make(map[uint64]pendingApply),
+		recvq:      make(chan *Message, 1024),
+		propq:      make(chan proposal, 256),
+		statusq:    make(chan chan Status),
+		campq:      make(chan struct{}, 1),
+		stopc:      make(chan struct{}),
+		donec:      make(chan struct{}),
+	}
+	n.resetElectionTimer()
+	n.ticker = time.NewTicker(c.TickInterval)
+	go n.run()
+	return n, nil
+}
+
+// Stop terminates the event loop. Outstanding proposals fail with
+// ErrStopped. Stop is idempotent.
+func (n *Node) Stop() {
+	n.stopOnce.Do(func() { close(n.stopc) })
+	<-n.donec
+}
+
+// Step hands a message received from the network to the node.
+func (n *Node) Step(msg *Message) {
+	select {
+	case n.recvq <- msg:
+	case <-n.stopc:
+	default:
+		// Queue full: drop. Raft retries via timeouts.
+	}
+}
+
+// Campaign asks the node to start an election immediately (used by tests
+// and by bootstrap to avoid waiting a full timeout).
+func (n *Node) Campaign() {
+	select {
+	case n.campq <- struct{}{}:
+	default:
+	}
+}
+
+// Status returns a snapshot of node state.
+func (n *Node) Status() Status {
+	ch := make(chan Status, 1)
+	select {
+	case n.statusq <- ch:
+		return <-ch
+	case <-n.stopc:
+		return Status{ID: n.cfg.ID}
+	}
+}
+
+// IsLeader reports whether the node currently believes it is leader.
+func (n *Node) IsLeader() bool { return n.Status().Role == Leader }
+
+// Propose replicates data and waits until it is committed and applied,
+// returning the state machine's result. It fails fast with ErrNotLeader on
+// non-leaders.
+func (n *Node) Propose(data []byte) (any, error) {
+	resp := make(chan proposeResult, 1)
+	select {
+	case n.propq <- proposal{data: data, resp: resp}:
+	case <-n.stopc:
+		return nil, ErrStopped
+	}
+	select {
+	case r := <-resp:
+		return r.value, r.err
+	case <-time.After(n.cfg.ProposeTimeout):
+		return nil, fmt.Errorf("raft: propose: %w", ErrTimeout)
+	case <-n.stopc:
+		return nil, ErrStopped
+	}
+}
+
+// run is the event loop; all protocol state is confined to it.
+func (n *Node) run() {
+	defer close(n.donec)
+	defer n.ticker.Stop()
+	for {
+		select {
+		case <-n.stopc:
+			n.failAllPending(ErrStopped)
+			return
+		case <-n.ticker.C:
+			n.tick()
+		case msg := <-n.recvq:
+			n.handle(msg)
+		case p := <-n.propq:
+			n.propose(p)
+		case ch := <-n.statusq:
+			ch <- n.status()
+		case <-n.campq:
+			n.startElection()
+		}
+	}
+}
+
+func (n *Node) status() Status {
+	return Status{
+		ID:         n.cfg.ID,
+		Role:       n.role,
+		Term:       n.term,
+		Leader:     n.leader,
+		Commit:     n.commitIndex,
+		Applied:    n.applied,
+		FirstIndex: n.firstIndex,
+		LastIndex:  n.lastIndex(),
+	}
+}
+
+func (n *Node) resetElectionTimer() {
+	n.elapsed = 0
+	n.timeoutIn = n.cfg.ElectionTicks + n.rand.Intn(n.cfg.ElectionTicks)
+}
+
+func (n *Node) tick() {
+	if n.role == Leader {
+		n.hbElapsed++
+		if n.hbElapsed >= n.cfg.HeartbeatTicks {
+			n.hbElapsed = 0
+			n.broadcastAppend(true)
+		}
+		return
+	}
+	n.elapsed++
+	if n.elapsed >= n.timeoutIn {
+		n.startElection()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Elections.
+
+func (n *Node) startElection() {
+	if len(n.cfg.Peers) == 1 {
+		// Single-member group: become leader immediately.
+		n.term++
+		n.becomeLeader()
+		return
+	}
+	n.role = Candidate
+	n.term++
+	n.votedFor = n.cfg.ID
+	n.leader = ""
+	n.votes = map[string]bool{n.cfg.ID: true}
+	n.resetElectionTimer()
+	for _, p := range n.cfg.Peers {
+		if p == n.cfg.ID {
+			continue
+		}
+		n.cfg.Sender.Send(&Message{
+			GroupID:      n.cfg.GroupID,
+			Type:         MsgVote,
+			From:         n.cfg.ID,
+			To:           p,
+			Term:         n.term,
+			LastLogIndex: n.lastIndex(),
+			LastLogTerm:  n.lastTerm(),
+		})
+	}
+}
+
+func (n *Node) becomeFollower(term uint64, leader string) {
+	prev := n.role
+	n.role = Follower
+	n.term = term
+	n.leader = leader
+	if prev == Leader || prev == Candidate {
+		n.votedFor = ""
+	}
+	n.resetElectionTimer()
+	if prev == Leader {
+		n.failAllPending(ErrProposalDropped)
+	}
+}
+
+func (n *Node) becomeLeader() {
+	n.role = Leader
+	n.leader = n.cfg.ID
+	n.hbElapsed = 0
+	last := n.lastIndex()
+	for _, p := range n.cfg.Peers {
+		n.nextIndex[p] = last + 1
+		n.matchIndex[p] = 0
+	}
+	n.matchIndex[n.cfg.ID] = last
+	// Commit a no-op entry to establish commitment in the new term
+	// (Raft section 5.4.2: a leader may only count replicas for entries
+	// of its own term).
+	n.appendLocal(nil)
+	n.broadcastAppend(false)
+	n.maybeCommit()
+}
+
+func (n *Node) handleVote(msg *Message) {
+	granted := false
+	if msg.Term >= n.term {
+		if msg.Term > n.term {
+			n.becomeFollower(msg.Term, "")
+		}
+		upToDate := msg.LastLogTerm > n.lastTerm() ||
+			(msg.LastLogTerm == n.lastTerm() && msg.LastLogIndex >= n.lastIndex())
+		if (n.votedFor == "" || n.votedFor == msg.From) && upToDate {
+			granted = true
+			n.votedFor = msg.From
+			n.resetElectionTimer()
+		}
+	}
+	n.cfg.Sender.Send(&Message{
+		GroupID: n.cfg.GroupID,
+		Type:    MsgVoteResp,
+		From:    n.cfg.ID,
+		To:      msg.From,
+		Term:    n.term,
+		Granted: granted,
+	})
+}
+
+func (n *Node) handleVoteResp(msg *Message) {
+	if n.role != Candidate || msg.Term != n.term {
+		if msg.Term > n.term {
+			n.becomeFollower(msg.Term, "")
+		}
+		return
+	}
+	if msg.Granted {
+		n.votes[msg.From] = true
+		if n.countVotes() > len(n.cfg.Peers)/2 {
+			n.becomeLeader()
+		}
+	}
+}
+
+func (n *Node) countVotes() int {
+	c := 0
+	for _, ok := range n.votes {
+		if ok {
+			c++
+		}
+	}
+	return c
+}
+
+// ---------------------------------------------------------------------------
+// Log access helpers. The log is log[], with log[0].Index == firstIndex;
+// entries below firstIndex live only in the snapshot.
+
+func (n *Node) lastIndex() uint64 {
+	if len(n.log) == 0 {
+		return n.firstIndex - 1
+	}
+	return n.log[len(n.log)-1].Index
+}
+
+func (n *Node) lastTerm() uint64 {
+	if len(n.log) == 0 {
+		return n.snapTerm
+	}
+	return n.log[len(n.log)-1].Term
+}
+
+// termAt returns the term of the entry at index, or (0,false) if the entry
+// has been compacted away or does not exist.
+func (n *Node) termAt(index uint64) (uint64, bool) {
+	if index == n.firstIndex-1 {
+		return n.snapTerm, true
+	}
+	if index < n.firstIndex || index > n.lastIndex() {
+		return 0, false
+	}
+	return n.log[index-n.firstIndex].Term, true
+}
+
+func (n *Node) entriesFrom(index uint64, max int) []Entry {
+	if index < n.firstIndex || index > n.lastIndex() {
+		return nil
+	}
+	start := index - n.firstIndex
+	end := uint64(len(n.log))
+	if end-start > uint64(max) {
+		end = start + uint64(max)
+	}
+	out := make([]Entry, end-start)
+	copy(out, n.log[start:end])
+	return out
+}
+
+func (n *Node) appendLocal(data []byte) uint64 {
+	idx := n.lastIndex() + 1
+	n.log = append(n.log, Entry{Index: idx, Term: n.term, Data: data})
+	n.matchIndex[n.cfg.ID] = idx
+	return idx
+}
+
+// ---------------------------------------------------------------------------
+// Replication.
+
+func (n *Node) propose(p proposal) {
+	if n.role != Leader {
+		p.resp <- proposeResult{err: fmt.Errorf("raft: %w (leader=%s)", ErrNotLeader, n.leader)}
+		return
+	}
+	idx := n.appendLocal(p.data)
+	n.pending[idx] = pendingApply{term: n.term, resp: p.resp}
+	n.broadcastAppend(false)
+	n.maybeCommit() // single-node groups commit immediately
+}
+
+func (n *Node) broadcastAppend(heartbeat bool) {
+	for _, p := range n.cfg.Peers {
+		if p == n.cfg.ID {
+			continue
+		}
+		n.sendAppend(p, heartbeat)
+	}
+}
+
+func (n *Node) sendAppend(to string, heartbeat bool) {
+	next := n.nextIndex[to]
+	if next < n.firstIndex {
+		// Follower needs entries we compacted: ship the snapshot.
+		n.sendSnapshot(to)
+		return
+	}
+	prev := next - 1
+	prevTerm, ok := n.termAt(prev)
+	if !ok {
+		n.sendSnapshot(to)
+		return
+	}
+	var entries []Entry
+	if !heartbeat || n.lastIndex() >= next {
+		entries = n.entriesFrom(next, n.cfg.MaxEntriesPerMsg)
+	}
+	n.cfg.Sender.Send(&Message{
+		GroupID:      n.cfg.GroupID,
+		Type:         MsgApp,
+		From:         n.cfg.ID,
+		To:           to,
+		Term:         n.term,
+		PrevLogIndex: prev,
+		PrevLogTerm:  prevTerm,
+		Entries:      entries,
+		Commit:       n.commitIndex,
+	})
+}
+
+func (n *Node) sendSnapshot(to string) {
+	data, err := n.cfg.SM.Snapshot()
+	if err != nil {
+		return // retried on next heartbeat
+	}
+	n.cfg.Sender.Send(&Message{
+		GroupID:   n.cfg.GroupID,
+		Type:      MsgSnap,
+		From:      n.cfg.ID,
+		To:        to,
+		Term:      n.term,
+		SnapIndex: n.firstIndex - 1,
+		SnapTerm:  n.snapTerm,
+		SnapData:  data,
+		Commit:    n.commitIndex,
+	})
+}
+
+func (n *Node) handleApp(msg *Message) {
+	if msg.Term < n.term {
+		n.sendAppResp(msg.From, false, 0, n.lastIndex()+1)
+		return
+	}
+	n.becomeFollowerKeepVote(msg.Term, msg.From)
+	prevTerm, ok := n.termAt(msg.PrevLogIndex)
+	if !ok || prevTerm != msg.PrevLogTerm {
+		// Conflict: hint the leader to back off to our last plausible
+		// index so it can catch us up (or snapshot us).
+		hint := util.MinU64(msg.PrevLogIndex, n.lastIndex()+1)
+		if hint < n.firstIndex {
+			hint = n.firstIndex
+		}
+		n.sendAppResp(msg.From, false, 0, hint)
+		return
+	}
+	// Append entries, truncating any conflicting suffix.
+	for _, e := range msg.Entries {
+		if t, ok := n.termAt(e.Index); ok && t == e.Term {
+			continue // already have it
+		}
+		if e.Index <= n.lastIndex() {
+			// Conflict: drop our suffix from e.Index.
+			if e.Index >= n.firstIndex {
+				n.log = n.log[:e.Index-n.firstIndex]
+			}
+		}
+		if e.Index == n.lastIndex()+1 {
+			n.log = append(n.log, e)
+		}
+	}
+	if msg.Commit > n.commitIndex {
+		n.commitIndex = util.MinU64(msg.Commit, n.lastIndex())
+		n.applyCommitted()
+	}
+	n.sendAppResp(msg.From, true, n.lastIndex(), 0)
+}
+
+// becomeFollowerKeepVote differs from becomeFollower by not clearing
+// votedFor when the term is unchanged (the AppendEntries sender is simply
+// the established leader).
+func (n *Node) becomeFollowerKeepVote(term uint64, leader string) {
+	if term > n.term {
+		n.becomeFollower(term, leader)
+		return
+	}
+	if n.role == Leader && leader != n.cfg.ID {
+		// Same-term competing leader cannot happen in correct Raft;
+		// treat defensively as term bump.
+		n.becomeFollower(term, leader)
+		return
+	}
+	n.role = Follower
+	n.leader = leader
+	n.resetElectionTimer()
+}
+
+func (n *Node) sendAppResp(to string, success bool, match, hint uint64) {
+	n.cfg.Sender.Send(&Message{
+		GroupID:    n.cfg.GroupID,
+		Type:       MsgAppResp,
+		From:       n.cfg.ID,
+		To:         to,
+		Term:       n.term,
+		Success:    success,
+		MatchIndex: match,
+		HintIndex:  hint,
+	})
+}
+
+func (n *Node) handleAppResp(msg *Message) {
+	if msg.Term > n.term {
+		n.becomeFollower(msg.Term, "")
+		return
+	}
+	if n.role != Leader || msg.Term < n.term {
+		return
+	}
+	if msg.Success {
+		if msg.MatchIndex > n.matchIndex[msg.From] {
+			n.matchIndex[msg.From] = msg.MatchIndex
+		}
+		n.nextIndex[msg.From] = util.MaxU64(n.nextIndex[msg.From], msg.MatchIndex+1)
+		n.maybeCommit()
+		if n.lastIndex() >= n.nextIndex[msg.From] {
+			n.sendAppend(msg.From, false) // keep streaming backlog
+		}
+		return
+	}
+	// Rejected: back off using the hint and retry immediately.
+	next := msg.HintIndex
+	if next == 0 {
+		next = 1
+	}
+	if next < 1 {
+		next = 1
+	}
+	n.nextIndex[msg.From] = next
+	n.sendAppend(msg.From, false)
+}
+
+func (n *Node) maybeCommit() {
+	if n.role != Leader {
+		return
+	}
+	for idx := n.lastIndex(); idx > n.commitIndex; idx-- {
+		t, ok := n.termAt(idx)
+		if !ok || t != n.term {
+			break // only commit entries from the current term by counting
+		}
+		votes := 0
+		for _, p := range n.cfg.Peers {
+			if n.matchIndex[p] >= idx {
+				votes++
+			}
+		}
+		if votes > len(n.cfg.Peers)/2 {
+			n.commitIndex = idx
+			n.applyCommitted()
+			break
+		}
+	}
+}
+
+func (n *Node) applyCommitted() {
+	for n.applied < n.commitIndex {
+		idx := n.applied + 1
+		if idx < n.firstIndex {
+			// Should not happen: applied always >= firstIndex-1.
+			n.applied = n.firstIndex - 1
+			continue
+		}
+		e := n.log[idx-n.firstIndex]
+		var result any
+		var err error
+		if len(e.Data) > 0 {
+			result, err = n.cfg.SM.Apply(e.Index, e.Data)
+		}
+		n.applied = idx
+		if w, ok := n.pending[idx]; ok {
+			delete(n.pending, idx)
+			if w.term == e.Term {
+				w.resp <- proposeResult{value: result, err: err}
+			} else {
+				w.resp <- proposeResult{err: ErrProposalDropped}
+			}
+		}
+	}
+	n.maybeCompact()
+}
+
+func (n *Node) maybeCompact() {
+	if len(n.log) <= n.cfg.MaxLogEntries {
+		return
+	}
+	// Compact up to the applied index, keeping a small tail so slightly
+	// lagging followers do not immediately need snapshots.
+	keepFrom := n.applied // entries >= keepFrom stay... (tail of 1)
+	if keepFrom <= n.firstIndex {
+		return
+	}
+	snapIdx := keepFrom - 1
+	term, ok := n.termAt(snapIdx)
+	if !ok {
+		return
+	}
+	if snapIdx > n.applied {
+		return
+	}
+	// Snapshot failures leave the log uncompacted, which is safe.
+	if _, err := n.cfg.SM.Snapshot(); err != nil {
+		return
+	}
+	n.log = append([]Entry(nil), n.log[keepFrom-n.firstIndex:]...)
+	n.firstIndex = keepFrom
+	n.snapTerm = term
+}
+
+func (n *Node) handleSnap(msg *Message) {
+	if msg.Term < n.term {
+		return
+	}
+	n.becomeFollowerKeepVote(msg.Term, msg.From)
+	if msg.SnapIndex <= n.applied {
+		// Stale snapshot; ack current progress.
+		n.sendAppResp(msg.From, true, n.lastIndex(), 0)
+		return
+	}
+	if err := n.cfg.SM.Restore(msg.SnapData); err != nil {
+		return
+	}
+	n.log = nil
+	n.firstIndex = msg.SnapIndex + 1
+	n.snapTerm = msg.SnapTerm
+	n.applied = msg.SnapIndex
+	n.commitIndex = util.MaxU64(n.commitIndex, msg.SnapIndex)
+	n.sendAppResp(msg.From, true, msg.SnapIndex, 0)
+}
+
+func (n *Node) handle(msg *Message) {
+	switch msg.Type {
+	case MsgVote:
+		n.handleVote(msg)
+	case MsgVoteResp:
+		n.handleVoteResp(msg)
+	case MsgApp:
+		n.handleApp(msg)
+	case MsgAppResp:
+		n.handleAppResp(msg)
+	case MsgSnap:
+		n.handleSnap(msg)
+	}
+}
+
+func (n *Node) failAllPending(err error) {
+	for idx, w := range n.pending {
+		delete(n.pending, idx)
+		w.resp <- proposeResult{err: err}
+	}
+}

@@ -1,0 +1,421 @@
+package raft
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// kvSM is a tiny replicated map used as the test state machine.
+type kvSM struct {
+	mu      sync.Mutex
+	data    map[string]string
+	applied uint64
+}
+
+func newKVSM() *kvSM { return &kvSM{data: make(map[string]string)} }
+
+func (s *kvSM) Apply(index uint64, data []byte) (any, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if index <= s.applied {
+		return nil, fmt.Errorf("reapply of index %d (applied %d)", index, s.applied)
+	}
+	s.applied = index
+	parts := bytes.SplitN(data, []byte("="), 2)
+	if len(parts) != 2 {
+		return nil, fmt.Errorf("bad command %q", data)
+	}
+	s.data[string(parts[0])] = string(parts[1])
+	return string(parts[1]), nil
+}
+
+func (s *kvSM) Snapshot() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(s.data); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func (s *kvSM) Restore(data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := make(map[string]string)
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&m); err != nil {
+		return err
+	}
+	s.data = m
+	return nil
+}
+
+func (s *kvSM) get(k string) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.data[k]
+	return v, ok
+}
+
+// router delivers messages between test nodes with optional partitions.
+type router struct {
+	mu    sync.Mutex
+	nodes map[string]*Node
+	cut   map[string]bool
+}
+
+func newRouter() *router {
+	return &router{nodes: make(map[string]*Node), cut: make(map[string]bool)}
+}
+
+func (r *router) sender() Sender {
+	return SenderFunc(func(msg *Message) {
+		r.mu.Lock()
+		n := r.nodes[msg.To]
+		blocked := r.cut[msg.To] || r.cut[msg.From]
+		r.mu.Unlock()
+		if n == nil || blocked {
+			return
+		}
+		n.Step(msg)
+	})
+}
+
+func (r *router) partition(id string) {
+	r.mu.Lock()
+	r.cut[id] = true
+	r.mu.Unlock()
+}
+
+func (r *router) heal(id string) {
+	r.mu.Lock()
+	delete(r.cut, id)
+	r.mu.Unlock()
+}
+
+type cluster struct {
+	t      *testing.T
+	router *router
+	nodes  map[string]*Node
+	sms    map[string]*kvSM
+	peers  []string
+}
+
+func newCluster(t *testing.T, n int, maxLog int) *cluster {
+	t.Helper()
+	c := &cluster{
+		t:      t,
+		router: newRouter(),
+		nodes:  make(map[string]*Node),
+		sms:    make(map[string]*kvSM),
+	}
+	for i := 0; i < n; i++ {
+		c.peers = append(c.peers, fmt.Sprintf("n%d", i))
+	}
+	for _, id := range c.peers {
+		sm := newKVSM()
+		node, err := NewNode(Config{
+			ID:             id,
+			Peers:          c.peers,
+			GroupID:        1,
+			Sender:         c.router.sender(),
+			SM:             sm,
+			TickInterval:   2 * time.Millisecond,
+			HeartbeatTicks: 2,
+			ElectionTicks:  10,
+			MaxLogEntries:  maxLog,
+			ProposeTimeout: 2 * time.Second,
+			Seed:           uint64(len(id)*1000 + int(id[1])),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.router.mu.Lock()
+		c.router.nodes[id] = node
+		c.router.mu.Unlock()
+		c.nodes[id] = node
+		c.sms[id] = sm
+	}
+	t.Cleanup(c.stopAll)
+	return c
+}
+
+func (c *cluster) stopAll() {
+	for _, n := range c.nodes {
+		n.Stop()
+	}
+}
+
+// waitLeader blocks until exactly one reachable node is leader and a
+// majority agrees on it, returning its id.
+func (c *cluster) waitLeader() string {
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		counts := map[string]int{}
+		for id, n := range c.nodes {
+			c.router.mu.Lock()
+			cut := c.router.cut[id]
+			c.router.mu.Unlock()
+			if cut {
+				continue
+			}
+			st := n.Status()
+			if st.Leader != "" {
+				counts[st.Leader]++
+			}
+		}
+		for leader, votes := range counts {
+			c.router.mu.Lock()
+			cut := c.router.cut[leader]
+			c.router.mu.Unlock()
+			if cut {
+				continue
+			}
+			if votes > len(c.peers)/2 && c.nodes[leader].Status().Role == Leader {
+				return leader
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	c.t.Fatal("no leader elected within deadline")
+	return ""
+}
+
+func (c *cluster) propose(key, val string) error {
+	leader := c.waitLeader()
+	_, err := c.nodes[leader].Propose([]byte(key + "=" + val))
+	return err
+}
+
+func (c *cluster) waitValue(id, key, want string) {
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if v, ok := c.sms[id].get(key); ok && v == want {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	v, _ := c.sms[id].get(key)
+	c.t.Fatalf("node %s: key %q = %q, want %q", id, key, v, want)
+}
+
+func TestSingleNodeCommit(t *testing.T) {
+	c := newCluster(t, 1, 0)
+	leader := c.waitLeader()
+	if leader != "n0" {
+		t.Fatalf("leader = %s", leader)
+	}
+	v, err := c.nodes["n0"].Propose([]byte("a=1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.(string) != "1" {
+		t.Fatalf("apply result = %v", v)
+	}
+	c.waitValue("n0", "a", "1")
+}
+
+func TestThreeNodeElectionAndReplication(t *testing.T) {
+	c := newCluster(t, 3, 0)
+	leader := c.waitLeader()
+	if _, err := c.nodes[leader].Propose([]byte("k=v")); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range c.peers {
+		c.waitValue(id, "k", "v")
+	}
+}
+
+func TestProposeOnFollowerFails(t *testing.T) {
+	c := newCluster(t, 3, 0)
+	leader := c.waitLeader()
+	for _, id := range c.peers {
+		if id == leader {
+			continue
+		}
+		_, err := c.nodes[id].Propose([]byte("x=y"))
+		if !errors.Is(err, ErrNotLeader) {
+			t.Fatalf("follower %s accepted proposal: %v", id, err)
+		}
+		return
+	}
+}
+
+func TestLeaderFailover(t *testing.T) {
+	c := newCluster(t, 3, 0)
+	leader1 := c.waitLeader()
+	if _, err := c.nodes[leader1].Propose([]byte("before=1")); err != nil {
+		t.Fatal(err)
+	}
+	c.router.partition(leader1)
+	leader2 := c.waitLeader()
+	if leader2 == leader1 {
+		t.Fatalf("partitioned leader still considered leader")
+	}
+	if _, err := c.nodes[leader2].Propose([]byte("after=2")); err != nil {
+		t.Fatalf("propose after failover: %v", err)
+	}
+	// Old leader heals and must converge as follower with the new data.
+	c.router.heal(leader1)
+	c.waitValue(leader1, "after", "2")
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if c.nodes[leader1].Status().Role == Follower {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got := c.nodes[leader1].Status().Role; got != Follower {
+		t.Fatalf("healed old leader role = %v", got)
+	}
+}
+
+func TestManySequentialProposals(t *testing.T) {
+	c := newCluster(t, 3, 0)
+	leader := c.waitLeader()
+	const n = 200
+	for i := 0; i < n; i++ {
+		if _, err := c.nodes[leader].Propose([]byte(fmt.Sprintf("k%d=v%d", i, i))); err != nil {
+			// Leadership may move mid-run; re-resolve and retry once.
+			leader = c.waitLeader()
+			if _, err := c.nodes[leader].Propose([]byte(fmt.Sprintf("k%d=v%d", i, i))); err != nil {
+				t.Fatalf("proposal %d failed twice: %v", i, err)
+			}
+		}
+	}
+	for _, id := range c.peers {
+		c.waitValue(id, fmt.Sprintf("k%d", n-1), fmt.Sprintf("v%d", n-1))
+	}
+}
+
+func TestConcurrentProposals(t *testing.T) {
+	c := newCluster(t, 3, 0)
+	leader := c.waitLeader()
+	var wg sync.WaitGroup
+	errs := make(chan error, 50)
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := c.nodes[leader].Propose([]byte(fmt.Sprintf("c%d=%d", i, i))); err != nil {
+				errs <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("concurrent proposal failed: %v", err)
+	}
+	for i := 0; i < 50; i++ {
+		c.waitValue("n0", fmt.Sprintf("c%d", i), fmt.Sprintf("%d", i))
+	}
+}
+
+func TestLogCompactionAndSnapshotInstall(t *testing.T) {
+	// Tiny log limit forces compaction; a partitioned follower must then
+	// catch up via snapshot install.
+	c := newCluster(t, 3, 16)
+	leader := c.waitLeader()
+	var lagging string
+	for _, id := range c.peers {
+		if id != leader {
+			lagging = id
+			break
+		}
+	}
+	c.router.partition(lagging)
+	for i := 0; i < 100; i++ {
+		if _, err := c.nodes[leader].Propose([]byte(fmt.Sprintf("s%d=%d", i, i))); err != nil {
+			t.Fatalf("proposal %d: %v", i, err)
+		}
+	}
+	st := c.nodes[leader].Status()
+	if st.FirstIndex == 1 {
+		t.Fatalf("log never compacted: first=%d last=%d", st.FirstIndex, st.LastIndex)
+	}
+	c.router.heal(lagging)
+	c.waitValue(lagging, "s99", "99")
+}
+
+func TestTermMonotonicAndStableLeader(t *testing.T) {
+	c := newCluster(t, 3, 0)
+	leader := c.waitLeader()
+	term1 := c.nodes[leader].Status().Term
+	time.Sleep(200 * time.Millisecond) // many heartbeat intervals
+	leader2 := c.waitLeader()
+	term2 := c.nodes[leader2].Status().Term
+	if term2 < term1 {
+		t.Fatalf("term went backwards: %d -> %d", term1, term2)
+	}
+	if leader2 != leader {
+		t.Fatalf("leadership churned without failures: %s -> %s", leader, leader2)
+	}
+}
+
+func TestStoppedNodeRejectsPropose(t *testing.T) {
+	c := newCluster(t, 1, 0)
+	c.waitLeader()
+	c.nodes["n0"].Stop()
+	_, err := c.nodes["n0"].Propose([]byte("a=1"))
+	if !errors.Is(err, ErrStopped) {
+		t.Fatalf("propose after stop: %v", err)
+	}
+}
+
+func TestNewNodeValidation(t *testing.T) {
+	_, err := NewNode(Config{})
+	if err == nil {
+		t.Fatal("empty config accepted")
+	}
+	_, err = NewNode(Config{ID: "x", Peers: []string{"y"}, Sender: SenderFunc(func(*Message) {}), SM: newKVSM()})
+	if err == nil {
+		t.Fatal("ID not in peers accepted")
+	}
+}
+
+func TestMinorityPartitionCannotCommit(t *testing.T) {
+	c := newCluster(t, 3, 0)
+	leader := c.waitLeader()
+	// Cut the two followers: the leader is now in a minority.
+	for _, id := range c.peers {
+		if id != leader {
+			c.router.partition(id)
+		}
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.nodes[leader].Propose([]byte("iso=1"))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("minority leader committed a proposal")
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("proposal neither failed nor timed out")
+	}
+}
+
+func TestNoOpCommitEstablishesLeadership(t *testing.T) {
+	c := newCluster(t, 3, 0)
+	leader := c.waitLeader()
+	st := c.nodes[leader].Status()
+	if st.Commit == 0 {
+		// The no-op entry should commit shortly after election.
+		deadline := time.Now().Add(2 * time.Second)
+		for time.Now().Before(deadline) {
+			if c.nodes[leader].Status().Commit > 0 {
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		t.Fatal("no-op entry never committed")
+	}
+}

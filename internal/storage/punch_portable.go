@@ -1,0 +1,8 @@
+//go:build !linux
+
+package storage
+
+// On non-Linux platforms there is no fallocate punch-hole syscall; the
+// zero-fill puncher preserves the contract (holed ranges read as zeros,
+// logical offsets stay valid) without reclaiming physical space.
+func platformPunchHoler() PunchHoler { return zeroFillPuncher{} }

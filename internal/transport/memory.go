@@ -1,0 +1,146 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"cfs/internal/util"
+)
+
+// Memory is an in-process Network. All nodes of a simulated cluster share
+// one Memory instance; addresses are arbitrary strings.
+//
+// Fault injection:
+//   - Partition(addr): calls to or from addr fail with util.ErrTimeout.
+//   - SetLatency(d): every call sleeps d before dispatch, emulating a
+//     network round trip so concurrency effects (the x-axes of Figures
+//     6-9) are visible on a single machine.
+type Memory struct {
+	mu          sync.RWMutex
+	handlers    map[string]Handler
+	partitioned map[string]bool
+	latency     time.Duration
+	calls       uint64
+}
+
+// NewMemory returns an empty in-process network.
+func NewMemory() *Memory {
+	return &Memory{
+		handlers:    make(map[string]Handler),
+		partitioned: make(map[string]bool),
+	}
+}
+
+type memListener struct {
+	net  *Memory
+	addr string
+}
+
+func (l *memListener) Addr() string { return l.addr }
+
+func (l *memListener) Close() error {
+	l.net.mu.Lock()
+	defer l.net.mu.Unlock()
+	delete(l.net.handlers, l.addr)
+	return nil
+}
+
+// Listen implements Network.
+func (m *Memory) Listen(addr string, h Handler) (Listener, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.handlers[addr]; ok {
+		return nil, fmt.Errorf("transport: %w: address %s already bound", util.ErrExist, addr)
+	}
+	m.handlers[addr] = h
+	return &memListener{net: m, addr: addr}, nil
+}
+
+// Call implements Network.
+func (m *Memory) Call(addr string, op uint8, req, resp any) error {
+	m.mu.RLock()
+	h, ok := m.handlers[addr]
+	cut := m.partitioned[addr]
+	lat := m.latency
+	m.mu.RUnlock()
+	m.bumpCalls()
+	if lat > 0 {
+		time.Sleep(lat)
+	}
+	if cut {
+		return fmt.Errorf("transport: %w: %s partitioned", util.ErrTimeout, addr)
+	}
+	if !ok {
+		return fmt.Errorf("transport: %w: no listener at %s", util.ErrTimeout, addr)
+	}
+	out, err := h(op, req)
+	if err != nil {
+		// Mirror the TCP path: callers always see a RemoteError.
+		return EncodeError(err)
+	}
+	return copyInto(resp, out)
+}
+
+func (m *Memory) bumpCalls() {
+	m.mu.Lock()
+	m.calls++
+	m.mu.Unlock()
+}
+
+// Calls returns the number of Call invocations so far (used by the raft-set
+// heartbeat ablation to count messages).
+func (m *Memory) Calls() uint64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.calls
+}
+
+// SetLatency sets the simulated one-way dispatch delay for every call.
+func (m *Memory) SetLatency(d time.Duration) {
+	m.mu.Lock()
+	m.latency = d
+	m.mu.Unlock()
+}
+
+// Partition cuts addr off from the network (both directions for incoming
+// calls; outgoing calls from the node still work, matching a one-sided
+// listen failure, which is all our failure tests need).
+func (m *Memory) Partition(addr string) {
+	m.mu.Lock()
+	m.partitioned[addr] = true
+	m.mu.Unlock()
+}
+
+// Heal reconnects addr.
+func (m *Memory) Heal(addr string) {
+	m.mu.Lock()
+	delete(m.partitioned, addr)
+	m.mu.Unlock()
+}
+
+// Endpoint returns a Network view bound to a node identity: when that
+// identity is partitioned, its OUTGOING calls fail too, modeling full
+// isolation (a plain Memory handle only cuts incoming traffic). Nodes in
+// failure-injection tests should be constructed with their endpoint.
+func (m *Memory) Endpoint(addr string) Network { return &memEndpoint{m: m, from: addr} }
+
+type memEndpoint struct {
+	m    *Memory
+	from string
+}
+
+// Listen implements Network.
+func (e *memEndpoint) Listen(addr string, h Handler) (Listener, error) { return e.m.Listen(addr, h) }
+
+// Call implements Network.
+func (e *memEndpoint) Call(addr string, op uint8, req, resp any) error {
+	e.m.mu.RLock()
+	cut := e.m.partitioned[e.from]
+	e.m.mu.RUnlock()
+	if cut {
+		e.m.bumpCalls()
+		return fmt.Errorf("transport: %w: %s partitioned (outgoing)", util.ErrTimeout, e.from)
+	}
+	return e.m.Call(addr, op, req, resp)
+}

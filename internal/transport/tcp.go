@@ -1,0 +1,375 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"cfs/internal/proto"
+	"cfs/internal/util"
+)
+
+// TCP is a Network over real sockets, used by the cmd/cfs-server daemons.
+//
+// Frame layout (big endian):
+//
+//	op(1) kind(1) status(1) bodyLen(4) body
+//
+// kind selects the body codec: kindGob for control-plane messages (encoded
+// with encoding/gob) and kindPacket for *proto.Packet data-path frames
+// (encoded with the binary codec in package proto). status is only
+// meaningful on responses: statusOK or statusErr (body is a gob RemoteError).
+//
+// Connections to a peer are pooled and reused unless NonPersistent is set,
+// in which case every call dials a fresh connection and closes it after the
+// reply - this is how clients talk to the resource manager so that tens of
+// thousands of clients do not pin open connections to it (Section 2.5.2).
+type TCP struct {
+	// NonPersistent disables connection pooling for outgoing calls.
+	NonPersistent bool
+	// DialTimeout bounds connection establishment. Zero means 5s.
+	DialTimeout time.Duration
+
+	mu    sync.Mutex
+	pools map[string]*connPool
+}
+
+const (
+	kindGob    uint8 = 0
+	kindPacket uint8 = 1
+
+	statusRequest uint8 = 0
+	statusOK      uint8 = 1
+	statusErr     uint8 = 2
+
+	maxPoolPerPeer = 8
+)
+
+// NewTCP returns a pooled TCP network.
+func NewTCP() *TCP {
+	proto.RegisterGob()
+	gob.Register(&RemoteError{})
+	return &TCP{pools: make(map[string]*connPool)}
+}
+
+type tcpListener struct {
+	ln   net.Listener
+	addr string
+	wg   sync.WaitGroup
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+}
+
+func (l *tcpListener) Addr() string { return l.addr }
+
+// Close stops accepting and force-closes every active connection;
+// serveConn goroutines blocked in reads unblock with an error. Without
+// this, idle pooled client connections would pin Close forever.
+func (l *tcpListener) Close() error {
+	err := l.ln.Close()
+	l.mu.Lock()
+	for c := range l.conns {
+		c.Close()
+	}
+	l.mu.Unlock()
+	l.wg.Wait()
+	return err
+}
+
+func (l *tcpListener) track(c net.Conn) {
+	l.mu.Lock()
+	l.conns[c] = struct{}{}
+	l.mu.Unlock()
+}
+
+func (l *tcpListener) untrack(c net.Conn) {
+	l.mu.Lock()
+	delete(l.conns, c)
+	l.mu.Unlock()
+}
+
+// Listen implements Network.
+func (t *TCP) Listen(addr string, h Handler) (Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	l := &tcpListener{ln: ln, addr: ln.Addr().String(), conns: make(map[net.Conn]struct{})}
+	l.wg.Add(1)
+	go func() {
+		defer l.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			l.track(conn)
+			l.wg.Add(1)
+			go func() {
+				defer l.wg.Done()
+				defer l.untrack(conn)
+				serveConn(conn, h)
+			}()
+		}
+	}()
+	return l, nil
+}
+
+func serveConn(conn net.Conn, h Handler) {
+	defer conn.Close()
+	br := bufio.NewReaderSize(conn, 256*util.KB)
+	bw := bufio.NewWriterSize(conn, 256*util.KB)
+	for {
+		op, kind, _, body, err := readFrame(br)
+		if err != nil {
+			return // peer closed or stream corrupt; drop the connection
+		}
+		req, err := decodeBody(kind, body)
+		if err != nil {
+			return
+		}
+		resp, herr := h(op, req)
+		if herr != nil {
+			if err := writeErrFrame(bw, op, herr); err != nil {
+				return
+			}
+		} else if err := writeFrame(bw, op, statusOK, resp); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// Call implements Network.
+func (t *TCP) Call(addr string, op uint8, req, resp any) error {
+	if t.NonPersistent {
+		conn, err := t.dial(addr)
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		return callOnConn(conn, op, req, resp)
+	}
+	pool := t.pool(addr)
+	conn, err := pool.get(t)
+	if err != nil {
+		return err
+	}
+	err = callOnConn(conn, op, req, resp)
+	if err != nil {
+		if _, ok := err.(*RemoteError); ok {
+			pool.put(conn) // application error; connection is still good
+			return err
+		}
+		conn.Close() // transport error; discard the connection
+		return err
+	}
+	pool.put(conn)
+	return nil
+}
+
+func (t *TCP) dial(addr string) (net.Conn, error) {
+	d := t.DialTimeout
+	if d == 0 {
+		d = 5 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, d)
+	if err != nil {
+		return nil, fmt.Errorf("transport: %w: dial %s: %v", util.ErrTimeout, addr, err)
+	}
+	return conn, nil
+}
+
+func (t *TCP) pool(addr string) *connPool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p, ok := t.pools[addr]
+	if !ok {
+		p = &connPool{addr: addr}
+		t.pools[addr] = p
+	}
+	return p
+}
+
+type connPool struct {
+	addr string
+	mu   sync.Mutex
+	free []net.Conn
+}
+
+func (p *connPool) get(t *TCP) (net.Conn, error) {
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		c := p.free[n-1]
+		p.free = p.free[:n-1]
+		p.mu.Unlock()
+		return c, nil
+	}
+	p.mu.Unlock()
+	return t.dial(p.addr)
+}
+
+func (p *connPool) put(c net.Conn) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.free) >= maxPoolPerPeer {
+		c.Close()
+		return
+	}
+	p.free = append(p.free, c)
+}
+
+func callOnConn(conn net.Conn, op uint8, req, resp any) error {
+	bw := bufio.NewWriterSize(conn, 256*util.KB)
+	if err := writeFrame(bw, op, statusRequest, req); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	br := bufio.NewReaderSize(conn, 256*util.KB)
+	_, kind, status, body, err := readFrame(br)
+	if err != nil {
+		return err
+	}
+	if status == statusErr {
+		remote := &RemoteError{}
+		if derr := gob.NewDecoder(byteReader(body)).Decode(remote); derr != nil {
+			return fmt.Errorf("transport: undecodable remote error: %v", derr)
+		}
+		return remote
+	}
+	out, err := decodeBody(kind, body)
+	if err != nil {
+		return err
+	}
+	return copyInto(resp, out)
+}
+
+// ---------------------------------------------------------------------------
+// Framing.
+
+func writeFrame(w io.Writer, op, status uint8, body any) error {
+	var kind uint8
+	var payload []byte
+	switch b := body.(type) {
+	case *proto.Packet:
+		kind = kindPacket
+		var err error
+		payload, err = packetBytes(b)
+		if err != nil {
+			return err
+		}
+	default:
+		kind = kindGob
+		var err error
+		payload, err = gobEncode(body)
+		if err != nil {
+			return err
+		}
+	}
+	hdr := [7]byte{op, kind, status}
+	binary.BigEndian.PutUint32(hdr[3:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func writeErrFrame(w io.Writer, op uint8, herr error) error {
+	// Encode the error CONCRETELY (not interface-wrapped like request
+	// bodies): the decoder on the other side targets the struct directly.
+	var buf frameBuffer
+	if err := gob.NewEncoder(&buf).Encode(EncodeError(herr)); err != nil {
+		return err
+	}
+	payload := []byte(buf)
+	hdr := [7]byte{op, kindGob, statusErr}
+	binary.BigEndian.PutUint32(hdr[3:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, werr := w.Write(payload)
+	return werr
+}
+
+func readFrame(r io.Reader) (op, kind, status uint8, body []byte, err error) {
+	var hdr [7]byte
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+		return
+	}
+	op, kind, status = hdr[0], hdr[1], hdr[2]
+	n := binary.BigEndian.Uint32(hdr[3:])
+	body = make([]byte, n)
+	_, err = io.ReadFull(r, body)
+	return
+}
+
+func decodeBody(kind uint8, body []byte) (any, error) {
+	switch kind {
+	case kindPacket:
+		p := &proto.Packet{}
+		if _, err := p.ReadFrom(byteReader(body)); err != nil {
+			return nil, err
+		}
+		return p, nil
+	case kindGob:
+		var v any
+		if err := gobDecode(body, &v); err != nil {
+			return nil, err
+		}
+		return v, nil
+	default:
+		return nil, fmt.Errorf("transport: unknown frame kind %d", kind)
+	}
+}
+
+func packetBytes(p *proto.Packet) ([]byte, error) {
+	var buf frameBuffer
+	if _, err := p.WriteTo(&buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+type frameBuffer []byte
+
+func (b *frameBuffer) Write(p []byte) (int, error) {
+	*b = append(*b, p...)
+	return len(p), nil
+}
+
+func byteReader(b []byte) io.Reader { return &sliceReader{b: b} }
+
+type sliceReader struct{ b []byte }
+
+func (r *sliceReader) Read(p []byte) (int, error) {
+	if len(r.b) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, r.b)
+	r.b = r.b[n:]
+	return n, nil
+}
+
+func gobEncode(v any) ([]byte, error) {
+	var buf frameBuffer
+	enc := gob.NewEncoder(&buf)
+	if err := enc.Encode(&v); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func gobDecode(b []byte, out any) error {
+	return gob.NewDecoder(byteReader(b)).Decode(out)
+}
