@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build test vet fmt-check fmt bench verify
+
+all: verify
+
+# Tier-1 verify: what CI runs and what every PR must keep green.
+verify: build vet fmt-check test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+fmt:
+	gofmt -w .
+
+# One iteration of every paper-evaluation benchmark (see EXPERIMENTS.md).
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x .

@@ -306,6 +306,33 @@ func BenchmarkAblation_RaftSets(b *testing.B) {
 	}
 }
 
+// BenchmarkMultiRaft_HeartbeatScaling measures the MultiRaft win directly
+// (Section 2.1.2): idle heartbeat wire messages per logical tick on a
+// 3-node cluster as the group count triples twice. Coalescing holds the
+// wire rate at O(node pairs) - the hb-msgs-per-tick metrics stay flat
+// while beats-per-tick (the uncoalesced cost) grows 9x.
+func BenchmarkMultiRaft_HeartbeatScaling(b *testing.B) {
+	counts := []int{8, 24, 72}
+	for i := 0; i < b.N; i++ {
+		table, points, err := bench.RunHeartbeatScaling(counts, 300*time.Millisecond)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + table.Render())
+		}
+		first, last := points[0], points[len(points)-1]
+		b.ReportMetric(first.BatchesPerTick, "hb-msgs/tick@8g")
+		b.ReportMetric(last.BatchesPerTick, "hb-msgs/tick@72g")
+		b.ReportMetric(last.BeatsPerTick, "beats/tick@72g")
+		growth := 0.0
+		if first.BatchesPerTick > 0 {
+			growth = (last.BatchesPerTick - first.BatchesPerTick) / first.BatchesPerTick * 100
+		}
+		b.ReportMetric(growth, "hb-msg-growth-%")
+	}
+}
+
 // BenchmarkAblation_SmallFileAggregation compares aggregated small-file
 // writes (shared extents + punch-hole deletes, Section 2.2.3) against
 // forcing every file into its own extent (threshold 0).

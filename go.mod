@@ -1,0 +1,3 @@
+module cfs
+
+go 1.24

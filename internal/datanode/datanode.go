@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"cfs/internal/multiraft"
 	"cfs/internal/proto"
 	"cfs/internal/raftstore"
 	"cfs/internal/storage"
@@ -252,7 +253,7 @@ func (d *DataNode) CreatePartition(req *proto.CreateDataPartitionReq) error {
 func (d *DataNode) handle(op uint8, req any) (any, error) {
 	switch proto.Op(op) {
 	case proto.OpRaftMessage:
-		batch, ok := req.(*raftstore.MessageBatch)
+		batch, ok := req.(*multiraft.Batch)
 		if !ok {
 			return nil, fmt.Errorf("datanode: %w: raft body %T", util.ErrInvalidArgument, req)
 		}

@@ -5,8 +5,8 @@ import (
 	"fmt"
 	"sync"
 
+	"cfs/internal/multiraft"
 	"cfs/internal/proto"
-	"cfs/internal/raft"
 	"cfs/internal/storage"
 	"cfs/internal/util"
 )
@@ -32,7 +32,7 @@ type Partition struct {
 
 	node  *DataNode
 	store *storage.ExtentStore
-	raft  *raft.Node
+	raft  *multiraft.Group
 
 	mu        sync.Mutex
 	committed map[uint64]uint64 // extent id -> all-replica committed offset

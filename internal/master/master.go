@@ -15,8 +15,8 @@ import (
 	"time"
 
 	"cfs/internal/kvstore"
+	"cfs/internal/multiraft"
 	"cfs/internal/proto"
-	"cfs/internal/raft"
 	"cfs/internal/raftstore"
 	"cfs/internal/transport"
 	"cfs/internal/util"
@@ -67,7 +67,7 @@ type Master struct {
 	nw  transport.Network
 
 	raftStore *raftstore.Store
-	node      *raft.Node
+	node      *multiraft.Group
 	kv        *kvstore.Store
 
 	mu    sync.Mutex
@@ -266,7 +266,7 @@ func (m *Master) propose(c *command) (any, error) {
 func (m *Master) handle(op uint8, req any) (any, error) {
 	switch proto.Op(op) {
 	case proto.OpRaftMessage:
-		batch, ok := req.(*raftstore.MessageBatch)
+		batch, ok := req.(*multiraft.Batch)
 		if !ok {
 			return nil, fmt.Errorf("master: %w: raft body %T", util.ErrInvalidArgument, req)
 		}

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"cfs/internal/multiraft"
 	"cfs/internal/proto"
 	"cfs/internal/raftstore"
 	"cfs/internal/transport"
@@ -318,7 +319,7 @@ func (m *MetaNode) loadSnapshots() error {
 func (m *MetaNode) handle(op uint8, req any) (any, error) {
 	switch proto.Op(op) {
 	case proto.OpRaftMessage:
-		batch, ok := req.(*raftstore.MessageBatch)
+		batch, ok := req.(*multiraft.Batch)
 		if !ok {
 			return nil, fmt.Errorf("meta: %w: raft body %T", util.ErrInvalidArgument, req)
 		}

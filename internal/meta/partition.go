@@ -7,8 +7,8 @@ import (
 	"sync"
 
 	"cfs/internal/btree"
+	"cfs/internal/multiraft"
 	"cfs/internal/proto"
-	"cfs/internal/raft"
 	"cfs/internal/util"
 )
 
@@ -25,7 +25,7 @@ type Partition struct {
 	End     uint64
 	Members []string
 
-	raft *raft.Node // nil until attached
+	raft *multiraft.Group // nil until attached
 
 	mu         sync.RWMutex
 	inodeTree  *btree.BTree

@@ -1,0 +1,540 @@
+// Package multiraft is the per-node MultiRaft manager (paper Section
+// 2.1.2): one object owns every Raft group hosted by a node, drives them
+// all from a single logical clock, multiplexes their messages over one
+// reused transport stream per peer node, and coalesces heartbeats across
+// groups so that idle Raft traffic grows with the number of peer NODES,
+// not the number of GROUPS.
+//
+// A production CFS node hosts hundreds of meta and data partitions, each
+// its own Raft group. With independent groups, every leader exchanges its
+// own heartbeats and the per-node message rate is O(groups) - the failure
+// mode the paper's MultiRaft adoption is designed around. The manager
+// fixes this in three layers:
+//
+//  1. Clock: groups are created with raft.Config.ExternalClock and are
+//     advanced by the manager's single ticker, so every group's heartbeat
+//     schedule is phase-locked to the manager's.
+//  2. Coalescing: leaders emit entry-free raft.MsgHeartbeat frames; the
+//     manager intercepts them (and the MsgHeartbeatResp replies) into
+//     per-destination slots and, once per heartbeat interval, sends ONE
+//     Batch per peer carrying every group's beat. The receiver expands the
+//     batch back into per-group messages.
+//  3. Streams: each peer gets one pinned transport stream (re-dialed
+//     lazily on failure) shared by all groups, so Raft load does not churn
+//     the connection pool used by the data path.
+//
+// Non-heartbeat traffic (votes, appends, snapshots) is latency-sensitive
+// and flushes on a much shorter interval, still batched per destination.
+// The heartbeat-scaling effect is measured by
+// BenchmarkMultiRaft_HeartbeatScaling (EXPERIMENTS.md).
+package multiraft
+
+import (
+	"encoding/gob"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cfs/internal/proto"
+	"cfs/internal/raft"
+	"cfs/internal/transport"
+	"cfs/internal/util"
+)
+
+// Batch is the single wire frame exchanged between MultiRaft managers: the
+// multiplexed non-heartbeat messages of every group plus the coalesced
+// heartbeat slots, all for one (from node, to node) pair.
+type Batch struct {
+	From      string
+	Messages  []*raft.Message
+	Beats     []proto.RaftHeartbeat
+	BeatResps []proto.RaftHeartbeatResp
+}
+
+func init() {
+	gob.Register(&Batch{})
+	gob.Register(&raft.Message{})
+}
+
+// Config tunes a Manager.
+type Config struct {
+	// TickInterval is the shared logical clock period driving every group.
+	// Zero falls back to RaftDefaults.TickInterval, then 10ms.
+	TickInterval time.Duration
+	// FlushInterval is how often queued non-heartbeat messages are sent.
+	// Zero means 2ms. Shorter means lower latency, more RPCs.
+	FlushInterval time.Duration
+	// MaxBatch flushes a destination's message queue early once it holds
+	// this many messages. Zero means 128.
+	MaxBatch int
+	// RaftDefaults are applied to every group created through the manager
+	// (ID, Peers, GroupID, Sender, SM and ExternalClock are always
+	// overridden).
+	RaftDefaults raft.Config
+}
+
+// Stats are the manager's monotonic traffic counters. The heartbeat pair
+// (batches sent vs group-level beats carried) is the MultiRaft win: the
+// first scales with peer nodes, the second with groups.
+type Stats struct {
+	// Ticks of the shared logical clock so far.
+	Ticks uint64
+	// HeartbeatBatches is the number of wire messages that carried
+	// coalesced heartbeat traffic (at most one per peer per interval).
+	HeartbeatBatches uint64
+	// HeartbeatsCoalesced is the number of group-level beats and responses
+	// those batches carried - what would have been individual wire
+	// messages without MultiRaft.
+	HeartbeatsCoalesced uint64
+	// Messages is the number of non-heartbeat Raft messages sent.
+	Messages uint64
+	// Batches is the total number of wire batches sent.
+	Batches uint64
+}
+
+// Manager owns the Raft groups hosted by one node.
+type Manager struct {
+	addr string
+	nw   transport.Network
+	cfg  Config
+	hbEv int // manager ticks per heartbeat flush
+
+	mu        sync.Mutex
+	groups    map[uint64]*Group
+	groupList []*Group // cached snapshot for the tick loop; nil when stale
+	outq      map[string][]*raft.Message
+	beats     map[string][]proto.RaftHeartbeat
+	resps     map[string][]proto.RaftHeartbeatResp
+	peers     map[string]*peer
+	closed    bool
+
+	ticks       atomic.Uint64
+	hbBatches   atomic.Uint64
+	hbCoalesced atomic.Uint64
+	msgsSent    atomic.Uint64
+	batchesSent atomic.Uint64
+
+	wg    sync.WaitGroup
+	stopc chan struct{}
+}
+
+// peer is one destination's delivery lane: a bounded outbox drained by a
+// dedicated sender goroutine over the pinned stream. Batches are handed
+// off, never sent inline, so neither the shared clock nor a raft event
+// loop ever blocks on a slow or hung peer - and one bad peer cannot stall
+// heartbeats to the healthy ones.
+type peer struct {
+	st transport.Stream // nil when the network has no stream support
+	ch chan *Batch
+}
+
+// New creates the manager for the node at addr. The owning node must route
+// incoming proto.OpRaftMessage bodies to HandleBatch.
+func New(addr string, nw transport.Network, cfg Config) *Manager {
+	if cfg.TickInterval == 0 {
+		cfg.TickInterval = cfg.RaftDefaults.TickInterval
+	}
+	if cfg.TickInterval == 0 {
+		cfg.TickInterval = 10 * time.Millisecond
+	}
+	if cfg.FlushInterval == 0 {
+		cfg.FlushInterval = 2 * time.Millisecond
+	}
+	if cfg.MaxBatch == 0 {
+		cfg.MaxBatch = 128
+	}
+	m := &Manager{
+		addr:   addr,
+		nw:     nw,
+		cfg:    cfg,
+		hbEv:   cfg.RaftDefaults.HeartbeatTicks,
+		groups: make(map[uint64]*Group),
+		outq:   make(map[string][]*raft.Message),
+		beats:  make(map[string][]proto.RaftHeartbeat),
+		resps:  make(map[string][]proto.RaftHeartbeatResp),
+		peers:  make(map[string]*peer),
+		stopc:  make(chan struct{}),
+	}
+	if m.hbEv <= 0 {
+		m.hbEv = 2 // raft's default HeartbeatTicks
+	}
+	m.wg.Add(2)
+	go m.tickLoop()
+	go m.flushLoop()
+	return m
+}
+
+// Addr returns the node address the manager sends from.
+func (m *Manager) Addr() string { return m.addr }
+
+// Stats returns a snapshot of the traffic counters.
+func (m *Manager) Stats() Stats {
+	return Stats{
+		Ticks:               m.ticks.Load(),
+		HeartbeatBatches:    m.hbBatches.Load(),
+		HeartbeatsCoalesced: m.hbCoalesced.Load(),
+		Messages:            m.msgsSent.Load(),
+		Batches:             m.batchesSent.Load(),
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Group registry.
+
+// Group is the per-group handle the manager hands out: the consumer-facing
+// surface of one Raft group whose clock, transport and heartbeats are owned
+// by the manager.
+type Group struct {
+	id   uint64
+	mgr  *Manager
+	node *raft.Node
+}
+
+// ID returns the group id.
+func (g *Group) ID() uint64 { return g.id }
+
+// Propose replicates data through the group and returns the state
+// machine's apply result (leader only).
+func (g *Group) Propose(data []byte) (any, error) { return g.node.Propose(data) }
+
+// IsLeader reports whether this node currently leads the group.
+func (g *Group) IsLeader() bool { return g.node.IsLeader() }
+
+// Status returns a snapshot of the group member's Raft state.
+func (g *Group) Status() raft.Status { return g.node.Status() }
+
+// Campaign asks the member to start an election immediately.
+func (g *Group) Campaign() { g.node.Campaign() }
+
+// Stop removes the group from the manager and halts its member.
+func (g *Group) Stop() { g.mgr.RemoveGroup(g.id) }
+
+// CreateGroup starts a Raft group with this node as member ID m.Addr().
+func (m *Manager) CreateGroup(groupID uint64, peers []string, sm raft.StateMachine) (*Group, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, util.ErrClosed
+	}
+	if _, ok := m.groups[groupID]; ok {
+		return nil, fmt.Errorf("multiraft: group %d: %w", groupID, util.ErrExist)
+	}
+	cfg := m.cfg.RaftDefaults
+	cfg.ID = m.addr
+	cfg.Peers = peers
+	cfg.GroupID = groupID
+	cfg.Sender = raft.SenderFunc(m.send)
+	cfg.SM = sm
+	cfg.ExternalClock = true
+	cfg.TickInterval = m.cfg.TickInterval
+	node, err := raft.NewNode(cfg)
+	if err != nil {
+		return nil, err
+	}
+	g := &Group{id: groupID, mgr: m, node: node}
+	m.groups[groupID] = g
+	m.groupList = nil
+	return g, nil
+}
+
+// Group returns the handle for groupID, or nil.
+func (m *Manager) Group(groupID uint64) *Group {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.groups[groupID]
+}
+
+// RemoveGroup stops and forgets a group.
+func (m *Manager) RemoveGroup(groupID uint64) {
+	m.mu.Lock()
+	g := m.groups[groupID]
+	delete(m.groups, groupID)
+	m.groupList = nil
+	m.mu.Unlock()
+	if g != nil {
+		g.node.Stop()
+	}
+}
+
+// GroupCount returns the number of hosted groups.
+func (m *Manager) GroupCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.groups)
+}
+
+// Close stops the clock, the flusher, every stream, and every group.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	groups := make([]*Group, 0, len(m.groups))
+	for _, g := range m.groups {
+		groups = append(groups, g)
+	}
+	m.groups = map[uint64]*Group{}
+	m.groupList = nil
+	peers := make([]*peer, 0, len(m.peers))
+	for _, p := range m.peers {
+		peers = append(peers, p)
+	}
+	m.mu.Unlock()
+	close(m.stopc)
+	m.wg.Wait() // tick, flush, and every peer sender have exited
+	for _, g := range groups {
+		g.node.Stop()
+	}
+	for _, p := range peers {
+		if p.st != nil {
+			p.st.Close()
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Outgoing path.
+
+// send is the Sender for every group: heartbeat traffic is parked in the
+// coalescing slots; everything else queues for the fast flusher.
+func (m *Manager) send(msg *raft.Message) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	switch msg.Type {
+	case raft.MsgHeartbeat:
+		m.beats[msg.To] = append(m.beats[msg.To], proto.RaftHeartbeat{
+			GroupID: msg.GroupID, Term: msg.Term, Commit: msg.Commit,
+		})
+		m.mu.Unlock()
+	case raft.MsgHeartbeatResp:
+		m.resps[msg.To] = append(m.resps[msg.To], proto.RaftHeartbeatResp{
+			GroupID: msg.GroupID, Term: msg.Term,
+		})
+		m.mu.Unlock()
+	default:
+		m.outq[msg.To] = append(m.outq[msg.To], msg)
+		flushNow := len(m.outq[msg.To]) >= m.cfg.MaxBatch
+		m.mu.Unlock()
+		if flushNow {
+			m.flushMessages(msg.To)
+		}
+	}
+}
+
+// tickLoop is the single logical clock: every group ticks together, and
+// every HeartbeatTicks ticks the accumulated beats flush as one batch per
+// peer. Flushing on the clock (rather than per group) is what makes the
+// wire count per pair exactly one per interval even when group heartbeat
+// phases differ.
+func (m *Manager) tickLoop() {
+	defer m.wg.Done()
+	t := time.NewTicker(m.cfg.TickInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.stopc:
+			return
+		case <-t.C:
+			tick := m.ticks.Add(1)
+			m.mu.Lock()
+			if m.groupList == nil {
+				m.groupList = make([]*Group, 0, len(m.groups))
+				for _, g := range m.groups {
+					m.groupList = append(m.groupList, g)
+				}
+			}
+			groups := m.groupList
+			m.mu.Unlock()
+			for _, g := range groups {
+				g.node.Tick()
+			}
+			if tick%uint64(m.hbEv) == 0 {
+				m.flushHeartbeats()
+			}
+		}
+	}
+}
+
+// flushHeartbeats drains every coalescing slot: one Batch per destination
+// carrying all pending beats and responses (plus any queued messages, which
+// ride along for free).
+func (m *Manager) flushHeartbeats() {
+	m.mu.Lock()
+	dests := make(map[string]bool, len(m.beats)+len(m.resps))
+	for d, q := range m.beats {
+		if len(q) > 0 {
+			dests[d] = true
+		}
+	}
+	for d, q := range m.resps {
+		if len(q) > 0 {
+			dests[d] = true
+		}
+	}
+	m.mu.Unlock()
+	for d := range dests {
+		m.flushDest(d, true)
+	}
+}
+
+// flushLoop drains the latency-sensitive message queues (votes, appends,
+// snapshots) on the short flush interval.
+func (m *Manager) flushLoop() {
+	defer m.wg.Done()
+	t := time.NewTicker(m.cfg.FlushInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.stopc:
+			return
+		case <-t.C:
+			m.mu.Lock()
+			dests := make([]string, 0, len(m.outq))
+			for d, q := range m.outq {
+				if len(q) > 0 {
+					dests = append(dests, d)
+				}
+			}
+			m.mu.Unlock()
+			for _, d := range dests {
+				m.flushMessages(d)
+			}
+		}
+	}
+}
+
+func (m *Manager) flushMessages(dest string) { m.flushDest(dest, false) }
+
+// flushDest sends one Batch to dest. Heartbeat slots are only drained on
+// the clock's cadence (withBeats) so that heartbeat wire traffic stays at
+// one message per pair per interval; message queues always drain.
+func (m *Manager) flushDest(dest string, withBeats bool) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	b := &Batch{From: m.addr, Messages: m.outq[dest]}
+	m.outq[dest] = nil
+	if withBeats {
+		b.Beats = m.beats[dest]
+		b.BeatResps = m.resps[dest]
+		m.beats[dest] = nil
+		m.resps[dest] = nil
+	}
+	m.mu.Unlock()
+	if len(b.Messages) == 0 && len(b.Beats) == 0 && len(b.BeatResps) == 0 {
+		return
+	}
+	m.batchesSent.Add(1)
+	m.msgsSent.Add(uint64(len(b.Messages)))
+	if hb := len(b.Beats) + len(b.BeatResps); hb > 0 {
+		m.hbBatches.Add(1)
+		m.hbCoalesced.Add(uint64(hb))
+	}
+	m.deliver(dest, b)
+}
+
+// deliver hands one batch to the destination's sender goroutine (started,
+// with its pinned stream, on first use). The handoff never blocks: if the
+// peer's outbox is full - it is slow, hung, or unreachable - the batch is
+// dropped. Delivery is best-effort by contract: Raft tolerates loss and
+// retries via timeouts, and dropping here is what keeps one bad peer from
+// stalling the shared clock or the healthy peers' heartbeats.
+func (m *Manager) deliver(dest string, b *Batch) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	p := m.peers[dest]
+	if p == nil {
+		p = &peer{ch: make(chan *Batch, 16)}
+		if sn, ok := m.nw.(transport.StreamNetwork); ok {
+			p.st = sn.OpenStream(dest)
+		}
+		m.peers[dest] = p
+		m.wg.Add(1)
+		go m.peerLoop(dest, p)
+	}
+	m.mu.Unlock()
+	select {
+	case p.ch <- b:
+	default: // outbox full: drop
+	}
+}
+
+// peerLoop is one destination's sender: it serializes sends (preserving
+// per-peer ordering) and is the only goroutine that ever blocks on this
+// peer's network I/O.
+func (m *Manager) peerLoop(dest string, p *peer) {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.stopc:
+			return
+		case b := <-p.ch:
+			if p.st != nil {
+				_ = p.st.Send(uint8(proto.OpRaftMessage), b)
+				continue
+			}
+			_ = m.nw.Call(dest, uint8(proto.OpRaftMessage), b, nil)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Incoming path.
+
+// HandleBatch expands an incoming batch back into per-group messages and
+// steps them into the right members. Wire it to the node's transport
+// handler for proto.OpRaftMessage.
+func (m *Manager) HandleBatch(b *Batch) {
+	for _, hb := range b.Beats {
+		if g := m.Group(hb.GroupID); g != nil {
+			g.node.Step(&raft.Message{
+				GroupID: hb.GroupID,
+				Type:    raft.MsgHeartbeat,
+				From:    b.From,
+				To:      m.addr,
+				Term:    hb.Term,
+				Commit:  hb.Commit,
+			})
+		}
+	}
+	for _, hr := range b.BeatResps {
+		if g := m.Group(hr.GroupID); g != nil {
+			g.node.Step(&raft.Message{
+				GroupID: hr.GroupID,
+				Type:    raft.MsgHeartbeatResp,
+				From:    b.From,
+				To:      m.addr,
+				Term:    hr.Term,
+			})
+		}
+	}
+	for _, msg := range b.Messages {
+		if g := m.Group(msg.GroupID); g != nil {
+			g.node.Step(msg)
+		}
+	}
+}
+
+// Handler returns a transport.Handler fragment for OpRaftMessage, usable
+// directly by nodes that host nothing else on the address.
+func (m *Manager) Handler() transport.Handler {
+	return func(op uint8, req any) (any, error) {
+		b, ok := req.(*Batch)
+		if !ok {
+			return nil, fmt.Errorf("multiraft: %w: body %T", util.ErrInvalidArgument, req)
+		}
+		m.HandleBatch(b)
+		return &proto.HeartbeatResp{}, nil
+	}
+}

@@ -183,6 +183,25 @@ func (n *NodeInfo) Ratio() float64 {
 	return float64(n.Used) / float64(n.Total)
 }
 
+// RaftHeartbeat is one Raft group's slot inside a coalesced heartbeat.
+// MultiRaft (Section 2.1.2) exchanges heartbeats per node pair, not per
+// group: every group led by node A with a replica on node B contributes one
+// of these to the single batched message A sends B per heartbeat interval,
+// so idle Raft traffic grows with the node count, not the group count.
+type RaftHeartbeat struct {
+	GroupID uint64
+	Term    uint64
+	// Commit is the leader's commit index capped at what this follower has
+	// acked, so the follower can advance without a log-consistency check.
+	Commit uint64
+}
+
+// RaftHeartbeatResp is one group's slot in the coalesced reply batch.
+type RaftHeartbeatResp struct {
+	GroupID uint64
+	Term    uint64
+}
+
 // Now returns the current unix-nano timestamp. Split out so deterministic
 // tests can shadow time handling where needed.
 func Now() int64 { return time.Now().UnixNano() }
@@ -218,6 +237,7 @@ func RegisterGob() {
 		&ReportFailureReq{}, &ReportFailureResp{},
 		&ClusterStatsReq{}, &ClusterStatsResp{},
 		&ExtentInfoReq{}, &ExtentInfoResp{},
+		&RaftHeartbeat{}, &RaftHeartbeatResp{},
 		&Packet{},
 	} {
 		gob.Register(v)

@@ -7,9 +7,12 @@
 // replication, commitment, synchronous state-machine application, log
 // compaction by snapshot, and snapshot installation for lagging followers.
 // Each Node runs a single event-loop goroutine; messages move through a
-// Sender so that package raftstore can multiplex many groups over one
-// network connection per peer (the MultiRaft arrangement the paper adopts
-// to reduce heartbeat traffic).
+// Sender, liveness heartbeats are the entry-free MsgHeartbeat /
+// MsgHeartbeatResp pair, and the logical clock can be driven externally
+// (Config.ExternalClock + Node.Tick). Package multiraft builds on those
+// three seams to multiplex many groups over one stream per peer node and
+// coalesce their heartbeats per node pair (the MultiRaft arrangement the
+// paper adopts to reduce heartbeat traffic).
 package raft
 
 import (
@@ -31,6 +34,12 @@ const (
 	MsgAppResp
 	MsgSnap
 	MsgSnapResp
+	// MsgHeartbeat is the leader's liveness-only beat: no log entries, just
+	// Term and a commit index already known to be held by the follower. It
+	// is separate from MsgApp so that package multiraft can coalesce the
+	// beats of every group sharing a node pair into one wire message.
+	MsgHeartbeat
+	MsgHeartbeatResp
 )
 
 func (m MsgType) String() string {
@@ -47,6 +56,10 @@ func (m MsgType) String() string {
 		return "Snap"
 	case MsgSnapResp:
 		return "SnapResp"
+	case MsgHeartbeat:
+		return "Heartbeat"
+	case MsgHeartbeatResp:
+		return "HeartbeatResp"
 	default:
 		return "Msg(unknown)"
 	}
@@ -169,6 +182,11 @@ type Config struct {
 	HeartbeatTicks int
 	ElectionTicks  int
 
+	// ExternalClock disables the node's own ticker; the owner advances the
+	// logical clock by calling Tick. Package multiraft sets it so that every
+	// group on a node shares one clock and heartbeats align for coalescing.
+	ExternalClock bool
+
 	// MaxLogEntries triggers snapshot-based compaction once the
 	// in-memory log grows past it. Zero means 4096.
 	MaxLogEntries int
@@ -266,10 +284,11 @@ type Node struct {
 	propq    chan proposal
 	statusq  chan chan Status
 	campq    chan struct{}
+	tickq    chan struct{}
 	stopOnce sync.Once
 	stopc    chan struct{}
 	donec    chan struct{}
-	ticker   *time.Ticker
+	ticker   *time.Ticker // nil under ExternalClock
 }
 
 // NewNode starts a Raft node and its event loop.
@@ -300,11 +319,14 @@ func NewNode(cfg Config) (*Node, error) {
 		propq:      make(chan proposal, 256),
 		statusq:    make(chan chan Status),
 		campq:      make(chan struct{}, 1),
+		tickq:      make(chan struct{}, 8),
 		stopc:      make(chan struct{}),
 		donec:      make(chan struct{}),
 	}
 	n.resetElectionTimer()
-	n.ticker = time.NewTicker(c.TickInterval)
+	if !c.ExternalClock {
+		n.ticker = time.NewTicker(c.TickInterval)
+	}
 	go n.run()
 	return n, nil
 }
@@ -331,6 +353,17 @@ func (n *Node) Step(msg *Message) {
 func (n *Node) Campaign() {
 	select {
 	case n.campq <- struct{}{}:
+	default:
+	}
+}
+
+// Tick advances the logical clock by one tick under ExternalClock. It never
+// blocks; if the event loop is saturated the tick is dropped, which only
+// stretches timeouts (Raft tolerates a slow clock).
+func (n *Node) Tick() {
+	select {
+	case n.tickq <- struct{}{}:
+	case <-n.stopc:
 	default:
 	}
 }
@@ -372,13 +405,19 @@ func (n *Node) Propose(data []byte) (any, error) {
 // run is the event loop; all protocol state is confined to it.
 func (n *Node) run() {
 	defer close(n.donec)
-	defer n.ticker.Stop()
+	var tickc <-chan time.Time
+	if n.ticker != nil {
+		tickc = n.ticker.C
+		defer n.ticker.Stop()
+	}
 	for {
 		select {
 		case <-n.stopc:
 			n.failAllPending(ErrStopped)
 			return
-		case <-n.ticker.C:
+		case <-tickc:
+			n.tick()
+		case <-n.tickq:
 			n.tick()
 		case msg := <-n.recvq:
 			n.handle(msg)
@@ -415,13 +454,79 @@ func (n *Node) tick() {
 		n.hbElapsed++
 		if n.hbElapsed >= n.cfg.HeartbeatTicks {
 			n.hbElapsed = 0
-			n.broadcastAppend(true)
+			n.broadcastHeartbeat()
 		}
 		return
 	}
 	n.elapsed++
 	if n.elapsed >= n.timeoutIn {
 		n.startElection()
+	}
+}
+
+// broadcastHeartbeat sends the per-interval liveness signal. Up-to-date
+// followers get an entry-free MsgHeartbeat (coalescible across groups by
+// package multiraft); followers with a replication backlog or a compacted
+// gap get a real AppendEntries / snapshot instead.
+func (n *Node) broadcastHeartbeat() {
+	for _, p := range n.cfg.Peers {
+		if p == n.cfg.ID {
+			continue
+		}
+		if n.nextIndex[p] <= n.lastIndex() || n.nextIndex[p] < n.firstIndex {
+			n.sendAppend(p)
+			continue
+		}
+		n.cfg.Sender.Send(&Message{
+			GroupID: n.cfg.GroupID,
+			Type:    MsgHeartbeat,
+			From:    n.cfg.ID,
+			To:      p,
+			Term:    n.term,
+			// Capped by the follower's acked match index: every index up
+			// to it is known identical on both logs, so the follower may
+			// commit it without a consistency check.
+			Commit: util.MinU64(n.commitIndex, n.matchIndex[p]),
+		})
+	}
+}
+
+func (n *Node) handleHeartbeat(msg *Message) {
+	if msg.Term < n.term {
+		// Stale leader: answer with our term so it steps down.
+		n.sendHeartbeatResp(msg.From)
+		return
+	}
+	n.becomeFollowerKeepVote(msg.Term, msg.From)
+	if msg.Commit > n.commitIndex {
+		n.commitIndex = util.MinU64(msg.Commit, n.lastIndex())
+		n.applyCommitted()
+	}
+	n.sendHeartbeatResp(msg.From)
+}
+
+func (n *Node) sendHeartbeatResp(to string) {
+	n.cfg.Sender.Send(&Message{
+		GroupID: n.cfg.GroupID,
+		Type:    MsgHeartbeatResp,
+		From:    n.cfg.ID,
+		To:      to,
+		Term:    n.term,
+	})
+}
+
+func (n *Node) handleHeartbeatResp(msg *Message) {
+	if msg.Term > n.term {
+		n.becomeFollower(msg.Term, "")
+		return
+	}
+	if n.role != Leader || msg.Term < n.term {
+		return
+	}
+	// A follower that has acked less than our last entry needs a real
+	// append; heartbeats alone never carry entries.
+	if n.matchIndex[msg.From] < n.lastIndex() {
+		n.sendAppend(msg.From)
 	}
 }
 
@@ -485,7 +590,7 @@ func (n *Node) becomeLeader() {
 	// (Raft section 5.4.2: a leader may only count replicas for entries
 	// of its own term).
 	n.appendLocal(nil)
-	n.broadcastAppend(false)
+	n.broadcastAppend()
 	n.maybeCommit()
 }
 
@@ -599,20 +704,20 @@ func (n *Node) propose(p proposal) {
 	}
 	idx := n.appendLocal(p.data)
 	n.pending[idx] = pendingApply{term: n.term, resp: p.resp}
-	n.broadcastAppend(false)
+	n.broadcastAppend()
 	n.maybeCommit() // single-node groups commit immediately
 }
 
-func (n *Node) broadcastAppend(heartbeat bool) {
+func (n *Node) broadcastAppend() {
 	for _, p := range n.cfg.Peers {
 		if p == n.cfg.ID {
 			continue
 		}
-		n.sendAppend(p, heartbeat)
+		n.sendAppend(p)
 	}
 }
 
-func (n *Node) sendAppend(to string, heartbeat bool) {
+func (n *Node) sendAppend(to string) {
 	next := n.nextIndex[to]
 	if next < n.firstIndex {
 		// Follower needs entries we compacted: ship the snapshot.
@@ -625,10 +730,7 @@ func (n *Node) sendAppend(to string, heartbeat bool) {
 		n.sendSnapshot(to)
 		return
 	}
-	var entries []Entry
-	if !heartbeat || n.lastIndex() >= next {
-		entries = n.entriesFrom(next, n.cfg.MaxEntriesPerMsg)
-	}
+	entries := n.entriesFrom(next, n.cfg.MaxEntriesPerMsg)
 	n.cfg.Sender.Send(&Message{
 		GroupID:      n.cfg.GroupID,
 		Type:         MsgApp,
@@ -746,7 +848,7 @@ func (n *Node) handleAppResp(msg *Message) {
 		n.nextIndex[msg.From] = util.MaxU64(n.nextIndex[msg.From], msg.MatchIndex+1)
 		n.maybeCommit()
 		if n.lastIndex() >= n.nextIndex[msg.From] {
-			n.sendAppend(msg.From, false) // keep streaming backlog
+			n.sendAppend(msg.From) // keep streaming backlog
 		}
 		return
 	}
@@ -759,7 +861,7 @@ func (n *Node) handleAppResp(msg *Message) {
 		next = 1
 	}
 	n.nextIndex[msg.From] = next
-	n.sendAppend(msg.From, false)
+	n.sendAppend(msg.From)
 }
 
 func (n *Node) maybeCommit() {
@@ -872,6 +974,10 @@ func (n *Node) handle(msg *Message) {
 		n.handleAppResp(msg)
 	case MsgSnap:
 		n.handleSnap(msg)
+	case MsgHeartbeat:
+		n.handleHeartbeat(msg)
+	case MsgHeartbeatResp:
+		n.handleHeartbeatResp(msg)
 	}
 }
 

@@ -1,241 +1,85 @@
-// Package raftstore multiplexes many Raft groups over one transport
-// endpoint per node - the MultiRaft arrangement CFS adopts from
-// CockroachDB (paper Section 2.1.2).
+// Package raftstore is the per-node entry point to Raft group hosting: a
+// thin facade over the MultiRaft manager in internal/multiraft, kept so
+// that consumers (meta nodes, data nodes, the resource manager) configure
+// group hosting in one place and receive per-group handles.
 //
-// A production CFS node hosts hundreds of partitions, each its own Raft
-// group. Naively, every group exchanges its own heartbeats, so the
-// per-node message rate grows with the partition count. The Store batches
-// all outgoing Raft messages destined to the same peer into one RPC per
-// flush interval, so heartbeat traffic grows with the number of *peers*,
-// not the number of *groups*. Combined with the master's Raft sets
-// (Section 2.5.1), which co-locate a node's partitions on a bounded peer
-// set, this keeps heartbeat fan-out constant as the cluster grows. The
-// effect is measured by BenchmarkAblation_RaftSets.
+// Historically the Store batched outgoing messages itself; that machinery
+// - plus the shared clock, heartbeat coalescing per node pair, and pinned
+// per-peer streams - now lives in the manager (paper Section 2.1.2, the
+// MultiRaft arrangement CFS adopts from CockroachDB). The effect is
+// measured by BenchmarkMultiRaft_HeartbeatScaling and
+// BenchmarkAblation_RaftSets.
 package raftstore
 
 import (
-	"encoding/gob"
-	"fmt"
-	"sync"
 	"time"
 
-	"cfs/internal/proto"
+	"cfs/internal/multiraft"
 	"cfs/internal/raft"
 	"cfs/internal/transport"
-	"cfs/internal/util"
 )
 
-// MessageBatch is the single RPC body exchanged between raft stores.
-type MessageBatch struct {
-	From     string
-	Messages []*raft.Message
-}
-
-func init() {
-	gob.Register(&MessageBatch{})
-	gob.Register(&raft.Message{})
-}
+// MessageBatch is the wire frame exchanged between stores; it is the
+// manager's Batch (multiplexed messages plus coalesced heartbeats).
+type MessageBatch = multiraft.Batch
 
 // Config tunes a Store.
 type Config struct {
-	// FlushInterval is how often queued messages are sent. Zero means
-	// 2ms. Shorter means lower latency, more RPCs.
+	// FlushInterval is how often queued non-heartbeat messages are sent.
+	// Zero means 2ms. Shorter means lower latency, more RPCs.
 	FlushInterval time.Duration
 	// MaxBatch flushes a destination queue early once it holds this many
 	// messages. Zero means 128.
 	MaxBatch int
 	// RaftDefaults are applied to every group created through the store
-	// (ID, Peers, GroupID, Sender and SM are always overridden).
+	// (ID, Peers, GroupID, Sender and SM are always overridden). Its
+	// TickInterval becomes the node's shared MultiRaft clock period.
 	RaftDefaults raft.Config
 }
 
-// Store manages the Raft groups hosted by one node.
+// Store hands out Raft groups hosted by one node. All mechanics live in
+// the wrapped MultiRaft manager.
 type Store struct {
-	addr string
-	nw   transport.Network
-	cfg  Config
-
-	mu     sync.Mutex
-	groups map[uint64]*raft.Node
-	outq   map[string][]*raft.Message
-	closed bool
-
-	wg    sync.WaitGroup
-	stopc chan struct{}
+	mgr *multiraft.Manager
 }
 
 // New creates a store for the node at addr. The owning node must route
 // incoming proto.OpRaftMessage bodies to HandleBatch.
 func New(addr string, nw transport.Network, cfg Config) *Store {
-	if cfg.FlushInterval == 0 {
-		cfg.FlushInterval = 2 * time.Millisecond
-	}
-	if cfg.MaxBatch == 0 {
-		cfg.MaxBatch = 128
-	}
-	s := &Store{
-		addr:   addr,
-		nw:     nw,
-		cfg:    cfg,
-		groups: make(map[uint64]*raft.Node),
-		outq:   make(map[string][]*raft.Message),
-		stopc:  make(chan struct{}),
-	}
-	s.wg.Add(1)
-	go s.flushLoop()
-	return s
+	return &Store{mgr: multiraft.New(addr, nw, multiraft.Config{
+		FlushInterval: cfg.FlushInterval,
+		MaxBatch:      cfg.MaxBatch,
+		RaftDefaults:  cfg.RaftDefaults,
+	})}
 }
 
 // Addr returns the node address the store sends from.
-func (s *Store) Addr() string { return s.addr }
+func (s *Store) Addr() string { return s.mgr.Addr() }
 
-// CreateGroup starts a Raft group with this node as member ID s.addr.
-func (s *Store) CreateGroup(groupID uint64, peers []string, sm raft.StateMachine) (*raft.Node, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return nil, util.ErrClosed
-	}
-	if _, ok := s.groups[groupID]; ok {
-		return nil, fmt.Errorf("raftstore: group %d: %w", groupID, util.ErrExist)
-	}
-	cfg := s.cfg.RaftDefaults
-	cfg.ID = s.addr
-	cfg.Peers = peers
-	cfg.GroupID = groupID
-	cfg.Sender = s.sender()
-	cfg.SM = sm
-	node, err := raft.NewNode(cfg)
-	if err != nil {
-		return nil, err
-	}
-	s.groups[groupID] = node
-	return node, nil
+// Manager exposes the underlying MultiRaft manager (stats, benchmarks).
+func (s *Store) Manager() *multiraft.Manager { return s.mgr }
+
+// CreateGroup starts a Raft group with this node as member ID Addr().
+func (s *Store) CreateGroup(groupID uint64, peers []string, sm raft.StateMachine) (*multiraft.Group, error) {
+	return s.mgr.CreateGroup(groupID, peers, sm)
 }
 
-// Group returns the node for groupID, or nil.
-func (s *Store) Group(groupID uint64) *raft.Node {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.groups[groupID]
-}
+// Group returns the handle for groupID, or nil.
+func (s *Store) Group(groupID uint64) *multiraft.Group { return s.mgr.Group(groupID) }
 
 // RemoveGroup stops and forgets a group.
-func (s *Store) RemoveGroup(groupID uint64) {
-	s.mu.Lock()
-	node := s.groups[groupID]
-	delete(s.groups, groupID)
-	s.mu.Unlock()
-	if node != nil {
-		node.Stop()
-	}
-}
+func (s *Store) RemoveGroup(groupID uint64) { s.mgr.RemoveGroup(groupID) }
 
 // GroupCount returns the number of hosted groups.
-func (s *Store) GroupCount() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.groups)
-}
+func (s *Store) GroupCount() int { return s.mgr.GroupCount() }
 
-// Close stops the flusher and every group.
-func (s *Store) Close() {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return
-	}
-	s.closed = true
-	groups := make([]*raft.Node, 0, len(s.groups))
-	for _, g := range s.groups {
-		groups = append(groups, g)
-	}
-	s.groups = map[uint64]*raft.Node{}
-	s.mu.Unlock()
-	close(s.stopc)
-	s.wg.Wait()
-	for _, g := range groups {
-		g.Stop()
-	}
-}
+// Close stops the manager and every group.
+func (s *Store) Close() { s.mgr.Close() }
 
 // HandleBatch routes an incoming batch to its groups. Wire it to the
 // node's transport handler for proto.OpRaftMessage.
-func (s *Store) HandleBatch(batch *MessageBatch) {
-	for _, msg := range batch.Messages {
-		s.mu.Lock()
-		node := s.groups[msg.GroupID]
-		s.mu.Unlock()
-		if node != nil {
-			node.Step(msg)
-		}
-	}
-}
+func (s *Store) HandleBatch(batch *MessageBatch) { s.mgr.HandleBatch(batch) }
 
 // Handler returns a transport.Handler fragment for OpRaftMessage, usable
 // directly by nodes that host nothing else on the address.
-func (s *Store) Handler() transport.Handler {
-	return func(op uint8, req any) (any, error) {
-		batch, ok := req.(*MessageBatch)
-		if !ok {
-			return nil, fmt.Errorf("raftstore: %w: body %T", util.ErrInvalidArgument, req)
-		}
-		s.HandleBatch(batch)
-		return &proto.HeartbeatResp{}, nil
-	}
-}
-
-func (s *Store) sender() raft.Sender {
-	return raft.SenderFunc(func(msg *raft.Message) {
-		s.mu.Lock()
-		if s.closed {
-			s.mu.Unlock()
-			return
-		}
-		s.outq[msg.To] = append(s.outq[msg.To], msg)
-		flushNow := len(s.outq[msg.To]) >= s.cfg.MaxBatch
-		s.mu.Unlock()
-		if flushNow {
-			s.flushDest(msg.To)
-		}
-	})
-}
-
-func (s *Store) flushLoop() {
-	defer s.wg.Done()
-	tick := time.NewTicker(s.cfg.FlushInterval)
-	defer tick.Stop()
-	for {
-		select {
-		case <-s.stopc:
-			return
-		case <-tick.C:
-			s.mu.Lock()
-			dests := make([]string, 0, len(s.outq))
-			for d, q := range s.outq {
-				if len(q) > 0 {
-					dests = append(dests, d)
-				}
-			}
-			s.mu.Unlock()
-			for _, d := range dests {
-				s.flushDest(d)
-			}
-		}
-	}
-}
-
-func (s *Store) flushDest(dest string) {
-	s.mu.Lock()
-	q := s.outq[dest]
-	if len(q) == 0 {
-		s.mu.Unlock()
-		return
-	}
-	s.outq[dest] = nil
-	s.mu.Unlock()
-	// Best-effort delivery: Raft tolerates loss. One RPC carries every
-	// queued message for this destination, across all groups.
-	batch := &MessageBatch{From: s.addr, Messages: q}
-	_ = s.nw.Call(dest, uint8(proto.OpRaftMessage), batch, nil)
-}
+func (s *Store) Handler() transport.Handler { return s.mgr.Handler() }

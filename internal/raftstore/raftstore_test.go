@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"cfs/internal/multiraft"
 	"cfs/internal/proto"
 	"cfs/internal/raft"
 	"cfs/internal/transport"
@@ -74,7 +75,7 @@ func startNode(t *testing.T, nw *transport.Memory, addr string) *testNode {
 	return &testNode{store: st, ln: ln}
 }
 
-func waitGroupLeader(t *testing.T, nodes []*testNode, groupID uint64) (*raft.Node, int) {
+func waitGroupLeader(t *testing.T, nodes []*testNode, groupID uint64) (*multiraft.Group, int) {
 	t.Helper()
 	deadline := time.Now().Add(10 * time.Second)
 	for time.Now().Before(deadline) {

@@ -119,6 +119,21 @@ func (m *Memory) Heal(addr string) {
 	m.mu.Unlock()
 }
 
+// OpenStream implements StreamNetwork. The in-process network has no
+// connections to pin, so the stream is a thin adapter over Call that still
+// exercises the one-stream-per-peer calling pattern (and its per-call
+// accounting) that the TCP network relies on.
+func (m *Memory) OpenStream(addr string) Stream { return &memStream{nw: m, addr: addr} }
+
+type memStream struct {
+	nw   Network
+	addr string
+}
+
+func (s *memStream) Send(op uint8, req any) error { return s.nw.Call(s.addr, op, req, nil) }
+
+func (s *memStream) Close() error { return nil }
+
 // Endpoint returns a Network view bound to a node identity: when that
 // identity is partitioned, its OUTGOING calls fail too, modeling full
 // isolation (a plain Memory handle only cuts incoming traffic). Nodes in
@@ -132,6 +147,10 @@ type memEndpoint struct {
 
 // Listen implements Network.
 func (e *memEndpoint) Listen(addr string, h Handler) (Listener, error) { return e.m.Listen(addr, h) }
+
+// OpenStream implements StreamNetwork; the endpoint's outgoing-partition
+// check applies to every send.
+func (e *memEndpoint) OpenStream(addr string) Stream { return &memStream{nw: e, addr: addr} }
 
 // Call implements Network.
 func (e *memEndpoint) Call(addr string, op uint8, req, resp any) error {

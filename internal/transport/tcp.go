@@ -176,6 +176,57 @@ func (t *TCP) Call(addr string, op uint8, req, resp any) error {
 	return nil
 }
 
+// OpenStream implements StreamNetwork: the returned stream pins one
+// dedicated connection to addr and reuses it for every send, bypassing the
+// shared pool entirely. This is the per-peer stream reuse MultiRaft wants:
+// a node's whole Raft load to a peer rides one socket, so pool churn and
+// head-of-line contention with data-path calls disappear. The connection is
+// dialed on first use and re-dialed after a transport error.
+func (t *TCP) OpenStream(addr string) Stream { return &tcpStream{t: t, addr: addr} }
+
+type tcpStream struct {
+	t    *TCP
+	addr string
+
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// Send implements Stream. The server's reply frame is read (keeping the
+// connection in lockstep) and discarded.
+func (s *tcpStream) Send(op uint8, req any) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.conn == nil {
+		conn, err := s.t.dial(s.addr)
+		if err != nil {
+			return err
+		}
+		s.conn = conn
+	}
+	err := callOnConn(s.conn, op, req, nil)
+	if err != nil {
+		if _, ok := err.(*RemoteError); ok {
+			return err // application error; the connection is still good
+		}
+		s.conn.Close() // transport error; re-dial on the next send
+		s.conn = nil
+	}
+	return err
+}
+
+// Close implements Stream.
+func (s *tcpStream) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.conn != nil {
+		err := s.conn.Close()
+		s.conn = nil
+		return err
+	}
+	return nil
+}
+
 func (t *TCP) dial(addr string) (net.Conn, error) {
 	d := t.DialTimeout
 	if d == 0 {

@@ -43,6 +43,28 @@ type Network interface {
 	Call(addr string, op uint8, req, resp any) error
 }
 
+// Stream is a long-lived, order-preserving path to one peer for callers
+// that talk to the same destination continuously (the MultiRaft manager
+// sends every Raft batch for a peer node down one such stream). Sends are
+// best-effort: the reply body is discarded and a transport failure only
+// surfaces as the returned error - the caller's protocol must tolerate
+// loss, which Raft does. A Stream must not be used concurrently.
+type Stream interface {
+	// Send delivers one request and discards the reply body.
+	Send(op uint8, req any) error
+	Close() error
+}
+
+// StreamNetwork is implemented by networks that can pin per-peer streams.
+// Callers that want stream reuse should type-assert and fall back to Call.
+type StreamNetwork interface {
+	Network
+	// OpenStream returns a dedicated stream to addr. The connection (for
+	// socket-backed networks) is dialed lazily and re-dialed after errors,
+	// so OpenStream itself never fails on an unreachable peer.
+	OpenStream(addr string) Stream
+}
+
 // RemoteError carries an error across the wire while preserving errors.Is
 // matching for the shared sentinel kinds in package util.
 type RemoteError struct {

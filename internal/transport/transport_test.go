@@ -109,6 +109,95 @@ func TestTCPNonPersistent(t *testing.T) {
 	runNetworkSuite(t, nw, "127.0.0.1:0")
 }
 
+// runStreamSuite exercises the per-peer stream path shared by Memory and
+// TCP: repeated sends reuse one stream, remote application errors keep it
+// usable, and a stream survives (re-dials after) peer restarts.
+func runStreamSuite(t *testing.T, nw StreamNetwork, addr string) {
+	t.Helper()
+	var mu sync.Mutex
+	var got []string
+	ln, err := nw.Listen(addr, func(op uint8, req any) (any, error) {
+		r, ok := req.(*echoReq)
+		if !ok {
+			return nil, fmt.Errorf("unexpected request type %T", req)
+		}
+		if r.Msg == "boom" {
+			return nil, fmt.Errorf("handler: %w", util.ErrNotFound)
+		}
+		mu.Lock()
+		got = append(got, r.Msg)
+		mu.Unlock()
+		return &echoResp{Msg: "ok"}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	st := nw.OpenStream(ln.Addr())
+	defer st.Close()
+
+	for i := 0; i < 10; i++ {
+		if err := st.Send(1, &echoReq{Msg: fmt.Sprintf("s%d", i)}); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	// A remote application error surfaces but does not kill the stream.
+	if err := st.Send(1, &echoReq{Msg: "boom"}); !errors.Is(err, util.ErrNotFound) {
+		t.Fatalf("remote error not surfaced: %v", err)
+	}
+	if err := st.Send(1, &echoReq{Msg: "after-error"}); err != nil {
+		t.Fatalf("send after remote error: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 11 || got[0] != "s0" || got[10] != "after-error" {
+		t.Fatalf("delivered = %v", got)
+	}
+}
+
+func TestMemoryStream(t *testing.T) {
+	runStreamSuite(t, NewMemory(), "stream-a")
+}
+
+func TestTCPStream(t *testing.T) {
+	runStreamSuite(t, NewTCP(), "127.0.0.1:0")
+}
+
+func TestTCPStreamRedialsAfterPeerRestart(t *testing.T) {
+	nw := NewTCP()
+	ln, err := nw.Listen("127.0.0.1:0", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr()
+	st := nw.OpenStream(addr)
+	defer st.Close()
+	if err := st.Send(1, &echoReq{Msg: "one"}); err != nil {
+		t.Fatalf("first send: %v", err)
+	}
+	ln.Close()
+	// The pinned connection is now dead; the send fails once...
+	if err := st.Send(1, &echoReq{Msg: "two"}); err == nil {
+		t.Fatal("send to closed peer succeeded")
+	}
+	// ...and succeeds again once the peer is back on the same address.
+	ln2, err := nw.Listen(addr, echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln2.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err := st.Send(1, &echoReq{Msg: "three"}); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("stream never re-dialed the restarted peer")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
 func TestMemoryCallUnknownAddr(t *testing.T) {
 	nw := NewMemory()
 	err := nw.Call("nowhere", 1, &echoReq{}, nil)
