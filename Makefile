@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet fmt-check fmt bench verify
+.PHONY: all build test vet fmt-check fmt bench race verify
 
 all: verify
 
@@ -15,6 +15,11 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+# Race detector over the whole tree; the pipelined write path is heavily
+# concurrent (window acks, forward chains), so this must stay clean.
+race:
+	$(GO) test -race ./...
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

@@ -420,3 +420,24 @@ var (
 	_ = core.MountOptions{}
 	_ = proto.RootInodeID
 )
+
+// BenchmarkWritePipeline_WindowSweep regenerates the pipelined-append
+// throughput experiment: stop-and-wait vs streaming replication sessions
+// across window sizes on a 3-replica cluster (see EXPERIMENTS.md).
+func BenchmarkWritePipeline_WindowSweep(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		table, nums, err := bench.RunWritePipeline(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + table.Render())
+		}
+		b.ReportMetric(nums["stop-and-wait"], "MB/s-stop-and-wait")
+		b.ReportMetric(nums["window=8"], "MB/s-window-8")
+		if nums["stop-and-wait"] > 0 {
+			b.ReportMetric(nums["window=8"]/nums["stop-and-wait"], "speedup-w8")
+		}
+	}
+}

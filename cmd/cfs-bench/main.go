@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	cfs-bench [-scale quick|paper] [table3|fig6|fig7|fig8|fig9|fig10|heartbeat|all]
+//	cfs-bench [-scale quick|paper] [table3|fig6|fig7|fig8|fig9|fig10|pipeline|heartbeat|all]
 package main
 
 import (
@@ -47,6 +47,10 @@ func main() {
 		{"fig8", func(s bench.Scale) (*bench.Table, error) { t, _, err := bench.RunFig8(s); return t, err }},
 		{"fig9", func(s bench.Scale) (*bench.Table, error) { t, _, err := bench.RunFig9(s); return t, err }},
 		{"fig10", func(s bench.Scale) (*bench.Table, error) { t, _, err := bench.RunFig10(s); return t, err }},
+		{"pipeline", func(s bench.Scale) (*bench.Table, error) {
+			t, _, err := bench.RunWritePipeline(s)
+			return t, err
+		}},
 		{"heartbeat", func(s bench.Scale) (*bench.Table, error) {
 			counts := []int{8, 24, 72}
 			if s.MaxProcs >= 64 { // paper scale: push further

@@ -165,3 +165,28 @@ func TestQuickAndPaperScalesSane(t *testing.T) {
 	}
 	_ = time.Microsecond
 }
+
+// TestWritePipelineSpeedup is the headline acceptance check: on the same
+// 3-replica cluster, pipelined appends with window >= 4 must sustain at
+// least 2x the stop-and-wait throughput (and the sweep must be monotone
+// enough that the biggest windows are not slower than window=1).
+func TestWritePipelineSpeedup(t *testing.T) {
+	s := tiny()
+	s.Latency = 300 * time.Microsecond // make the RTT the bottleneck
+	_, nums, err := RunWritePipeline(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := nums["stop-and-wait"]
+	if base <= 0 {
+		t.Fatalf("baseline MB/s = %v", base)
+	}
+	for _, label := range []string{"window=4", "window=8", "window=16"} {
+		if nums[label] < 2*base {
+			t.Fatalf("%s = %.1f MB/s, want >= 2x stop-and-wait (%.1f)", label, nums[label], base)
+		}
+	}
+	if nums["window=16"] < nums["window=1"] {
+		t.Fatalf("window=16 (%.1f) slower than window=1 (%.1f)", nums["window=16"], nums["window=1"])
+	}
+}

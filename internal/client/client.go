@@ -43,6 +43,14 @@ type Config struct {
 	// leader per partition (Section 2.4), so every read probes the
 	// replicas in order.
 	DisableLeaderCache bool
+	// WriteWindow caps the packets a streaming writer keeps in flight
+	// before the first unacked one blocks further Writes. Default 8;
+	// window 1 degenerates to stop-and-wait over a pinned stream.
+	WriteWindow int
+	// DisablePipeline forces sequential writes onto the per-packet
+	// stop-and-wait path even when the transport supports packet streams
+	// (the pipelining ablation baseline).
+	DisablePipeline bool
 	// Seed makes partition selection reproducible. Zero derives from
 	// the volume name.
 	Seed uint64
@@ -67,6 +75,9 @@ func (c Config) withDefaults(volume string) Config {
 	}
 	if c.CacheTTL == 0 {
 		c.CacheTTL = 2 * time.Second
+	}
+	if c.WriteWindow == 0 {
+		c.WriteWindow = util.DefaultWriteWindow
 	}
 	if c.Seed == 0 {
 		var h uint64 = 14695981039346656037

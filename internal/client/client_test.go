@@ -192,7 +192,8 @@ func TestConfigDefaults(t *testing.T) {
 	cfg := Config{}.withDefaults("volname")
 	if cfg.MaxRetries != 3 || cfg.PacketSize != util.DefaultPacketSize ||
 		cfg.SmallFileThreshold != util.DefaultSmallFileThreshold ||
-		cfg.CacheTTL != 2*time.Second || cfg.Seed == 0 {
+		cfg.CacheTTL != 2*time.Second || cfg.Seed == 0 ||
+		cfg.WriteWindow != util.DefaultWriteWindow {
 		t.Fatalf("defaults = %+v", cfg)
 	}
 	// Defaults are idempotent.
@@ -287,5 +288,142 @@ func TestEndToEndOverTCP(t *testing.T) {
 	data, err := c.Data.Read(ek, ek.ExtentOffset, ek.Size)
 	if err != nil || string(data) != "tcp payload" {
 		t.Fatalf("TCP read back = %q, %v", data, err)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Pipelined extent writer.
+
+func TestExtentWriterPipelinedAppend(t *testing.T) {
+	nw := transport.NewMemory()
+	startCluster(t, nw)
+	c, err := Mount(nw, "master", "vol", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if !c.Data.Pipelined() {
+		t.Fatal("memory transport should support the pipelined path")
+	}
+	dp, err := c.Data.PickWritable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := c.Data.NewExtentWriter(dp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	// 5 packets of data, accepted without waiting for acks.
+	data := make([]byte, 5*c.Config().PacketSize)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	n, err := w.Write(0, data)
+	if err != nil || n != len(data) {
+		t.Fatalf("Write = %d, %v", n, err)
+	}
+	keys, pend, err := w.Drain()
+	if err != nil || len(pend) != 0 {
+		t.Fatalf("Drain = %d pending, %v", len(pend), err)
+	}
+	if len(keys) != 5 {
+		t.Fatalf("got %d keys, want 5", len(keys))
+	}
+	// Keys are contiguous in both file and extent space, in ack order.
+	var foff, eoff uint64
+	for i, ek := range keys {
+		if ek.FileOffset != foff || ek.ExtentOffset != eoff {
+			t.Fatalf("key %d = %+v, want foff %d eoff %d", i, ek, foff, eoff)
+		}
+		foff += uint64(ek.Size)
+		eoff += uint64(ek.Size)
+		got, err := c.Data.Read(ek, ek.ExtentOffset, ek.Size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(data[ek.FileOffset:ek.End()]) {
+			t.Fatalf("key %d content mismatch", i)
+		}
+	}
+}
+
+func TestExtentWriterFailureReportsUncommittedTail(t *testing.T) {
+	nw := transport.NewMemory()
+	startCluster(t, nw)
+	c, err := Mount(nw, "master", "vol", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	dp, err := c.Data.PickWritable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := c.Data.NewExtentWriter(dp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	// A committed packet, then a failed window.
+	if _, err := w.Write(0, []byte("stable")); err != nil {
+		t.Fatal(err)
+	}
+	if keys, _, err := w.Drain(); err != nil || len(keys) != 1 {
+		t.Fatalf("baseline drain = %d keys, %v", len(keys), err)
+	}
+
+	// Cut a replica: every packet of the next window must come back as
+	// uncommitted, in order, with its bytes intact for replay.
+	nw.Partition("dn2")
+	defer nw.Heal("dn2")
+	chunk := make([]byte, 2*c.Config().PacketSize)
+	n, _ := w.Write(6, chunk) // acceptance may or may not see the error yet
+	keys, pend, err := w.Drain()
+	if err == nil {
+		t.Fatal("window drained cleanly with an unreachable replica")
+	}
+	if len(keys) != 0 {
+		t.Fatalf("%d keys committed past a replica failure", len(keys))
+	}
+	var replay uint64
+	next := uint64(6)
+	for _, pw := range pend {
+		if pw.FileOffset != next {
+			t.Fatalf("pending tail out of order: foff %d, want %d", pw.FileOffset, next)
+		}
+		next += uint64(len(pw.Data))
+		replay += uint64(len(pw.Data))
+	}
+	if replay != uint64(n) {
+		t.Fatalf("pending bytes = %d, accepted = %d", replay, n)
+	}
+	// The poisoned writer keeps failing fast.
+	if _, err := w.Write(next, []byte("more")); err == nil {
+		t.Fatal("write on a poisoned writer succeeded")
+	}
+}
+
+func TestDisablePipelineFallsBack(t *testing.T) {
+	nw := transport.NewMemory()
+	startCluster(t, nw)
+	c, err := Mount(nw, "master", "vol", Config{DisablePipeline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Data.Pipelined() {
+		t.Fatal("DisablePipeline not honored")
+	}
+	// The stop-and-wait small-file path still works.
+	ek, err := c.Data.WriteSmallFile(0, []byte("fallback"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := c.Data.Read(ek, ek.ExtentOffset, ek.Size)
+	if err != nil || string(data) != "fallback" {
+		t.Fatalf("fallback read = %q, %v", data, err)
 	}
 }

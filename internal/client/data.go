@@ -123,10 +123,15 @@ func (d *DataClient) Append(dp proto.DataPartitionInfo, extentID, fileOffset uin
 // WriteSmallFile sends a small file straight to a random partition's
 // leader with no extent-creation round trip; the leader aggregates it into
 // a shared extent and replies with the placement (Sections 2.2.3, 4.4).
+// On a stream-capable transport it reuses the pipelined writer with a
+// window of 1 (one packet, one session); otherwise a single Call.
 func (d *DataClient) WriteSmallFile(fileOffset uint64, data []byte) (proto.ExtentKey, error) {
 	dp, err := d.PickWritable()
 	if err != nil {
 		return proto.ExtentKey{}, err
+	}
+	if d.Pipelined() {
+		return d.writeSmallFileStreamed(dp, fileOffset, data)
 	}
 	pkt := proto.NewPacket(proto.OpDataAppend, d.reqID.Add(1), dp.PartitionID, 0, data)
 	pkt.FileOffset = fileOffset
@@ -146,6 +151,25 @@ func (d *DataClient) WriteSmallFile(fileOffset uint64, data []byte) (proto.Exten
 		Size:         uint32(len(data)),
 		CRC:          util.CRC(data),
 	}, nil
+}
+
+func (d *DataClient) writeSmallFileStreamed(dp proto.DataPartitionInfo, fileOffset uint64, data []byte) (proto.ExtentKey, error) {
+	w, err := d.newStreamWriter(dp, 1)
+	if err != nil {
+		return proto.ExtentKey{}, err
+	}
+	defer w.Close()
+	if err := w.WriteSmall(fileOffset, data); err != nil {
+		return proto.ExtentKey{}, err
+	}
+	keys, _, err := w.Drain()
+	if err != nil {
+		return proto.ExtentKey{}, fmt.Errorf("client: small-file write to dp %d: %w", dp.PartitionID, err)
+	}
+	if len(keys) != 1 {
+		return proto.ExtentKey{}, fmt.Errorf("client: small-file write to dp %d: %d keys", dp.PartitionID, len(keys))
+	}
+	return keys[0], nil
 }
 
 // Overwrite rewrites bytes inside an already-committed extent range

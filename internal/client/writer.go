@@ -1,0 +1,306 @@
+package client
+
+import (
+	"fmt"
+	"sync"
+
+	"cfs/internal/proto"
+	"cfs/internal/transport"
+	"cfs/internal/util"
+)
+
+// ExtentWriter streams sequential writes to one extent through a pipelined
+// replication session (OpDataWriteStream) with a sliding in-flight window.
+//
+// Write slices data into packets and pushes them without waiting for acks;
+// a background goroutine collects the in-order acks - each one meaning the
+// packet is stored on every replica - and turns them into extent keys.
+// Errors propagate in order: the first failed sequence poisons the writer,
+// and Drain reports every later packet as uncommitted (returned as
+// PendingWrite so the caller can replay them on a fresh extent).
+//
+// An ExtentWriter is not safe for concurrent use; core.File serializes
+// access under its own mutex.
+type ExtentWriter struct {
+	d      *DataClient
+	dp     proto.DataPartitionInfo
+	window int
+	st     transport.PacketStream
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	pending  []*streamPkt
+	keys     []proto.ExtentKey // committed since the last Drain, seq order
+	err      error             // first session error; sticky
+	extent   uint64
+	seq      uint64
+	recvDone chan struct{}
+}
+
+// streamPkt is one packet the writer has accepted but not yet seen acked.
+type streamPkt struct {
+	seq     uint64
+	fileOff uint64
+	data    []byte
+	create  bool
+	small   bool
+}
+
+// PendingWrite is an accepted-but-uncommitted chunk surfaced by Drain
+// after a session failure, ready to be replayed on another partition.
+type PendingWrite struct {
+	FileOffset uint64
+	Data       []byte
+}
+
+// Pipelined reports whether the streaming write path is available: the
+// transport must support duplex packet streams and the ablation switch
+// must be off.
+func (d *DataClient) Pipelined() bool {
+	if d.cfg.DisablePipeline {
+		return false
+	}
+	_, ok := d.nw.(transport.PacketStreamNetwork)
+	return ok
+}
+
+// NewExtentWriter opens a replication session to dp's leader, creates a
+// fresh extent through it (the create hop rides the stream, not a separate
+// Call fan-out), and returns a writer with the configured window.
+func (d *DataClient) NewExtentWriter(dp proto.DataPartitionInfo) (*ExtentWriter, error) {
+	w, err := d.newStreamWriter(dp, d.cfg.WriteWindow)
+	if err != nil {
+		return nil, err
+	}
+	if err := w.createExtent(); err != nil {
+		w.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+func (d *DataClient) newStreamWriter(dp proto.DataPartitionInfo, window int) (*ExtentWriter, error) {
+	snw, ok := d.nw.(transport.PacketStreamNetwork)
+	if !ok {
+		return nil, fmt.Errorf("client: transport has no packet streams: %w", util.ErrInvalidArgument)
+	}
+	if len(dp.Members) == 0 {
+		return nil, fmt.Errorf("client: data partition %d has no members: %w", dp.PartitionID, util.ErrNoAvailableNode)
+	}
+	st, err := snw.DialStream(dp.Members[0], uint8(proto.OpDataWriteStream))
+	if err != nil {
+		return nil, err
+	}
+	if window < 1 {
+		window = 1
+	}
+	w := &ExtentWriter{d: d, dp: dp, window: window, st: st, recvDone: make(chan struct{})}
+	w.cond = sync.NewCond(&w.mu)
+	go w.recvLoop()
+	return w, nil
+}
+
+// Partition returns the data partition the writer is bound to.
+func (w *ExtentWriter) Partition() proto.DataPartitionInfo { return w.dp }
+
+// createExtent sends the create hop and waits for its ack (one round trip
+// per extent; appends then stream against the assigned id).
+func (w *ExtentWriter) createExtent() error {
+	pkt := &proto.Packet{
+		Op:          proto.OpDataCreateExtent,
+		ReqID:       w.nextSeq(&streamPkt{create: true}),
+		PartitionID: w.dp.PartitionID,
+	}
+	if err := w.send(pkt); err != nil {
+		return err
+	}
+	_, _, err := w.Drain()
+	if err != nil {
+		return fmt.Errorf("client: create extent on dp %d: %w", w.dp.PartitionID, err)
+	}
+	return nil
+}
+
+// nextSeq registers p in the window and returns its sequence number.
+// Callers must send the matching packet before the next nextSeq call.
+func (w *ExtentWriter) nextSeq(p *streamPkt) uint64 {
+	w.mu.Lock()
+	w.seq++
+	p.seq = w.seq
+	w.pending = append(w.pending, p)
+	w.mu.Unlock()
+	return p.seq
+}
+
+func (w *ExtentWriter) send(pkt *proto.Packet) error {
+	if err := w.st.Send(pkt); err != nil {
+		w.fail(err)
+		return err
+	}
+	return nil
+}
+
+// Write queues data for appending at fileOff, blocking only while the
+// in-flight window is full. The returned count is bytes ACCEPTED into the
+// window, not yet committed; commit (or failure) is observed via Drain.
+// The data is copied, so the caller may reuse the buffer immediately.
+func (w *ExtentWriter) Write(fileOff uint64, data []byte) (int, error) {
+	written := 0
+	packet := w.d.cfg.PacketSize
+	for written < len(data) {
+		if err := w.waitWindow(); err != nil {
+			return written, err
+		}
+		end := util.Min(written+packet, len(data))
+		chunk := append([]byte(nil), data[written:end]...)
+		sp := &streamPkt{fileOff: fileOff + uint64(written), data: chunk}
+		pkt := &proto.Packet{
+			Op:          proto.OpDataAppend,
+			ReqID:       w.nextSeq(sp),
+			PartitionID: w.dp.PartitionID,
+			ExtentID:    w.extentID(),
+			FileOffset:  sp.fileOff,
+			CRC:         util.CRC(chunk),
+			Data:        chunk,
+		}
+		if err := w.send(pkt); err != nil {
+			return written, err
+		}
+		written = end
+	}
+	return written, nil
+}
+
+// WriteSmall queues one whole small file (ExtentID 0 selects the leader's
+// aggregated-extent path, Section 2.2.3).
+func (w *ExtentWriter) WriteSmall(fileOff uint64, data []byte) error {
+	if err := w.waitWindow(); err != nil {
+		return err
+	}
+	chunk := append([]byte(nil), data...)
+	sp := &streamPkt{fileOff: fileOff, data: chunk, small: true}
+	pkt := &proto.Packet{
+		Op:          proto.OpDataAppend,
+		ReqID:       w.nextSeq(sp),
+		PartitionID: w.dp.PartitionID,
+		FileOffset:  fileOff,
+		CRC:         util.CRC(chunk),
+		Data:        chunk,
+	}
+	return w.send(pkt)
+}
+
+func (w *ExtentWriter) waitWindow() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for w.err == nil && len(w.pending) >= w.window {
+		w.cond.Wait()
+	}
+	return w.err
+}
+
+func (w *ExtentWriter) extentID() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.extent
+}
+
+// Idle reports whether a flush would be a no-op: nothing in flight, no
+// committed keys waiting to be collected, no failure to surface.
+func (w *ExtentWriter) Idle() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.pending) == 0 && len(w.keys) == 0 && w.err == nil
+}
+
+// Drain blocks until every accepted packet is acked or the session fails.
+// It returns the extent keys committed since the last Drain (in order) and,
+// on failure, the uncommitted chunks for replay. The error is sticky: a
+// failed writer stays failed and should be Closed.
+func (w *ExtentWriter) Drain() ([]proto.ExtentKey, []PendingWrite, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for w.err == nil && len(w.pending) > 0 {
+		w.cond.Wait()
+	}
+	keys := w.keys
+	w.keys = nil
+	if w.err == nil {
+		return keys, nil, nil
+	}
+	var pend []PendingWrite
+	for _, sp := range w.pending {
+		if !sp.create {
+			pend = append(pend, PendingWrite{FileOffset: sp.fileOff, Data: sp.data})
+		}
+	}
+	w.pending = nil
+	return keys, pend, w.err
+}
+
+// Close tears down the session and waits for the ack collector to exit.
+// Callers that care about in-flight data must Drain first.
+func (w *ExtentWriter) Close() error {
+	w.st.Close()
+	<-w.recvDone
+	w.fail(fmt.Errorf("client: writer closed: %w", util.ErrClosed))
+	return nil
+}
+
+func (w *ExtentWriter) fail(err error) {
+	w.mu.Lock()
+	if w.err == nil {
+		w.err = err
+	}
+	w.cond.Broadcast()
+	w.mu.Unlock()
+}
+
+// recvLoop collects acks. The server acks strictly in sequence order, so
+// each ack matches the window head; an error ack (or a transport error)
+// poisons the writer and leaves the rest of the window as uncommitted.
+func (w *ExtentWriter) recvLoop() {
+	defer close(w.recvDone)
+	for {
+		ack, err := w.st.Recv()
+		if err != nil {
+			w.fail(fmt.Errorf("client: replication stream to dp %d: %w", w.dp.PartitionID, err))
+			return
+		}
+		w.mu.Lock()
+		if w.err != nil {
+			w.mu.Unlock()
+			continue // draining post-failure acks until the stream closes
+		}
+		if len(w.pending) == 0 || ack.ReqID != w.pending[0].seq {
+			w.err = fmt.Errorf("client: dp %d: ack for seq %d out of order", w.dp.PartitionID, ack.ReqID)
+			w.cond.Broadcast()
+			w.mu.Unlock()
+			continue
+		}
+		if ack.ResultCode != proto.ResultOK {
+			// Mirror the stop-and-wait client's error mapping: a data-node
+			// reject means "roll to another partition/extent" upstream.
+			w.err = fmt.Errorf("client: append to dp %d: %s: %w", w.dp.PartitionID, ack.Data, util.ErrReadOnly)
+			w.cond.Broadcast()
+			w.mu.Unlock()
+			continue
+		}
+		sp := w.pending[0]
+		w.pending = w.pending[1:]
+		if sp.create {
+			w.extent = ack.ExtentID
+		} else {
+			w.keys = append(w.keys, proto.ExtentKey{
+				PartitionID:  w.dp.PartitionID,
+				ExtentID:     ack.ExtentID,
+				ExtentOffset: ack.ExtentOffset,
+				FileOffset:   sp.fileOff,
+				Size:         uint32(len(sp.data)),
+				CRC:          util.CRC(sp.data),
+			})
+		}
+		w.cond.Broadcast()
+		w.mu.Unlock()
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync"
 
+	"cfs/internal/client"
 	"cfs/internal/proto"
 	"cfs/internal/util"
 )
@@ -44,16 +45,24 @@ type File struct {
 	curExtent uint64
 	haveDP    bool
 
+	// Streaming append state (stream-capable transports). w holds the
+	// open replication session; size runs ahead of committedSize while
+	// packets are in flight, and every read/overwrite/seek/close settles
+	// the window first so clients never observe uncommitted bytes.
+	w             *client.ExtentWriter
+	committedSize uint64 // all-replica acked watermark backing rollback
+
 	closed bool
 }
 
 func newFile(fs *FileSystem, p string, ino *proto.Inode) *File {
 	f := &File{
-		fs:      fs,
-		path:    p,
-		inode:   ino.Inode,
-		size:    ino.Size,
-		extents: append([]proto.ExtentKey(nil), ino.Extents...),
+		fs:            fs,
+		path:          p,
+		inode:         ino.Inode,
+		size:          ino.Size,
+		committedSize: ino.Size,
+		extents:       append([]proto.ExtentKey(nil), ino.Extents...),
 	}
 	sort.Slice(f.extents, func(i, j int) bool {
 		return f.extents[i].FileOffset < f.extents[j].FileOffset
@@ -105,8 +114,13 @@ func (f *File) writeAtLocked(off uint64, p []byte) (int, error) {
 	}
 	written := 0
 	// Overwrite the part overlapping existing content in place
-	// (Section 2.7.2).
+	// (Section 2.7.2). Bytes below the optimistic size may still be in
+	// flight on the append pipeline; settle the window first so the
+	// overwrite targets committed extents.
 	if off < f.size {
+		if err := f.flushWriterLocked(); err != nil {
+			return written, err
+		}
 		overlap := util.MinU64(f.size-off, uint64(len(p)))
 		if err := f.overwriteLocked(off, p[:overlap]); err != nil {
 			return written, err
@@ -136,6 +150,125 @@ func (f *File) appendLocked(off uint64, p []byte) (int, error) {
 		f.noteWritten(ek)
 		return len(p), nil
 	}
+	if f.fs.c.Data.Pipelined() {
+		return f.appendStreamLocked(off, p)
+	}
+	return f.appendSyncLocked(off, p)
+}
+
+// appendStreamLocked appends through the pipelined replication session:
+// packets enter the writer's in-flight window and the call returns once
+// they are ACCEPTED, not committed - commit acks drain in the background
+// and are settled at the next flush point (Close, Fsync, Seek, a read, or
+// an overwrite). A window failure replays the uncommitted tail on a fresh
+// extent, mirroring the stop-and-wait path's partition rolling.
+func (f *File) appendStreamLocked(off uint64, p []byte) (int, error) {
+	written := 0
+	for written < len(p) {
+		if f.w == nil {
+			if err := f.openWriterLocked(); err != nil {
+				return written, err
+			}
+		}
+		n, werr := f.w.Write(off+uint64(written), p[written:])
+		written += n
+		if end := off + uint64(written); end > f.size {
+			f.size = end // optimistic; rolled back if the flush fails hard
+		}
+		if werr != nil {
+			// The writer is poisoned (extent full, partition read-only,
+			// replica failure, ...); settle and replay its window.
+			if err := f.flushWriterLocked(); err != nil {
+				return written, err
+			}
+		}
+	}
+	return written, nil
+}
+
+// openWriterLocked starts a streaming writer on a random writable
+// partition, refreshing the view once when the first choice fails
+// (Section 2.3.3 exception handling, same shape as the sync path).
+func (f *File) openWriterLocked() error {
+	dp, err := f.fs.c.Data.PickWritable()
+	if err != nil {
+		return err
+	}
+	w, err := f.fs.c.Data.NewExtentWriter(dp)
+	if err != nil {
+		_ = f.fs.c.Refresh()
+		dp, err = f.fs.c.Data.PickWritable()
+		if err != nil {
+			return err
+		}
+		w, err = f.fs.c.Data.NewExtentWriter(dp)
+		if err != nil {
+			return err
+		}
+	}
+	f.w = w
+	return nil
+}
+
+// flushWriterLocked settles the streaming window: commits become extent
+// keys, and an uncommitted tail is replayed on fresh extents/partitions
+// while the failure is retriable (the paper's "resend a write request for
+// the remaining k-p MB to the extents in different data partitions"). On a
+// hard failure the optimistic size rolls back to the all-replica committed
+// watermark and the error surfaces - like a failed fsync, later than the
+// Write that accepted the bytes, but never silently.
+func (f *File) flushWriterLocked() error {
+	if f.w == nil {
+		return nil
+	}
+	var carry []client.PendingWrite
+	for attempt := 0; ; attempt++ {
+		keys, pend, err := f.w.Drain()
+		for _, ek := range keys {
+			f.noteWritten(ek)
+		}
+		if err == nil && len(carry) == 0 {
+			return nil // window fully committed; the writer stays open
+		}
+		f.w.Close()
+		f.w = nil
+		carry = append(pend, carry...)
+		if len(keys) > 0 {
+			// Progress was made; rolling to the next extent is the normal
+			// course of a large write, not a retry (the sync path loops
+			// unbounded here too). Only a stuck window burns attempts.
+			attempt = 0
+		}
+		if (err != nil && !retriableAppendErr(err)) || attempt >= f.fs.c.Config().MaxRetries {
+			f.size = f.committedSize
+			return err
+		}
+		if oerr := f.openWriterLocked(); oerr != nil {
+			f.size = f.committedSize
+			return oerr
+		}
+		// Replay the uncommitted tail in order; a partial replay loops
+		// back to Drain, which reports what stuck and what to carry on.
+		for len(carry) > 0 {
+			pw := carry[0]
+			n, werr := f.w.Write(pw.FileOffset, pw.Data)
+			if n == len(pw.Data) {
+				carry = carry[1:]
+				if werr == nil {
+					continue
+				}
+			} else {
+				carry[0] = client.PendingWrite{FileOffset: pw.FileOffset + uint64(n), Data: pw.Data[n:]}
+			}
+			break // writer failed again; next Drain sorts it out
+		}
+	}
+}
+
+// appendSyncLocked is the stop-and-wait append loop: one packet per round
+// trip through DataClient.Append. It serves transports without packet
+// streams and the pipelining ablation baseline.
+func (f *File) appendSyncLocked(off uint64, p []byte) (int, error) {
 	written := 0
 	for written < len(p) {
 		if !f.haveDP {
@@ -187,6 +320,9 @@ func (f *File) noteWritten(ek proto.ExtentKey) {
 	f.dirty = append(f.dirty, ek)
 	if ek.End() > f.size {
 		f.size = ek.End()
+	}
+	if ek.End() > f.committedSize {
+		f.committedSize = ek.End()
 	}
 	if ek.End() > f.dirtySz {
 		f.dirtySz = ek.End()
@@ -247,6 +383,13 @@ func (f *File) readAtLocked(off uint64, p []byte) (int, error) {
 	if f.closed {
 		return 0, util.ErrClosed
 	}
+	// Read-your-writes: settle the in-flight append window so every byte
+	// below f.size is backed by an all-replica committed extent key.
+	if f.w != nil && !f.w.Idle() {
+		if err := f.flushWriterLocked(); err != nil {
+			return 0, err
+		}
+	}
 	if off >= f.size {
 		return 0, io.EOF
 	}
@@ -277,10 +420,14 @@ func (f *File) readAtLocked(off uint64, p []byte) (int, error) {
 	return int(read), err
 }
 
-// Seek implements io.Seeker.
+// Seek implements io.Seeker. Seeking settles the in-flight append window
+// first so SeekEnd lands on a committed size.
 func (f *File) Seek(offset int64, whence int) (int64, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	if err := f.flushWriterLocked(); err != nil {
+		return 0, err
+	}
 	var base int64
 	switch whence {
 	case io.SeekStart:
@@ -300,11 +447,15 @@ func (f *File) Seek(offset int64, whence int) (int64, error) {
 	return np, nil
 }
 
-// Fsync pushes pending extent keys and the new size to the meta node
-// (Figure 4 step 8; triggered by the application's fsync in the paper).
+// Fsync settles the in-flight append window, then pushes pending extent
+// keys and the new size to the meta node (Figure 4 step 8; triggered by
+// the application's fsync in the paper).
 func (f *File) Fsync() error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	if err := f.flushWriterLocked(); err != nil {
+		return err
+	}
 	return f.fsyncLocked()
 }
 
@@ -320,18 +471,26 @@ func (f *File) fsyncLocked() error {
 	return nil
 }
 
-// Close flushes metadata and invalidates the handle.
+// Close settles the append window, flushes metadata, and invalidates the
+// handle. The handle is invalidated even when a flush fails, so the error
+// reports data loss rather than leaving a half-usable file open.
 func (f *File) Close() error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if f.closed {
 		return nil
 	}
-	if err := f.fsyncLocked(); err != nil {
-		return err
-	}
 	f.closed = true
-	return nil
+	ferr := f.flushWriterLocked()
+	if f.w != nil {
+		f.w.Close()
+		f.w = nil
+	}
+	serr := f.fsyncLocked()
+	if ferr != nil {
+		return ferr
+	}
+	return serr
 }
 
 // retriableAppendErr reports whether an append failure means "roll to

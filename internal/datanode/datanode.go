@@ -93,6 +93,14 @@ func Start(nw transport.Network, cfg Config) (*DataNode, error) {
 		return nil, err
 	}
 	d.ln = ln
+	// Pipelined replication sessions need duplex packet streams; on a
+	// transport without them the node still serves the per-packet path.
+	if snw, ok := nw.(transport.PacketStreamNetwork); ok {
+		if err := snw.ListenStream(cfg.Addr, d.handleStream); err != nil {
+			d.Close()
+			return nil, err
+		}
+	}
 	if cfg.MasterAddr != "" {
 		if err := d.register(); err != nil {
 			d.Close()

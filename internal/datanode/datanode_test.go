@@ -48,6 +48,7 @@ func startFakeMaster(t *testing.T, nw *transport.Memory, addr string) *fakeMaste
 
 type testCluster struct {
 	nw    *transport.Memory
+	fm    *fakeMaster
 	nodes []*DataNode
 	addrs []string
 }
@@ -55,8 +56,8 @@ type testCluster struct {
 func startCluster(t *testing.T, n int) *testCluster {
 	t.Helper()
 	nw := transport.NewMemory()
-	startFakeMaster(t, nw, "master")
 	tc := &testCluster{nw: nw}
+	tc.fm = startFakeMaster(t, nw, "master")
 	for i := 0; i < n; i++ {
 		addr := fmt.Sprintf("dn%d", i)
 		dn, err := Start(nw, Config{

@@ -47,6 +47,9 @@ func (p *Partition) isLeader() bool {
 
 // followers returns every member except this node.
 func (p *Partition) followers() []string {
+	if len(p.Members) == 0 {
+		return nil // guard: a negative cap below would panic
+	}
 	out := make([]string, 0, len(p.Members)-1)
 	for _, m := range p.Members {
 		if m != p.node.addr {
@@ -111,7 +114,7 @@ func (p *Partition) checkWritable() error {
 func (p *Partition) handleCreateExtent(pkt *proto.Packet) (*proto.Packet, error) {
 	if pkt.ResultCode == resultHopFollower {
 		// Follower hop: create the extent the leader assigned.
-		if err := p.store.Create(pkt.ExtentID); err != nil {
+		if err := p.applyFollowerHop(pkt); err != nil {
 			return pkt.ErrResponse(proto.ResultErrIO, err.Error()), nil
 		}
 		return pkt.OKResponse(nil), nil
@@ -127,13 +130,7 @@ func (p *Partition) handleCreateExtent(pkt *proto.Packet) (*proto.Packet, error)
 	if err := p.store.Create(id); err != nil {
 		return pkt.ErrResponse(proto.ResultErrIO, err.Error()), nil
 	}
-	fwd := &proto.Packet{
-		Op:          proto.OpDataCreateExtent,
-		ResultCode:  resultHopFollower,
-		ReqID:       pkt.ReqID,
-		PartitionID: p.ID,
-		ExtentID:    id,
-	}
+	fwd := createHopPacket(p.ID, pkt.ReqID, id)
 	for _, f := range p.followers() {
 		var resp proto.Packet
 		if err := p.node.nw.Call(f, uint8(proto.OpDataCreateExtent), fwd, &resp); err != nil {
@@ -166,6 +163,57 @@ func (p *Partition) handleAppend(pkt *proto.Packet) (*proto.Packet, error) {
 // (leader -> follower) hop; requests from clients carry ResultOK.
 const resultHopFollower uint8 = 0xF7
 
+// applyFollowerHop applies one forwarded hop to the local store. Both the
+// per-packet Call path and the streaming session path route through here,
+// so the replication apply rules (small-file marker, watermark-checked
+// appends, leader-assigned extent creation) exist exactly once.
+func (p *Partition) applyFollowerHop(pkt *proto.Packet) error {
+	switch pkt.Op {
+	case proto.OpDataCreateExtent:
+		return p.store.Create(pkt.ExtentID)
+	case proto.OpDataAppend:
+		if pkt.FileOffset == smallFileMarker {
+			return p.store.SmallFileAt(pkt.ExtentID, pkt.ExtentOffset, pkt.Data)
+		}
+		return p.store.AppendAt(pkt.ExtentID, pkt.ExtentOffset, pkt.Data)
+	default:
+		return fmt.Errorf("datanode: op %s is not a replication hop: %w", pkt.Op, util.ErrInvalidArgument)
+	}
+}
+
+// appendHopPacket builds the leader -> follower hop for an applied append:
+// the client's payload and CRC with the leader-assigned extent placement,
+// small-file aggregation signalled through the FileOffset marker.
+func appendHopPacket(partitionID uint64, pkt *proto.Packet, extentID, off uint64, small bool) *proto.Packet {
+	fwd := &proto.Packet{
+		Op:           pkt.Op,
+		ResultCode:   resultHopFollower,
+		ReqID:        pkt.ReqID,
+		PartitionID:  partitionID,
+		ExtentID:     extentID,
+		ExtentOffset: off,
+		FileOffset:   pkt.FileOffset,
+		CRC:          pkt.CRC,
+		Data:         pkt.Data,
+	}
+	if small {
+		fwd.FileOffset = smallFileMarker
+	}
+	return fwd
+}
+
+// createHopPacket builds the leader -> follower hop that replicates a
+// leader-assigned extent id.
+func createHopPacket(partitionID, reqID, extentID uint64) *proto.Packet {
+	return &proto.Packet{
+		Op:          proto.OpDataCreateExtent,
+		ResultCode:  resultHopFollower,
+		ReqID:       reqID,
+		PartitionID: partitionID,
+		ExtentID:    extentID,
+	}
+}
+
 func (p *Partition) leaderAppend(pkt *proto.Packet) (*proto.Packet, error) {
 	if !p.isLeader() {
 		return pkt.ErrResponse(proto.ResultErrNotLeader, "not primary"), nil
@@ -189,20 +237,7 @@ func (p *Partition) leaderAppend(pkt *proto.Packet) (*proto.Packet, error) {
 	}
 
 	// Forward in replica-array order; all must ack before commit.
-	fwd := &proto.Packet{
-		Op:           pkt.Op,
-		ResultCode:   resultHopFollower,
-		ReqID:        pkt.ReqID,
-		PartitionID:  p.ID,
-		ExtentID:     extentID,
-		ExtentOffset: off,
-		FileOffset:   pkt.FileOffset,
-		CRC:          pkt.CRC,
-		Data:         pkt.Data,
-	}
-	if small {
-		fwd.FileOffset = smallFileMarker
-	}
+	fwd := appendHopPacket(p.ID, pkt, extentID, off, small)
 	for _, f := range p.followers() {
 		var resp proto.Packet
 		if err := p.node.nw.Call(f, uint8(pkt.Op), fwd, &resp); err != nil {
@@ -227,13 +262,7 @@ func (p *Partition) leaderAppend(pkt *proto.Packet) (*proto.Packet, error) {
 const smallFileMarker = ^uint64(0)
 
 func (p *Partition) followerAppend(pkt *proto.Packet) (*proto.Packet, error) {
-	var err error
-	if pkt.FileOffset == smallFileMarker {
-		err = p.store.SmallFileAt(pkt.ExtentID, pkt.ExtentOffset, pkt.Data)
-	} else {
-		err = p.store.AppendAt(pkt.ExtentID, pkt.ExtentOffset, pkt.Data)
-	}
-	if err != nil {
+	if err := p.applyFollowerHop(pkt); err != nil {
 		return pkt.ErrResponse(proto.ResultErrIO, err.Error()), nil
 	}
 	return pkt.OKResponse(nil), nil
@@ -309,6 +338,19 @@ func (sm *partitionSM) Restore(data []byte) error { return nil }
 
 func (p *Partition) handleRead(pkt *proto.Packet) (*proto.Packet, error) {
 	length := binary.BigEndian.Uint32(pkt.Data)
+	// Section 2.2.5 invariant: the leader only exposes the offset committed
+	// by ALL replicas. With pipelined appends an uncommitted local tail is
+	// routine (in-flight window, aborted session), so clamp here rather
+	// than trusting the store watermark. Followers keep relying on the
+	// watermark check below: they have no committed map, and a follower
+	// can only hold bytes the leader already replicated to it.
+	if p.isLeader() {
+		if end := pkt.ExtentOffset + uint64(length); end > p.committedOf(pkt.ExtentID) {
+			return pkt.ErrResponse(proto.ResultErrIO, fmt.Sprintf(
+				"read [%d,%d) of extent %d beyond committed offset %d: %v",
+				pkt.ExtentOffset, end, pkt.ExtentID, p.committedOf(pkt.ExtentID), util.ErrOutOfRange)), nil
+		}
+	}
 	buf, err := p.store.ReadAt(pkt.ExtentID, pkt.ExtentOffset, length)
 	if err != nil {
 		return pkt.ErrResponse(proto.ResultErrIO, err.Error()), nil

@@ -1,0 +1,450 @@
+package datanode
+
+import (
+	"fmt"
+	"sync"
+
+	"cfs/internal/proto"
+	"cfs/internal/transport"
+)
+
+// This file implements the pipelined side of the Figure 4 sequential-write
+// protocol: a replication session.
+//
+// A client opens one OpDataWriteStream per (partition, extent) and pushes
+// packets without waiting for acks; the leader appends packet N locally and
+// forwards it to every follower over pinned per-follower packet streams
+// while N-1's acks are still in flight. Acks return to the client strictly
+// in sequence order, each one meaning "this packet is stored on EVERY
+// replica", so the all-replica committed offset (Section 2.2.5) advances
+// exactly as the window drains. Extent creation rides the same session as
+// an ordered frame instead of a serial Call fan-out.
+//
+// Error containment follows the protocol's commit rule:
+//
+//   - A payload CRC mismatch or a local apply error fails only that
+//     sequence: the packet is never forwarded, its error ack is delivered
+//     in order, and later packets are unaffected.
+//   - A follower failure (transport error or replication reject) aborts
+//     the session: every packet at or after the first unacked sequence is
+//     reported uncommitted, because the all-replica guarantee can no
+//     longer be met for any of them.
+
+// handleStream accepts data-path packet streams (wired by Start when the
+// transport supports them).
+func (d *DataNode) handleStream(op uint8, cs transport.PacketStream) {
+	if proto.Op(op) != proto.OpDataWriteStream {
+		return // unknown stream service; transport closes the stream
+	}
+	newWriteSession(d, cs).run()
+}
+
+// repEntry is one in-flight packet of a replication session's window.
+type repEntry struct {
+	seq      uint64
+	op       proto.Op
+	extentID uint64
+	offset   uint64 // extent offset assigned by the leader's local apply
+	length   uint64
+	acks     int   // follower acks collected so far
+	code     uint8 // proto.ResultOK until an error claims the entry
+	msg      string
+}
+
+// fwdChain is the pinned stream from the leader to one follower.
+type fwdChain struct {
+	addr string
+	st   transport.PacketStream
+	out  chan *proto.Packet
+	// inFlight mirrors, in forward order, the window entries awaiting
+	// this follower's ack. Guarded by the session mutex.
+	inFlight []*repEntry
+}
+
+type writeSession struct {
+	d  *DataNode
+	cs transport.PacketStream
+
+	// sendMu serializes client-bound acks AND pins their order: a holder
+	// pops committed entries and sends their acks before releasing, so two
+	// concurrent ack sources cannot interleave out of sequence. Lock order
+	// is always sendMu before mu.
+	sendMu sync.Mutex
+
+	mu         sync.Mutex
+	p          *Partition // bound by the first leader packet
+	pending    []*repEntry
+	fwds       []*fwdChain
+	nf         int // follower count, pinned when the chains open
+	failed     bool
+	failMsg    string
+	closed     bool // client went away; suppress failure escalation
+	chainsOpen bool
+	wg         sync.WaitGroup
+}
+
+func newWriteSession(d *DataNode, cs transport.PacketStream) *writeSession {
+	return &writeSession{d: d, cs: cs}
+}
+
+// run is the session's receive loop; it returns when the client closes its
+// end or the transport fails.
+func (s *writeSession) run() {
+	for {
+		pkt, err := s.cs.Recv()
+		if err != nil {
+			break
+		}
+		s.handle(pkt)
+	}
+	s.mu.Lock()
+	s.closed = true
+	chains := s.fwds
+	s.fwds = nil
+	s.mu.Unlock()
+	for _, c := range chains {
+		close(c.out) // recv loop is done; nobody else sends on out
+		c.st.Close()
+	}
+	s.wg.Wait()
+	s.cs.Close()
+}
+
+func (s *writeSession) handle(pkt *proto.Packet) {
+	p := s.d.Partition(pkt.PartitionID)
+	if p == nil {
+		s.reject(pkt, proto.ResultErrArg, fmt.Sprintf("unknown partition %d", pkt.PartitionID))
+		return
+	}
+	if pkt.ResultCode == resultHopFollower {
+		s.followerPacket(p, pkt)
+		return
+	}
+	s.leaderPacket(p, pkt)
+}
+
+// followerPacket applies one forwarded hop and acks it immediately; the
+// receive loop is single-threaded, so acks leave in arrival order.
+func (s *writeSession) followerPacket(p *Partition, pkt *proto.Packet) {
+	if pkt.Op == proto.OpDataAppend && !pkt.VerifyCRC() {
+		s.reject(pkt, proto.ResultErrCRC, "payload crc mismatch")
+		return
+	}
+	if err := p.applyFollowerHop(pkt); err != nil {
+		s.reject(pkt, proto.ResultErrIO, err.Error())
+		return
+	}
+	ack := &proto.Packet{
+		Op:           pkt.Op,
+		ResultCode:   proto.ResultOK,
+		ReqID:        pkt.ReqID,
+		PartitionID:  pkt.PartitionID,
+		ExtentID:     pkt.ExtentID,
+		ExtentOffset: pkt.ExtentOffset,
+	}
+	s.sendMu.Lock()
+	_ = s.cs.Send(ack)
+	s.sendMu.Unlock()
+}
+
+func (s *writeSession) leaderPacket(p *Partition, pkt *proto.Packet) {
+	s.mu.Lock()
+	if s.p == nil {
+		s.p = p
+	}
+	bound := s.p
+	failed, msg := s.failed, s.failMsg
+	s.mu.Unlock()
+	if bound != p {
+		s.reject(pkt, proto.ResultErrArg, "session is bound to another partition")
+		return
+	}
+	if failed {
+		s.reject(pkt, proto.ResultErrIO, "session aborted: "+msg)
+		return
+	}
+	if !p.isLeader() {
+		s.enqueueError(pkt, proto.ResultErrNotLeader, "not primary")
+		return
+	}
+	if !s.chainsOpen { // only the receive loop opens chains; no lock needed
+		s.chainsOpen = true
+		if !s.openChains(p) {
+			s.reject(pkt, proto.ResultErrIO, "session aborted: cannot reach followers")
+			return
+		}
+	}
+
+	e := &repEntry{seq: pkt.ReqID, op: pkt.Op}
+	var fwd *proto.Packet
+	switch pkt.Op {
+	case proto.OpDataCreateExtent:
+		if err := p.checkWritable(); err != nil {
+			s.enqueueError(pkt, proto.ResultErrIO, err.Error())
+			return
+		}
+		id := p.store.NextID()
+		if err := p.store.Create(id); err != nil {
+			s.enqueueError(pkt, proto.ResultErrIO, err.Error())
+			return
+		}
+		e.extentID = id
+		fwd = createHopPacket(p.ID, pkt.ReqID, id)
+	case proto.OpDataAppend:
+		if !pkt.VerifyCRC() {
+			// Reject just this frame; the stream and later packets are
+			// unaffected (the ack still flows in order).
+			s.enqueueError(pkt, proto.ResultErrCRC, "payload crc mismatch")
+			return
+		}
+		if err := p.checkWritable(); err != nil {
+			s.enqueueError(pkt, proto.ResultErrIO, err.Error())
+			return
+		}
+		var off uint64
+		var err error
+		extentID := pkt.ExtentID
+		small := extentID == 0
+		if small {
+			extentID, off, err = p.store.AppendSmallFile(pkt.Data)
+		} else {
+			off, err = p.store.Append(extentID, pkt.Data)
+		}
+		if err != nil {
+			s.enqueueError(pkt, proto.ResultErrIO, err.Error())
+			return
+		}
+		e.extentID, e.offset, e.length = extentID, off, uint64(len(pkt.Data))
+		fwd = appendHopPacket(p.ID, pkt, extentID, off, small)
+	default:
+		s.enqueueError(pkt, proto.ResultErrArg, fmt.Sprintf("op %s not allowed on a write stream", pkt.Op))
+		return
+	}
+
+	s.mu.Lock()
+	if s.failed {
+		// The session aborted while this packet was being applied; its
+		// local bytes are an unserved stale tail. Fail it in order -
+		// nobody is left to ack it otherwise.
+		e.code = proto.ResultErrIO
+		e.msg = "session aborted: " + s.failMsg
+		s.pending = append(s.pending, e)
+		s.mu.Unlock()
+		s.commitReady()
+		return
+	}
+	s.pending = append(s.pending, e)
+	chains := s.fwds
+	for _, c := range chains {
+		c.inFlight = append(c.inFlight, e)
+	}
+	s.mu.Unlock()
+	for _, c := range chains {
+		c.out <- fwd // buffered; blocking here is follower backpressure
+	}
+	if len(chains) == 0 {
+		s.commitReady() // single-replica partition commits immediately
+	}
+}
+
+// openChains dials the per-follower forward streams and starts their
+// sender/ack-collector goroutine pairs. Returns false (session aborted) if
+// any follower is unreachable.
+func (s *writeSession) openChains(p *Partition) bool {
+	snw, ok := s.d.nw.(transport.PacketStreamNetwork)
+	var chains []*fwdChain
+	for _, addr := range p.followers() {
+		if !ok {
+			s.followerFailed(addr, fmt.Errorf("transport has no packet streams"))
+			return false
+		}
+		st, err := snw.DialStream(addr, uint8(proto.OpDataWriteStream))
+		if err != nil {
+			for _, c := range chains {
+				close(c.out)
+				c.st.Close()
+			}
+			s.followerFailed(addr, err)
+			return false
+		}
+		chains = append(chains, &fwdChain{addr: addr, st: st, out: make(chan *proto.Packet, 64)})
+	}
+	s.mu.Lock()
+	s.fwds = chains
+	s.nf = len(chains)
+	s.mu.Unlock()
+	for _, c := range chains {
+		s.wg.Add(2)
+		go s.runSender(c)
+		go s.runAckReader(c)
+	}
+	return true
+}
+
+func (s *writeSession) runSender(c *fwdChain) {
+	defer s.wg.Done()
+	for pkt := range c.out {
+		if err := c.st.Send(pkt); err != nil {
+			s.followerFailed(c.addr, err)
+			// Keep draining so the receive loop never blocks on a dead
+			// chain's buffer; the session is already aborted.
+			for range c.out {
+			}
+			return
+		}
+	}
+}
+
+func (s *writeSession) runAckReader(c *fwdChain) {
+	defer s.wg.Done()
+	for {
+		ack, err := c.st.Recv()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if !closed {
+				s.followerFailed(c.addr, err)
+			}
+			return
+		}
+		if !s.followerAck(c, ack) {
+			return
+		}
+	}
+}
+
+// followerAck credits one follower ack to the oldest entry forwarded to
+// that follower. Follower streams are ordered, so acks arrive in forward
+// order; anything else is a protocol violation that aborts the session.
+func (s *writeSession) followerAck(c *fwdChain, ack *proto.Packet) bool {
+	s.mu.Lock()
+	if len(c.inFlight) == 0 {
+		s.mu.Unlock()
+		return !s.isFailed() // stray ack after an abort is expected noise
+	}
+	e := c.inFlight[0]
+	c.inFlight = c.inFlight[1:]
+	s.mu.Unlock()
+	if ack.ReqID != e.seq {
+		s.followerFailed(c.addr, fmt.Errorf("ack for seq %d, want %d", ack.ReqID, e.seq))
+		return false
+	}
+	if ack.ResultCode != proto.ResultOK {
+		s.followerFailed(c.addr, fmt.Errorf("replication rejected: %s", ack.Data))
+		return false
+	}
+	s.mu.Lock()
+	e.acks++
+	s.mu.Unlock()
+	s.commitReady()
+	return true
+}
+
+func (s *writeSession) isFailed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.failed
+}
+
+// commitReady pops every leading entry whose fate is decided - all-replica
+// acked (commit) or error-claimed (reject) - advances the committed offset
+// for commits, and sends the acks in sequence order.
+func (s *writeSession) commitReady() {
+	s.sendMu.Lock()
+	defer s.sendMu.Unlock()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	var acked []*proto.Packet
+	for len(s.pending) > 0 {
+		e := s.pending[0]
+		if e.code == proto.ResultOK && e.acks < s.nf {
+			break
+		}
+		s.pending = s.pending[1:]
+		if e.code == proto.ResultOK && e.op == proto.OpDataAppend {
+			s.p.advanceCommitted(e.extentID, e.offset+e.length)
+		}
+		acked = append(acked, ackForEntry(s.p.ID, e))
+	}
+	s.mu.Unlock()
+	for _, a := range acked {
+		_ = s.cs.Send(a)
+	}
+}
+
+func ackForEntry(partitionID uint64, e *repEntry) *proto.Packet {
+	if e.code != proto.ResultOK {
+		return &proto.Packet{
+			Op:          e.op,
+			ResultCode:  e.code,
+			ReqID:       e.seq,
+			PartitionID: partitionID,
+			ExtentID:    e.extentID,
+			Data:        []byte(e.msg),
+		}
+	}
+	return &proto.Packet{
+		Op:           e.op,
+		ResultCode:   proto.ResultOK,
+		ReqID:        e.seq,
+		PartitionID:  partitionID,
+		ExtentID:     e.extentID,
+		ExtentOffset: e.offset,
+	}
+}
+
+// followerFailed aborts the session: the failure is reported to the
+// master, and every undecided window entry is rejected (their bytes may
+// sit on some replicas as stale tails, which recovery realigns; they are
+// never served because the committed offset did not advance).
+func (s *writeSession) followerFailed(addr string, cause error) {
+	s.mu.Lock()
+	if s.failed || s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.failed = true
+	s.failMsg = fmt.Sprintf("replication to %s failed: %v", addr, cause)
+	for _, e := range s.pending {
+		if e.code == proto.ResultOK {
+			e.code = proto.ResultErrIO
+			e.msg = s.failMsg
+		}
+	}
+	p := s.p
+	s.mu.Unlock()
+	if p != nil {
+		p.reportFailure(addr)
+	}
+	s.commitReady() // flush the whole window as ordered error acks
+}
+
+// enqueueError fails one sequence without touching the rest of the window:
+// the entry takes its place in the ack order and carries the error.
+func (s *writeSession) enqueueError(pkt *proto.Packet, code uint8, msg string) {
+	e := &repEntry{seq: pkt.ReqID, op: pkt.Op, extentID: pkt.ExtentID, code: code, msg: msg}
+	s.mu.Lock()
+	s.pending = append(s.pending, e)
+	s.mu.Unlock()
+	s.commitReady()
+}
+
+// reject acks a packet outside the window bookkeeping (pre-bind errors and
+// post-abort traffic).
+func (s *writeSession) reject(pkt *proto.Packet, code uint8, msg string) {
+	ack := &proto.Packet{
+		Op:          pkt.Op,
+		ResultCode:  code,
+		ReqID:       pkt.ReqID,
+		PartitionID: pkt.PartitionID,
+		ExtentID:    pkt.ExtentID,
+		Data:        []byte(msg),
+	}
+	s.sendMu.Lock()
+	_ = s.cs.Send(ack)
+	s.sendMu.Unlock()
+}

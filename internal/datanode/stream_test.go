@@ -1,0 +1,332 @@
+package datanode
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"cfs/internal/proto"
+	"cfs/internal/transport"
+)
+
+// openWriteStream dials a replication session to the cluster leader.
+func (tc *testCluster) openWriteStream(t *testing.T) transport.PacketStream {
+	t.Helper()
+	st, err := tc.nw.DialStream(tc.leaderAddr(), uint8(proto.OpDataWriteStream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st
+}
+
+// streamCreateExtent creates an extent through the session (seq 1).
+func streamCreateExtent(t *testing.T, st transport.PacketStream, pid uint64) uint64 {
+	t.Helper()
+	if err := st.Send(&proto.Packet{Op: proto.OpDataCreateExtent, ReqID: 1, PartitionID: pid}); err != nil {
+		t.Fatal(err)
+	}
+	ack, err := st.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.ReqID != 1 || ack.ResultCode != proto.ResultOK {
+		t.Fatalf("create ack = %+v", ack)
+	}
+	return ack.ExtentID
+}
+
+func streamAppendPkt(seq, pid, eid uint64, data []byte) *proto.Packet {
+	pkt := proto.NewPacket(proto.OpDataAppend, seq, pid, eid, data)
+	return pkt
+}
+
+func TestWriteStreamPipelinedAppend(t *testing.T) {
+	tc := startCluster(t, 3)
+	tc.createPartition(t, 100)
+	st := tc.openWriteStream(t)
+	eid := streamCreateExtent(t, st, 100)
+
+	// Push the whole window before reading any ack (the point of the
+	// pipeline), then collect acks strictly in order.
+	const n = 10
+	var want []byte
+	for seq := uint64(2); seq < 2+n; seq++ {
+		chunk := []byte(fmt.Sprintf("chunk-%02d|", seq))
+		want = append(want, chunk...)
+		if err := st.Send(streamAppendPkt(seq, 100, eid, chunk)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var off uint64
+	for seq := uint64(2); seq < 2+n; seq++ {
+		ack, err := st.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ack.ReqID != seq || ack.ResultCode != proto.ResultOK {
+			t.Fatalf("ack = %+v, want seq %d ok", ack, seq)
+		}
+		if ack.ExtentOffset != off {
+			t.Fatalf("seq %d landed at %d, want %d", seq, ack.ExtentOffset, off)
+		}
+		off += uint64(len(fmt.Sprintf("chunk-%02d|", seq)))
+	}
+
+	// Every replica serves the committed range, and the leader's
+	// committed offset covers exactly the acked bytes.
+	for _, addr := range tc.addrs {
+		data, resp := tc.read(t, addr, 100, eid, 0, uint32(len(want)))
+		if resp.ResultCode != proto.ResultOK || string(data) != string(want) {
+			t.Fatalf("replica %s read rc=%d data=%q", addr, resp.ResultCode, data)
+		}
+	}
+	if got := tc.nodes[0].Partition(100).committedOf(eid); got != uint64(len(want)) {
+		t.Fatalf("committed = %d, want %d", got, len(want))
+	}
+}
+
+func TestWriteStreamSmallFileAggregation(t *testing.T) {
+	tc := startCluster(t, 3)
+	tc.createPartition(t, 100)
+	st := tc.openWriteStream(t)
+
+	// ExtentID 0 rides the aggregated small-file path on the session.
+	for seq := uint64(1); seq <= 3; seq++ {
+		if err := st.Send(streamAppendPkt(seq, 100, 0, []byte(fmt.Sprintf("small-%d", seq)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var eid uint64
+	for seq := uint64(1); seq <= 3; seq++ {
+		ack, err := st.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ack.ReqID != seq || ack.ResultCode != proto.ResultOK {
+			t.Fatalf("ack = %+v", ack)
+		}
+		if eid == 0 {
+			eid = ack.ExtentID
+		} else if ack.ExtentID != eid {
+			t.Fatalf("small files spread across extents: %d vs %d", ack.ExtentID, eid)
+		}
+	}
+	for _, addr := range tc.addrs {
+		data, resp := tc.read(t, addr, 100, eid, 0, 21)
+		if resp.ResultCode != proto.ResultOK || string(data) != "small-1small-2small-3" {
+			t.Fatalf("replica %s small read rc=%d data=%q", addr, resp.ResultCode, data)
+		}
+	}
+}
+
+// TestWriteStreamCorruptFrameDoesNotPoison: a CRC-corrupted frame is
+// rejected in ack order but later packets on the same stream commit.
+func TestWriteStreamCorruptFrameDoesNotPoison(t *testing.T) {
+	tc := startCluster(t, 3)
+	tc.createPartition(t, 100)
+	st := tc.openWriteStream(t)
+	eid := streamCreateExtent(t, st, 100)
+
+	good1 := streamAppendPkt(2, 100, eid, []byte("first."))
+	evil := streamAppendPkt(3, 100, eid, []byte("corrupt"))
+	evil.Data = []byte("CORRUPT") // CRC now stale
+	good2 := streamAppendPkt(4, 100, eid, []byte("second."))
+	for _, pkt := range []*proto.Packet{good1, evil, good2} {
+		if err := st.Send(pkt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantCodes := []uint8{proto.ResultOK, proto.ResultErrCRC, proto.ResultOK}
+	for i, seq := range []uint64{2, 3, 4} {
+		ack, err := st.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ack.ReqID != seq || ack.ResultCode != wantCodes[i] {
+			t.Fatalf("ack %d = %+v, want code %d", seq, ack, wantCodes[i])
+		}
+	}
+	// The two good packets are contiguous and committed on all replicas.
+	for _, addr := range tc.addrs {
+		data, resp := tc.read(t, addr, 100, eid, 0, 13)
+		if resp.ResultCode != proto.ResultOK || string(data) != "first.second." {
+			t.Fatalf("replica %s read rc=%d data=%q", addr, resp.ResultCode, data)
+		}
+	}
+	if got := tc.nodes[0].Partition(100).committedOf(eid); got != 13 {
+		t.Fatalf("committed = %d, want 13", got)
+	}
+}
+
+// TestWriteStreamFollowerFailureAbortsWindow: once a follower fails, every
+// packet at or after the first unacked sequence is reported uncommitted,
+// the committed offset freezes, and the session rejects further traffic.
+func TestWriteStreamFollowerFailureAbortsWindow(t *testing.T) {
+	tc := startCluster(t, 3)
+	tc.createPartition(t, 100)
+	st := tc.openWriteStream(t)
+	eid := streamCreateExtent(t, st, 100)
+
+	// One committed packet establishes a baseline.
+	if err := st.Send(streamAppendPkt(2, 100, eid, []byte("stable"))); err != nil {
+		t.Fatal(err)
+	}
+	if ack, err := st.Recv(); err != nil || ack.ResultCode != proto.ResultOK {
+		t.Fatalf("baseline ack = %+v, %v", ack, err)
+	}
+
+	tc.nw.Partition(tc.addrs[2])
+	const n = 4
+	for seq := uint64(3); seq < 3+n; seq++ {
+		if err := st.Send(streamAppendPkt(seq, 100, eid, []byte("doomed"))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for seq := uint64(3); seq < 3+n; seq++ {
+		ack, err := st.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ack.ReqID != seq {
+			t.Fatalf("ack out of order: got seq %d, want %d", ack.ReqID, seq)
+		}
+		if ack.ResultCode == proto.ResultOK {
+			t.Fatalf("seq %d committed with an unreachable follower", seq)
+		}
+	}
+	// Committed never advanced past the baseline...
+	if got := tc.nodes[0].Partition(100).committedOf(eid); got != 6 {
+		t.Fatalf("committed = %d, want 6", got)
+	}
+	// ...the failure was reported to the master...
+	select {
+	case r := <-startedMasterFailures(tc):
+		if r.Addr != tc.addrs[2] {
+			t.Fatalf("failure reported against %s", r.Addr)
+		}
+	default:
+		// Report is async; not fatal if it has not landed yet.
+	}
+	// ...and the aborted session rejects new packets outright.
+	if err := st.Send(streamAppendPkt(10, 100, eid, []byte("late"))); err != nil {
+		t.Fatal(err)
+	}
+	ack, err := st.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.ResultCode == proto.ResultOK || !strings.Contains(string(ack.Data), "aborted") {
+		t.Fatalf("post-abort ack = %+v", ack)
+	}
+}
+
+// startedMasterFailures digs the fake master's failure channel out of the
+// cluster (the fake master is registered in startCluster).
+func startedMasterFailures(tc *testCluster) chan proto.ReportFailureReq {
+	return tc.fm.failures
+}
+
+// TestReadNeverExceedsCommitted is the Section 2.2.5 regression: a leader
+// read racing an in-flight (or aborted) append never observes bytes past
+// the all-replica committed offset, even though the leader's local
+// watermark is ahead; recovery re-exposes the realigned bytes.
+func TestReadNeverExceedsCommitted(t *testing.T) {
+	tc := startCluster(t, 3)
+	tc.createPartition(t, 100)
+	st := tc.openWriteStream(t)
+	eid := streamCreateExtent(t, st, 100)
+
+	if err := st.Send(streamAppendPkt(2, 100, eid, []byte("committed."))); err != nil {
+		t.Fatal(err)
+	}
+	if ack, err := st.Recv(); err != nil || ack.ResultCode != proto.ResultOK {
+		t.Fatalf("baseline ack = %+v, %v", ack, err)
+	}
+
+	// Strand a tail on the leader: the append reaches the leader's store
+	// but can never be all-replica committed.
+	tc.nw.Partition(tc.addrs[2])
+	if err := st.Send(streamAppendPkt(3, 100, eid, []byte("tail"))); err != nil {
+		t.Fatal(err)
+	}
+	if ack, err := st.Recv(); err != nil || ack.ResultCode == proto.ResultOK {
+		t.Fatalf("stranded append ack = %+v, %v", ack, err)
+	}
+	leaderP := tc.nodes[0].Partition(100)
+	if sz := leaderStoreSize(t, leaderP, eid); sz != 14 {
+		t.Fatalf("leader watermark = %d, want 14 (stale tail present)", sz)
+	}
+
+	// The committed range is served; one byte past it is refused.
+	data, resp := tc.read(t, tc.leaderAddr(), 100, eid, 0, 10)
+	if resp.ResultCode != proto.ResultOK || string(data) != "committed." {
+		t.Fatalf("committed read rc=%d data=%q", resp.ResultCode, data)
+	}
+	if _, resp = tc.read(t, tc.leaderAddr(), 100, eid, 0, 11); resp.ResultCode == proto.ResultOK {
+		t.Fatal("leader served bytes beyond the all-replica committed offset")
+	}
+	if _, resp = tc.read(t, tc.leaderAddr(), 100, eid, 10, 4); resp.ResultCode == proto.ResultOK {
+		t.Fatal("leader served the uncommitted tail")
+	}
+
+	// Recovery realigns the follower and re-exposes the tail.
+	tc.nw.Heal(tc.addrs[2])
+	if _, err := leaderP.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	data, resp = tc.read(t, tc.leaderAddr(), 100, eid, 0, 14)
+	if resp.ResultCode != proto.ResultOK || string(data) != "committed.tail" {
+		t.Fatalf("post-recovery read rc=%d data=%q", resp.ResultCode, data)
+	}
+}
+
+func leaderStoreSize(t *testing.T, p *Partition, eid uint64) uint64 {
+	t.Helper()
+	info, err := p.store.Info(eid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return info.Size
+}
+
+// TestFollowersEmptyMembersNoPanic is the regression for the negative-cap
+// panic: followers() on a partition with no members must return empty.
+func TestFollowersEmptyMembersNoPanic(t *testing.T) {
+	p := &Partition{node: &DataNode{addr: "self"}}
+	if got := p.followers(); len(got) != 0 {
+		t.Fatalf("followers of empty member list = %v", got)
+	}
+	if p.isLeader() {
+		t.Fatal("empty partition cannot have a leader")
+	}
+}
+
+// TestWriteStreamWrongPartitionRejected: a session is bound to the first
+// packet's partition; traffic for another partition is refused without
+// disturbing the bound window.
+func TestWriteStreamWrongPartitionRejected(t *testing.T) {
+	tc := startCluster(t, 3)
+	tc.createPartition(t, 100)
+	tc.createPartition(t, 200)
+	st := tc.openWriteStream(t)
+	eid := streamCreateExtent(t, st, 100)
+
+	if err := st.Send(streamAppendPkt(2, 200, 1, []byte("stray"))); err != nil {
+		t.Fatal(err)
+	}
+	ack, err := st.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.ResultCode == proto.ResultOK {
+		t.Fatal("session accepted a packet for another partition")
+	}
+	// The bound partition still works on the same session.
+	if err := st.Send(streamAppendPkt(3, 100, eid, []byte("fine"))); err != nil {
+		t.Fatal(err)
+	}
+	if ack, err = st.Recv(); err != nil || ack.ResultCode != proto.ResultOK {
+		t.Fatalf("bound-partition append after stray = %+v, %v", ack, err)
+	}
+}

@@ -45,6 +45,14 @@ const (
 
 	// Raft traffic (consensus messages ride the same transport).
 	OpRaftMessage
+
+	// Data-path streams. Appended after the original ops so existing wire
+	// numbering is untouched (the op space is append-only, like the error
+	// sentinel table). OpDataWriteStream opens a pipelined replication
+	// session: packets flow leader-ward without per-packet round trips and
+	// acks stream back as the all-replica window drains (Figure 4 run as a
+	// pipeline instead of stop-and-wait).
+	OpDataWriteStream
 )
 
 func (o Op) String() string {
@@ -111,6 +119,8 @@ func (o Op) String() string {
 		return "AdminCreateDataPartition"
 	case OpRaftMessage:
 		return "RaftMessage"
+	case OpDataWriteStream:
+		return "DataWriteStream"
 	default:
 		return "Op(unknown)"
 	}

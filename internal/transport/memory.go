@@ -2,9 +2,11 @@ package transport
 
 import (
 	"fmt"
+	"io"
 	"sync"
 	"time"
 
+	"cfs/internal/proto"
 	"cfs/internal/util"
 )
 
@@ -17,18 +19,20 @@ import (
 //     network round trip so concurrency effects (the x-axes of Figures
 //     6-9) are visible on a single machine.
 type Memory struct {
-	mu          sync.RWMutex
-	handlers    map[string]Handler
-	partitioned map[string]bool
-	latency     time.Duration
-	calls       uint64
+	mu             sync.RWMutex
+	handlers       map[string]Handler
+	streamHandlers map[string]StreamHandler
+	partitioned    map[string]bool
+	latency        time.Duration
+	calls          uint64
 }
 
 // NewMemory returns an empty in-process network.
 func NewMemory() *Memory {
 	return &Memory{
-		handlers:    make(map[string]Handler),
-		partitioned: make(map[string]bool),
+		handlers:       make(map[string]Handler),
+		streamHandlers: make(map[string]StreamHandler),
+		partitioned:    make(map[string]bool),
 	}
 }
 
@@ -43,6 +47,7 @@ func (l *memListener) Close() error {
 	l.net.mu.Lock()
 	defer l.net.mu.Unlock()
 	delete(l.net.handlers, l.addr)
+	delete(l.net.streamHandlers, l.addr)
 	return nil
 }
 
@@ -134,6 +139,128 @@ func (s *memStream) Send(op uint8, req any) error { return s.nw.Call(s.addr, op,
 
 func (s *memStream) Close() error { return nil }
 
+// ListenStream implements PacketStreamNetwork.
+func (m *Memory) ListenStream(addr string, h StreamHandler) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.handlers[addr]; !ok {
+		return fmt.Errorf("transport: %w: no listener at %s", util.ErrNotFound, addr)
+	}
+	m.streamHandlers[addr] = h
+	return nil
+}
+
+// DialStream implements PacketStreamNetwork: it pairs two in-memory frame
+// pipes and runs the peer's StreamHandler on its own goroutine. Latency is
+// modeled as propagation delay - a frame is DELIVERED one latency after it
+// was sent, but Send returns immediately - so pipelined senders overlap
+// their frames in flight exactly like they would on a real wire, while
+// stop-and-wait callers still pay one latency per round trip.
+func (m *Memory) DialStream(addr string, op uint8) (PacketStream, error) {
+	return m.dialStream("", addr, op)
+}
+
+func (m *Memory) dialStream(from, addr string, op uint8) (PacketStream, error) {
+	m.mu.RLock()
+	h := m.streamHandlers[addr]
+	cut := m.partitioned[addr] || (from != "" && m.partitioned[from])
+	m.mu.RUnlock()
+	if cut {
+		return nil, fmt.Errorf("transport: %w: %s partitioned", util.ErrTimeout, addr)
+	}
+	if h == nil {
+		return nil, fmt.Errorf("transport: %w: no stream listener at %s", util.ErrNotFound, addr)
+	}
+	c2s := newMemFrames()
+	s2c := newMemFrames()
+	client := &memPacketStream{net: m, self: from, peer: addr, out: c2s, in: s2c}
+	server := &memPacketStream{net: m, self: addr, peer: from, out: s2c, in: c2s}
+	go func() {
+		defer server.Close()
+		h(op, server)
+	}()
+	return client, nil
+}
+
+// memFrame is one in-flight packet plus the instant it reaches the peer.
+type memFrame struct {
+	pkt *proto.Packet
+	due time.Time
+}
+
+// memFrames is one direction of an in-memory stream.
+type memFrames struct {
+	ch   chan memFrame
+	done chan struct{}
+	once sync.Once
+}
+
+func newMemFrames() *memFrames {
+	return &memFrames{ch: make(chan memFrame, 128), done: make(chan struct{})}
+}
+
+func (f *memFrames) close() { f.once.Do(func() { close(f.done) }) }
+
+type memPacketStream struct {
+	net  *Memory
+	self string // identity of this end ("" for an anonymous client)
+	peer string // identity of the other end
+	out  *memFrames
+	in   *memFrames
+}
+
+// Send implements PacketStream. A partitioned sender or receiver fails the
+// send; frames already in flight still deliver (they left the NIC).
+func (s *memPacketStream) Send(pkt *proto.Packet) error {
+	s.net.mu.RLock()
+	cut := (s.self != "" && s.net.partitioned[s.self]) || (s.peer != "" && s.net.partitioned[s.peer])
+	lat := s.net.latency
+	s.net.mu.RUnlock()
+	s.net.bumpCalls()
+	if cut {
+		return fmt.Errorf("transport: %w: stream to %s partitioned", util.ErrTimeout, s.peer)
+	}
+	fr := memFrame{pkt: pkt}
+	if lat > 0 {
+		fr.due = time.Now().Add(lat)
+	}
+	select {
+	case s.out.ch <- fr:
+		return nil
+	case <-s.out.done:
+		return fmt.Errorf("transport: stream to %s: %w", s.peer, util.ErrClosed)
+	}
+}
+
+// Recv implements PacketStream. Delivery waits until the frame's due time,
+// preserving order while letting later frames overlap the delay.
+func (s *memPacketStream) Recv() (*proto.Packet, error) {
+	var fr memFrame
+	select {
+	case fr = <-s.in.ch:
+	case <-s.in.done:
+		select {
+		case fr = <-s.in.ch: // drain frames sent before the close
+		default:
+			return nil, io.EOF
+		}
+	}
+	if !fr.due.IsZero() {
+		if d := time.Until(fr.due); d > 0 {
+			time.Sleep(d)
+		}
+	}
+	return fr.pkt, nil
+}
+
+// Close implements PacketStream: it ends the outgoing direction (the peer
+// drains in-flight frames, then sees io.EOF) and unblocks local Recvs.
+func (s *memPacketStream) Close() error {
+	s.out.close()
+	s.in.close()
+	return nil
+}
+
 // Endpoint returns a Network view bound to a node identity: when that
 // identity is partitioned, its OUTGOING calls fail too, modeling full
 // isolation (a plain Memory handle only cuts incoming traffic). Nodes in
@@ -151,6 +278,17 @@ func (e *memEndpoint) Listen(addr string, h Handler) (Listener, error) { return 
 // OpenStream implements StreamNetwork; the endpoint's outgoing-partition
 // check applies to every send.
 func (e *memEndpoint) OpenStream(addr string) Stream { return &memStream{nw: e, addr: addr} }
+
+// ListenStream implements PacketStreamNetwork.
+func (e *memEndpoint) ListenStream(addr string, h StreamHandler) error {
+	return e.m.ListenStream(addr, h)
+}
+
+// DialStream implements PacketStreamNetwork; both ends carry the node
+// identity, so partitioning the endpoint cuts its stream traffic too.
+func (e *memEndpoint) DialStream(addr string, op uint8) (PacketStream, error) {
+	return e.m.dialStream(e.from, addr, op)
+}
 
 // Call implements Network.
 func (e *memEndpoint) Call(addr string, op uint8, req, resp any) error {

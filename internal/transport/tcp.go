@@ -35,8 +35,9 @@ type TCP struct {
 	// DialTimeout bounds connection establishment. Zero means 5s.
 	DialTimeout time.Duration
 
-	mu    sync.Mutex
-	pools map[string]*connPool
+	mu        sync.Mutex
+	pools     map[string]*connPool
+	listeners map[string]*tcpListener // keyed by bind addr and resolved addr
 }
 
 const (
@@ -46,6 +47,11 @@ const (
 	statusRequest uint8 = 0
 	statusOK      uint8 = 1
 	statusErr     uint8 = 2
+	// statusStreamOpen upgrades the connection to a duplex packet stream:
+	// every subsequent frame on the wire is a bare proto.Packet (its own
+	// magic and length fields delimit it), flowing both ways without the
+	// request/response lockstep.
+	statusStreamOpen uint8 = 3
 
 	maxPoolPerPeer = 8
 )
@@ -54,16 +60,24 @@ const (
 func NewTCP() *TCP {
 	proto.RegisterGob()
 	gob.Register(&RemoteError{})
-	return &TCP{pools: make(map[string]*connPool)}
+	return &TCP{pools: make(map[string]*connPool), listeners: make(map[string]*tcpListener)}
 }
 
 type tcpListener struct {
+	t    *TCP
 	ln   net.Listener
 	addr string
 	wg   sync.WaitGroup
 
-	mu    sync.Mutex
-	conns map[net.Conn]struct{}
+	mu      sync.Mutex
+	conns   map[net.Conn]struct{}
+	streamH StreamHandler
+}
+
+func (l *tcpListener) streamHandler() StreamHandler {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.streamH
 }
 
 func (l *tcpListener) Addr() string { return l.addr }
@@ -73,6 +87,13 @@ func (l *tcpListener) Addr() string { return l.addr }
 // this, idle pooled client connections would pin Close forever.
 func (l *tcpListener) Close() error {
 	err := l.ln.Close()
+	l.t.mu.Lock()
+	for addr, reg := range l.t.listeners {
+		if reg == l {
+			delete(l.t.listeners, addr)
+		}
+	}
+	l.t.mu.Unlock()
 	l.mu.Lock()
 	for c := range l.conns {
 		c.Close()
@@ -100,7 +121,11 @@ func (t *TCP) Listen(addr string, h Handler) (Listener, error) {
 	if err != nil {
 		return nil, err
 	}
-	l := &tcpListener{ln: ln, addr: ln.Addr().String(), conns: make(map[net.Conn]struct{})}
+	l := &tcpListener{t: t, ln: ln, addr: ln.Addr().String(), conns: make(map[net.Conn]struct{})}
+	t.mu.Lock()
+	t.listeners[addr] = l
+	t.listeners[l.addr] = l
+	t.mu.Unlock()
 	l.wg.Add(1)
 	go func() {
 		defer l.wg.Done()
@@ -114,21 +139,101 @@ func (t *TCP) Listen(addr string, h Handler) (Listener, error) {
 			go func() {
 				defer l.wg.Done()
 				defer l.untrack(conn)
-				serveConn(conn, h)
+				serveConn(conn, h, l)
 			}()
 		}
 	}()
 	return l, nil
 }
 
-func serveConn(conn net.Conn, h Handler) {
+// ListenStream implements PacketStreamNetwork.
+func (t *TCP) ListenStream(addr string, h StreamHandler) error {
+	t.mu.Lock()
+	l := t.listeners[addr]
+	t.mu.Unlock()
+	if l == nil {
+		return fmt.Errorf("transport: %w: no listener at %s", util.ErrNotFound, addr)
+	}
+	l.mu.Lock()
+	l.streamH = h
+	l.mu.Unlock()
+	return nil
+}
+
+// DialStream implements PacketStreamNetwork: it dials a dedicated
+// connection (never pooled - the stream owns it for its whole life) and
+// upgrades it with a stream-open frame.
+func (t *TCP) DialStream(addr string, op uint8) (PacketStream, error) {
+	conn, err := t.dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	bw := bufio.NewWriterSize(conn, 256*util.KB)
+	hdr := [7]byte{op, kindPacket, statusStreamOpen}
+	if _, err := bw.Write(hdr[:]); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if err := bw.Flush(); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return &tcpPacketStream{conn: conn, bw: bw, br: bufio.NewReaderSize(conn, 256*util.KB)}, nil
+}
+
+// tcpPacketStream is one end of a duplex packet stream pinned to a
+// connection; both the dialing client and the accepting server use it.
+type tcpPacketStream struct {
+	conn net.Conn
+
+	sendMu sync.Mutex
+	bw     *bufio.Writer
+
+	recvMu sync.Mutex
+	br     *bufio.Reader
+}
+
+// Send implements PacketStream. Each packet is flushed immediately so the
+// peer sees it without waiting for the window to fill.
+func (s *tcpPacketStream) Send(pkt *proto.Packet) error {
+	s.sendMu.Lock()
+	defer s.sendMu.Unlock()
+	if _, err := pkt.WriteTo(s.bw); err != nil {
+		return err
+	}
+	return s.bw.Flush()
+}
+
+// Recv implements PacketStream.
+func (s *tcpPacketStream) Recv() (*proto.Packet, error) {
+	s.recvMu.Lock()
+	defer s.recvMu.Unlock()
+	pkt := &proto.Packet{}
+	if _, err := pkt.ReadFrom(s.br); err != nil {
+		return nil, err
+	}
+	return pkt, nil
+}
+
+// Close implements PacketStream.
+func (s *tcpPacketStream) Close() error { return s.conn.Close() }
+
+func serveConn(conn net.Conn, h Handler, l *tcpListener) {
 	defer conn.Close()
 	br := bufio.NewReaderSize(conn, 256*util.KB)
 	bw := bufio.NewWriterSize(conn, 256*util.KB)
 	for {
-		op, kind, _, body, err := readFrame(br)
+		op, kind, status, body, err := readFrame(br)
 		if err != nil {
 			return // peer closed or stream corrupt; drop the connection
+		}
+		if status == statusStreamOpen {
+			sh := l.streamHandler()
+			if sh == nil {
+				return // no stream service here; drop the connection
+			}
+			sh(op, &tcpPacketStream{conn: conn, bw: bw, br: br})
+			return
 		}
 		req, err := decodeBody(kind, body)
 		if err != nil {

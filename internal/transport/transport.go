@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"reflect"
 
+	"cfs/internal/proto"
 	"cfs/internal/util"
 )
 
@@ -63,6 +64,42 @@ type StreamNetwork interface {
 	// socket-backed networks) is dialed lazily and re-dialed after errors,
 	// so OpenStream itself never fails on an unreachable peer.
 	OpenStream(addr string) Stream
+}
+
+// PacketStream is a duplex, order-preserving stream of data-path packets.
+// It is the pipelining primitive of the sequential-write path: the sender
+// pushes request frames without waiting for replies, and a separate
+// goroutine collects ack frames, so many packets are in flight at once
+// (the paper's Figure 4 chain without per-packet round trips).
+//
+// Send and Recv are each serialized internally, so one goroutine may Send
+// while another Recvs, but two goroutines must not Send (or Recv)
+// concurrently. Recv returns io.EOF (or a transport error) once the peer
+// closes its end. Close tears down both directions.
+type PacketStream interface {
+	Send(pkt *proto.Packet) error
+	Recv() (*proto.Packet, error)
+	Close() error
+}
+
+// StreamHandler serves one accepted packet stream. It runs on its own
+// goroutine and owns the stream until it returns; the transport closes the
+// stream afterwards. op is the opcode the dialer opened the stream with.
+type StreamHandler func(op uint8, s PacketStream)
+
+// PacketStreamNetwork is implemented by networks that support duplex
+// packet streams in addition to request/response calls. Callers should
+// type-assert and fall back to per-packet Call when unsupported.
+type PacketStreamNetwork interface {
+	Network
+	// DialStream opens a duplex packet stream to addr. Unlike OpenStream,
+	// dialing is eager: an unreachable peer or a peer without a stream
+	// handler fails here.
+	DialStream(addr string, op uint8) (PacketStream, error)
+	// ListenStream registers h to serve streams dialed to addr. The addr
+	// must already be listening (Listen binds the request handler first);
+	// closing that listener unregisters h.
+	ListenStream(addr string, h StreamHandler) error
 }
 
 // RemoteError carries an error across the wire while preserving errors.Is

@@ -365,3 +365,185 @@ func TestCopyIntoTypeMismatch(t *testing.T) {
 		t.Fatal("type mismatch accepted")
 	}
 }
+
+// ---------------------------------------------------------------------------
+// Duplex packet streams (the pipelined write path's primitive).
+
+// echoStreamHandler acks every packet with its ReqID and an op-stamped
+// payload, closing when the peer does.
+func echoStreamHandler(op uint8, s PacketStream) {
+	for {
+		pkt, err := s.Recv()
+		if err != nil {
+			return
+		}
+		ack := &proto.Packet{Op: pkt.Op, ReqID: pkt.ReqID, ResultCode: proto.ResultOK, Data: []byte{op}}
+		if err := s.Send(ack); err != nil {
+			return
+		}
+	}
+}
+
+func runPacketStreamSuite(t *testing.T, nw PacketStreamNetwork, addr string) {
+	t.Helper()
+	// Streams require a bound listener first.
+	if err := nw.ListenStream(addr, echoStreamHandler); !errors.Is(err, util.ErrNotFound) {
+		t.Fatalf("ListenStream before Listen: %v", err)
+	}
+	ln, err := nw.Listen(addr, echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	bound := ln.Addr()
+	if err := nw.ListenStream(bound, echoStreamHandler); err != nil {
+		t.Fatalf("ListenStream: %v", err)
+	}
+
+	st, err := nw.DialStream(bound, 42)
+	if err != nil {
+		t.Fatalf("DialStream: %v", err)
+	}
+	defer st.Close()
+
+	// Pipelined sends: push the whole window before reading any ack.
+	const n = 16
+	for i := 1; i <= n; i++ {
+		pkt := proto.NewPacket(proto.OpDataAppend, uint64(i), 7, 9, []byte(fmt.Sprintf("pkt-%d", i)))
+		if err := st.Send(pkt); err != nil {
+			t.Fatalf("Send %d: %v", i, err)
+		}
+	}
+	for i := 1; i <= n; i++ {
+		ack, err := st.Recv()
+		if err != nil {
+			t.Fatalf("Recv %d: %v", i, err)
+		}
+		if ack.ReqID != uint64(i) || ack.ResultCode != proto.ResultOK || ack.Data[0] != 42 {
+			t.Fatalf("ack %d = %+v", i, ack)
+		}
+	}
+
+	// Ordinary calls still work on the same address alongside streams.
+	var resp echoResp
+	if err := nw.Call(bound, 1, &echoReq{Msg: "mixed"}, &resp); err != nil || resp.Msg != "mixed/ack" {
+		t.Fatalf("Call alongside stream: %+v, %v", resp, err)
+	}
+}
+
+func TestMemoryPacketStream(t *testing.T) {
+	runPacketStreamSuite(t, NewMemory(), "a")
+}
+
+func TestTCPPacketStream(t *testing.T) {
+	runPacketStreamSuite(t, NewTCP(), "127.0.0.1:0")
+}
+
+func TestMemoryPacketStreamDialUnknown(t *testing.T) {
+	m := NewMemory()
+	if _, err := m.DialStream("ghost", 1); !errors.Is(err, util.ErrNotFound) {
+		t.Fatalf("dial unknown: %v", err)
+	}
+}
+
+func TestMemoryPacketStreamPartition(t *testing.T) {
+	m := NewMemory()
+	ln, err := m.Listen("srv", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	if err := m.ListenStream("srv", echoStreamHandler); err != nil {
+		t.Fatal(err)
+	}
+	st, err := m.DialStream("srv", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.Send(proto.NewPacket(proto.OpDataAppend, 1, 1, 1, []byte("ok"))); err != nil {
+		t.Fatalf("send before partition: %v", err)
+	}
+	if _, err := st.Recv(); err != nil {
+		t.Fatalf("recv before partition: %v", err)
+	}
+	m.Partition("srv")
+	if err := st.Send(proto.NewPacket(proto.OpDataAppend, 2, 1, 1, []byte("no"))); !errors.Is(err, util.ErrTimeout) {
+		t.Fatalf("send into partition: %v", err)
+	}
+	m.Heal("srv")
+	// A fresh stream works again after healing.
+	st2, err := m.DialStream("srv", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if err := st2.Send(proto.NewPacket(proto.OpDataAppend, 3, 1, 1, []byte("yes"))); err != nil {
+		t.Fatalf("send after heal: %v", err)
+	}
+}
+
+// TestMemoryPacketStreamLatencyOverlaps verifies latency models propagation
+// delay: N pipelined frames cost ~1 latency, not N latencies.
+func TestMemoryPacketStreamLatencyOverlaps(t *testing.T) {
+	m := NewMemory()
+	ln, err := m.Listen("srv", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	if err := m.ListenStream("srv", echoStreamHandler); err != nil {
+		t.Fatal(err)
+	}
+	st, err := m.DialStream("srv", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	const lat = 20 * time.Millisecond
+	m.SetLatency(lat)
+	defer m.SetLatency(0)
+	start := time.Now()
+	const n = 8
+	for i := 1; i <= n; i++ {
+		if err := st.Send(proto.NewPacket(proto.OpDataAppend, uint64(i), 1, 1, []byte("x"))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i <= n; i++ {
+		if _, err := st.Recv(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+	// Stop-and-wait would cost >= n*2*lat = 320ms; a full pipeline costs
+	// about one round trip. Allow generous scheduling slack.
+	if elapsed > time.Duration(n)*lat {
+		t.Fatalf("pipelined round took %v, want ~%v (frames are not overlapping)", elapsed, 2*lat)
+	}
+}
+
+func TestMemoryEndpointPacketStreamPartitionedSender(t *testing.T) {
+	m := NewMemory()
+	ln, err := m.Listen("srv", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	if err := m.ListenStream("srv", echoStreamHandler); err != nil {
+		t.Fatal(err)
+	}
+	ep, ok := m.Endpoint("node1").(PacketStreamNetwork)
+	if !ok {
+		t.Fatal("endpoint does not implement PacketStreamNetwork")
+	}
+	st, err := ep.DialStream("srv", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	m.Partition("node1") // isolate the SENDER, not the server
+	if err := st.Send(proto.NewPacket(proto.OpDataAppend, 1, 1, 1, []byte("x"))); !errors.Is(err, util.ErrTimeout) {
+		t.Fatalf("partitioned endpoint send: %v", err)
+	}
+}

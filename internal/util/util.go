@@ -24,6 +24,12 @@ const (
 	// write pipeline (Section 2.7.1). It is aligned with the small-file
 	// threshold to avoid packet assembly or splitting.
 	DefaultPacketSize = 128 * KB
+
+	// DefaultWriteWindow is the number of packets a pipelined sequential
+	// writer keeps in flight before blocking on acks. Sized so that at
+	// LAN round-trip times the pipe stays full for packet-sized frames
+	// without ballooning per-file client memory (window x packet = 1 MB).
+	DefaultWriteWindow = 8
 )
 
 // Error kinds shared across subsystems. Wrap these with %w so callers can
