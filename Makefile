@@ -1,25 +1,35 @@
 GO ?= go
 
-.PHONY: all build test vet fmt-check fmt bench race verify
+# Per-package test timeouts: a wedged replication session (the bug family
+# this codebase's liveness deadlines exist to prevent) must fail the run
+# in minutes, not hang it until the CI job limit.
+TEST_TIMEOUT ?= 120s
+RACE_TIMEOUT ?= 300s
+
+.PHONY: all build test vet fmt-check fmt bench race verify check
 
 all: verify
 
 # Tier-1 verify: what CI runs and what every PR must keep green.
 verify: build vet fmt-check test
 
+# check is the pre-push gate; alias of verify so the two can never diverge.
+check: verify
+
 build:
 	$(GO) build ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -timeout $(TEST_TIMEOUT) ./...
 
 vet:
 	$(GO) vet ./...
 
 # Race detector over the whole tree; the pipelined write path is heavily
-# concurrent (window acks, forward chains), so this must stay clean.
+# concurrent (window acks, forward chains, session watchdogs), so this
+# must stay clean.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout $(RACE_TIMEOUT) ./...
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

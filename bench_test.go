@@ -441,3 +441,24 @@ func BenchmarkWritePipeline_WindowSweep(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkSmallFileSessions regenerates the session-reuse experiment:
+// pooled vs fresh-dial small-file writes with dials charged a TCP-style
+// handshake (see EXPERIMENTS.md).
+func BenchmarkSmallFileSessions(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		table, nums, err := bench.RunSmallFileSessions(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + table.Render())
+		}
+		b.ReportMetric(nums["pooled"], "files/s-pooled")
+		b.ReportMetric(nums["fresh-dial"], "files/s-fresh-dial")
+		if nums["fresh-dial"] > 0 {
+			b.ReportMetric(nums["pooled"]/nums["fresh-dial"], "speedup-pooled")
+		}
+	}
+}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	cfs-bench [-scale quick|paper] [table3|fig6|fig7|fig8|fig9|fig10|pipeline|heartbeat|all]
+//	cfs-bench [-scale quick|paper] [table3|fig6|fig7|fig8|fig9|fig10|pipeline|smallfile|heartbeat|all]
 package main
 
 import (
@@ -49,6 +49,10 @@ func main() {
 		{"fig10", func(s bench.Scale) (*bench.Table, error) { t, _, err := bench.RunFig10(s); return t, err }},
 		{"pipeline", func(s bench.Scale) (*bench.Table, error) {
 			t, _, err := bench.RunWritePipeline(s)
+			return t, err
+		}},
+		{"smallfile", func(s bench.Scale) (*bench.Table, error) {
+			t, _, err := bench.RunSmallFileSessions(s)
 			return t, err
 		}},
 		{"heartbeat", func(s bench.Scale) (*bench.Table, error) {

@@ -29,9 +29,12 @@ type PipelinePoint struct {
 type PipelineNumbers map[string]float64
 
 // RunWritePipeline measures sequential-write MB/s for the stop-and-wait
-// baseline and a sweep of window sizes. Every configuration writes the
-// same total bytes through a fresh client mount on its own cluster
-// (identical topology and latency), so the only variable is the protocol.
+// baseline, a sweep of PINNED window sizes (DisableAdaptiveWindow, the
+// ablation grid), and the adaptive controller started from a deliberately
+// undersized window - the row that shows the RTT-sized window finding the
+// knee on its own. Every configuration writes the same total bytes
+// through a fresh client mount on its own cluster (identical topology and
+// latency), so the only variable is the protocol.
 func RunWritePipeline(s Scale) (*Table, PipelineNumbers, error) {
 	total := 8 * util.MB
 	if s.MaxProcs >= 64 {
@@ -52,7 +55,7 @@ func RunWritePipeline(s Scale) (*Table, PipelineNumbers, error) {
 	table.Rows = append(table.Rows, []string{"stop-and-wait", fmt.Sprintf("%.1f", baseline), "1.00x"})
 
 	for _, w := range windows {
-		mbps, err := measureWriteThroughput(s, total, client.Config{WriteWindow: w})
+		mbps, err := measureWriteThroughput(s, total, client.Config{WriteWindow: w, DisableAdaptiveWindow: true})
 		if err != nil {
 			return nil, nil, fmt.Errorf("window %d: %w", w, err)
 		}
@@ -62,6 +65,15 @@ func RunWritePipeline(s Scale) (*Table, PipelineNumbers, error) {
 			label, fmt.Sprintf("%.1f", mbps), fmt.Sprintf("%.2fx", mbps/baseline),
 		})
 	}
+
+	mbps, err := measureWriteThroughput(s, total, client.Config{WriteWindow: 2})
+	if err != nil {
+		return nil, nil, fmt.Errorf("adaptive window: %w", err)
+	}
+	nums["adaptive"] = mbps
+	table.Rows = append(table.Rows, []string{
+		"adaptive(start=2)", fmt.Sprintf("%.1f", mbps), fmt.Sprintf("%.2fx", mbps/baseline),
+	})
 	return table, nums, nil
 }
 

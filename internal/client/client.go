@@ -43,14 +43,36 @@ type Config struct {
 	// leader per partition (Section 2.4), so every read probes the
 	// replicas in order.
 	DisableLeaderCache bool
-	// WriteWindow caps the packets a streaming writer keeps in flight
-	// before the first unacked one blocks further Writes. Default 8;
+	// WriteWindow is the STARTING in-flight window of a streaming writer
+	// (and the fixed window when DisableAdaptiveWindow is set). Default 8;
 	// window 1 degenerates to stop-and-wait over a pinned stream.
 	WriteWindow int
+	// MaxWriteWindow caps the adaptive window. Default 64.
+	MaxWriteWindow int
+	// DisableAdaptiveWindow pins the window at WriteWindow instead of
+	// sizing it from the observed ack RTT and spacing (bandwidth-delay
+	// product) - the window-sweep ablation baseline.
+	DisableAdaptiveWindow bool
 	// DisablePipeline forces sequential writes onto the per-packet
 	// stop-and-wait path even when the transport supports packet streams
 	// (the pipelining ablation baseline).
 	DisablePipeline bool
+	// DisableSessionPool gives every writer (and every small file) its own
+	// dedicated replication session instead of multiplexing per-partition
+	// pooled streams - the session-reuse ablation baseline, and the
+	// pre-pool behavior.
+	DisableSessionPool bool
+	// AckDeadline bounds how long a replication session waits without any
+	// ack progress before declaring itself hung and failing its writers
+	// (converting a half-open data node into a replayable error instead of
+	// an indefinite Drain block). Default 15s - deliberately above the
+	// data node's own follower ack deadline, so the leader's ordered abort
+	// usually wins and this is the backstop for a hung leader.
+	AckDeadline time.Duration
+	// KeepaliveInterval is how often an idle pooled session pings its
+	// leader, proving liveness in both directions (and keeping the
+	// server's idle-session reaper away). Default 5s.
+	KeepaliveInterval time.Duration
 	// Seed makes partition selection reproducible. Zero derives from
 	// the volume name.
 	Seed uint64
@@ -78,6 +100,15 @@ func (c Config) withDefaults(volume string) Config {
 	}
 	if c.WriteWindow == 0 {
 		c.WriteWindow = util.DefaultWriteWindow
+	}
+	if c.MaxWriteWindow == 0 {
+		c.MaxWriteWindow = util.DefaultMaxWriteWindow
+	}
+	if c.AckDeadline == 0 {
+		c.AckDeadline = 15 * time.Second
+	}
+	if c.KeepaliveInterval == 0 {
+		c.KeepaliveInterval = 5 * time.Second
 	}
 	if c.Seed == 0 {
 		var h uint64 = 14695981039346656037
@@ -171,10 +202,12 @@ func (c *Client) refreshLoop(interval time.Duration) {
 	}
 }
 
-// Close stops background work and flushes the orphan list.
+// Close stops background work, retires the pooled replication sessions,
+// and flushes the orphan list.
 func (c *Client) Close() {
 	c.stopOnce.Do(func() { close(c.stopc) })
 	c.wg.Wait()
+	c.Data.close()
 	c.Meta.EvictOrphans()
 }
 

@@ -2,6 +2,7 @@ package client
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -19,8 +20,9 @@ import (
 // packets, and remembers the most recently identified leader per partition
 // so reads rarely probe more than one replica (Section 2.4).
 type DataClient struct {
-	nw  transport.Network
-	cfg Config
+	nw   transport.Network
+	cfg  Config
+	pool *sessionPool // replication sessions, one per partition leader
 
 	mu     sync.Mutex
 	view   []proto.DataPartitionInfo
@@ -30,13 +32,18 @@ type DataClient struct {
 }
 
 func newDataClient(nw transport.Network, cfg Config) *DataClient {
-	return &DataClient{
+	d := &DataClient{
 		nw:     nw,
 		cfg:    cfg,
 		leader: make(map[uint64]string),
 		rnd:    util.NewRand(cfg.Seed ^ 0xD47A),
 	}
+	d.pool = newSessionPool(d)
+	return d
 }
+
+// close retires every pooled replication session (Client.Close path).
+func (d *DataClient) close() { d.pool.close() }
 
 func (d *DataClient) setView(dps []proto.DataPartitionInfo) {
 	sorted := append([]proto.DataPartitionInfo(nil), dps...)
@@ -123,8 +130,10 @@ func (d *DataClient) Append(dp proto.DataPartitionInfo, extentID, fileOffset uin
 // WriteSmallFile sends a small file straight to a random partition's
 // leader with no extent-creation round trip; the leader aggregates it into
 // a shared extent and replies with the placement (Sections 2.2.3, 4.4).
-// On a stream-capable transport it reuses the pipelined writer with a
-// window of 1 (one packet, one session); otherwise a single Call.
+// On a stream-capable transport it rides the partition's POOLED
+// replication session with a window of 1 - one packet, zero dials once the
+// session is warm, which is what makes a small-file-heavy workload cheap
+// on sockets; otherwise a single Call.
 func (d *DataClient) WriteSmallFile(fileOffset uint64, data []byte) (proto.ExtentKey, error) {
 	dp, err := d.PickWritable()
 	if err != nil {
@@ -154,7 +163,25 @@ func (d *DataClient) WriteSmallFile(fileOffset uint64, data []byte) (proto.Exten
 }
 
 func (d *DataClient) writeSmallFileStreamed(dp proto.DataPartitionInfo, fileOffset uint64, data []byte) (proto.ExtentKey, error) {
-	w, err := d.newStreamWriter(dp, 1)
+	var lastErr error
+	for attempt := 0; attempt <= d.cfg.MaxRetries; attempt++ {
+		ek, err := d.writeSmallFileOnce(dp, fileOffset, data)
+		if err == nil {
+			return ek, nil
+		}
+		lastErr = err
+		// Only a retired pooled session is retried here: the pool already
+		// dropped it, so the next attempt dials fresh, and the single
+		// packet either never committed or its copy is unreferenced.
+		if !errors.Is(err, util.ErrStale) {
+			break
+		}
+	}
+	return proto.ExtentKey{}, lastErr
+}
+
+func (d *DataClient) writeSmallFileOnce(dp proto.DataPartitionInfo, fileOffset uint64, data []byte) (proto.ExtentKey, error) {
+	w, err := d.newStreamWriter(dp, 1, false)
 	if err != nil {
 		return proto.ExtentKey{}, err
 	}

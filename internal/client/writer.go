@@ -3,47 +3,58 @@ package client
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"cfs/internal/proto"
 	"cfs/internal/transport"
 	"cfs/internal/util"
 )
 
-// ExtentWriter streams sequential writes to one extent through a pipelined
+// ExtentWriter streams sequential writes to one extent through a pooled
 // replication session (OpDataWriteStream) with a sliding in-flight window.
 //
 // Write slices data into packets and pushes them without waiting for acks;
-// a background goroutine collects the in-order acks - each one meaning the
-// packet is stored on every replica - and turns them into extent keys.
-// Errors propagate in order: the first failed sequence poisons the writer,
-// and Drain reports every later packet as uncommitted (returned as
-// PendingWrite so the caller can replay them on a fresh extent).
+// the session's dispatcher routes the in-order acks back - each one meaning
+// the packet is stored on every replica - and the writer turns them into
+// extent keys. Errors propagate in order: the first failed sequence poisons
+// the writer, and Drain reports every later packet as uncommitted (returned
+// as PendingWrite so the caller can replay them on a fresh extent). A
+// session-fatal failure (transport error, ack deadline, server abort)
+// poisons every writer sharing the session; the pool redials for the next
+// one.
+//
+// The window is adaptive by default: each ack's measured round trip and the
+// spacing between consecutive acks estimate the bandwidth-delay product in
+// packets, and the window tracks it between 1 and MaxWriteWindow - a
+// high-latency path grows the window to keep the pipe full, a fast local
+// one shrinks it to bound buffered-but-uncommitted bytes.
+// Config.WriteWindow is the starting point (and the fixed size when
+// DisableAdaptiveWindow pins it for ablations).
 //
 // An ExtentWriter is not safe for concurrent use; core.File serializes
 // access under its own mutex.
 type ExtentWriter struct {
-	d      *DataClient
-	dp     proto.DataPartitionInfo
-	window int
-	st     transport.PacketStream
+	d         *DataClient
+	dp        proto.DataPartitionInfo
+	sess      *repSession
+	dedicated bool // writer owns the session (pooling disabled); Close tears it down
 
-	mu       sync.Mutex
-	cond     *sync.Cond
-	pending  []*streamPkt
-	keys     []proto.ExtentKey // committed since the last Drain, seq order
-	err      error             // first session error; sticky
-	extent   uint64
-	seq      uint64
-	recvDone chan struct{}
+	mu      sync.Mutex
+	cond    *sync.Cond
+	win     winController
+	pending []*streamPkt
+	keys    []proto.ExtentKey // committed since the last Drain, seq order
+	err     error             // first writer error; sticky
+	extent  uint64
 }
 
 // streamPkt is one packet the writer has accepted but not yet seen acked.
 type streamPkt struct {
-	seq     uint64
 	fileOff uint64
 	data    []byte
 	create  bool
 	small   bool
+	sentAt  time.Time // stamped by the session; feeds the RTT estimate
 }
 
 // PendingWrite is an accepted-but-uncommitted chunk surfaced by Drain
@@ -51,6 +62,59 @@ type streamPkt struct {
 type PendingWrite struct {
 	FileOffset uint64
 	Data       []byte
+}
+
+// winController sizes the in-flight window from observed ack behavior:
+// EWMA-smoothed ack round trip over EWMA-smoothed inter-ack spacing is the
+// bandwidth-delay product in packets, and the window walks one step per
+// ack toward it (step-wise so one outlier ack cannot halve the window).
+type winController struct {
+	cur      int
+	max      int
+	adaptive bool
+
+	srtt    float64 // smoothed ack round trip, seconds
+	sgap    float64 // smoothed gap between consecutive acks, seconds
+	lastAck time.Time
+	busy    bool // last ack left frames in flight (gap is a service gap)
+}
+
+const ewmaAlpha = 0.125 // the classic SRTT weight
+
+func (w *winController) observe(rtt time.Duration, now time.Time, stillBusy bool) {
+	if !w.adaptive {
+		return
+	}
+	r := rtt.Seconds()
+	if w.srtt == 0 {
+		w.srtt = r
+	} else {
+		w.srtt += ewmaAlpha * (r - w.srtt)
+	}
+	if w.busy && !w.lastAck.IsZero() {
+		// Only gaps between acks of a continuously busy window measure the
+		// pipe's service rate; idle stretches would inflate them.
+		g := now.Sub(w.lastAck).Seconds()
+		if w.sgap == 0 {
+			w.sgap = g
+		} else {
+			w.sgap += ewmaAlpha * (g - w.sgap)
+		}
+	}
+	w.lastAck, w.busy = now, stillBusy
+	if w.sgap <= 0 {
+		return
+	}
+	target := int(w.srtt/w.sgap) + 1 // BDP in packets, rounded up
+	if target > w.max {
+		target = w.max
+	}
+	switch {
+	case target > w.cur:
+		w.cur++
+	case target < w.cur && w.cur > 1:
+		w.cur--
+	}
 }
 
 // Pipelined reports whether the streaming write path is available: the
@@ -64,11 +128,12 @@ func (d *DataClient) Pipelined() bool {
 	return ok
 }
 
-// NewExtentWriter opens a replication session to dp's leader, creates a
-// fresh extent through it (the create hop rides the stream, not a separate
-// Call fan-out), and returns a writer with the configured window.
+// NewExtentWriter binds a writer to dp's pooled replication session (one
+// pinned stream per partition leader, shared by every writer) and creates
+// a fresh extent through it - the create hop rides the stream, not a
+// separate Call fan-out, and on a pooled session not even a dial.
 func (d *DataClient) NewExtentWriter(dp proto.DataPartitionInfo) (*ExtentWriter, error) {
-	w, err := d.newStreamWriter(dp, d.cfg.WriteWindow)
+	w, err := d.newStreamWriter(dp, d.cfg.WriteWindow, !d.cfg.DisableAdaptiveWindow)
 	if err != nil {
 		return nil, err
 	}
@@ -79,24 +144,30 @@ func (d *DataClient) NewExtentWriter(dp proto.DataPartitionInfo) (*ExtentWriter,
 	return w, nil
 }
 
-func (d *DataClient) newStreamWriter(dp proto.DataPartitionInfo, window int) (*ExtentWriter, error) {
-	snw, ok := d.nw.(transport.PacketStreamNetwork)
-	if !ok {
-		return nil, fmt.Errorf("client: transport has no packet streams: %w", util.ErrInvalidArgument)
-	}
-	if len(dp.Members) == 0 {
-		return nil, fmt.Errorf("client: data partition %d has no members: %w", dp.PartitionID, util.ErrNoAvailableNode)
-	}
-	st, err := snw.DialStream(dp.Members[0], uint8(proto.OpDataWriteStream))
-	if err != nil {
-		return nil, err
-	}
+func (d *DataClient) newStreamWriter(dp proto.DataPartitionInfo, window int, adaptive bool) (*ExtentWriter, error) {
 	if window < 1 {
 		window = 1
 	}
-	w := &ExtentWriter{d: d, dp: dp, window: window, st: st, recvDone: make(chan struct{})}
+	max := d.cfg.MaxWriteWindow
+	if max < window {
+		max = window
+	}
+	var sess *repSession
+	var err error
+	dedicated := d.cfg.DisableSessionPool
+	if dedicated {
+		sess, err = d.dialSession(dp, nil)
+	} else {
+		sess, err = d.pool.get(dp)
+	}
+	if err != nil {
+		return nil, err
+	}
+	w := &ExtentWriter{
+		d: d, dp: dp, sess: sess, dedicated: dedicated,
+		win: winController{cur: window, max: max, adaptive: adaptive},
+	}
 	w.cond = sync.NewCond(&w.mu)
-	go w.recvLoop()
 	return w, nil
 }
 
@@ -106,12 +177,15 @@ func (w *ExtentWriter) Partition() proto.DataPartitionInfo { return w.dp }
 // createExtent sends the create hop and waits for its ack (one round trip
 // per extent; appends then stream against the assigned id).
 func (w *ExtentWriter) createExtent() error {
-	pkt := &proto.Packet{
-		Op:          proto.OpDataCreateExtent,
-		ReqID:       w.nextSeq(&streamPkt{create: true}),
-		PartitionID: w.dp.PartitionID,
-	}
-	if err := w.send(pkt); err != nil {
+	sp := &streamPkt{create: true}
+	w.register(sp)
+	if err := w.send(sp, func(seq uint64) *proto.Packet {
+		return &proto.Packet{
+			Op:          proto.OpDataCreateExtent,
+			ReqID:       seq,
+			PartitionID: w.dp.PartitionID,
+		}
+	}); err != nil {
 		return err
 	}
 	_, _, err := w.Drain()
@@ -121,19 +195,16 @@ func (w *ExtentWriter) createExtent() error {
 	return nil
 }
 
-// nextSeq registers p in the window and returns its sequence number.
-// Callers must send the matching packet before the next nextSeq call.
-func (w *ExtentWriter) nextSeq(p *streamPkt) uint64 {
+// register appends p to the writer's window FIFO. Callers must send the
+// matching packet before registering the next one.
+func (w *ExtentWriter) register(sp *streamPkt) {
 	w.mu.Lock()
-	w.seq++
-	p.seq = w.seq
-	w.pending = append(w.pending, p)
+	w.pending = append(w.pending, sp)
 	w.mu.Unlock()
-	return p.seq
 }
 
-func (w *ExtentWriter) send(pkt *proto.Packet) error {
-	if err := w.st.Send(pkt); err != nil {
+func (w *ExtentWriter) send(sp *streamPkt, build func(seq uint64) *proto.Packet) error {
+	if err := w.sess.send(w, sp, build); err != nil {
 		w.fail(err)
 		return err
 	}
@@ -154,19 +225,25 @@ func (w *ExtentWriter) Write(fileOff uint64, data []byte) (int, error) {
 		end := util.Min(written+packet, len(data))
 		chunk := append([]byte(nil), data[written:end]...)
 		sp := &streamPkt{fileOff: fileOff + uint64(written), data: chunk}
-		pkt := &proto.Packet{
-			Op:          proto.OpDataAppend,
-			ReqID:       w.nextSeq(sp),
-			PartitionID: w.dp.PartitionID,
-			ExtentID:    w.extentID(),
-			FileOffset:  sp.fileOff,
-			CRC:         util.CRC(chunk),
-			Data:        chunk,
-		}
-		if err := w.send(pkt); err != nil {
+		w.register(sp)
+		// The chunk counts as accepted from registration on: even if the
+		// send below fails, sp sits in the window and Drain surfaces it
+		// as a PendingWrite for replay - reporting it unwritten too would
+		// make the caller send the same range twice.
+		written = end
+		if err := w.send(sp, func(seq uint64) *proto.Packet {
+			return &proto.Packet{
+				Op:          proto.OpDataAppend,
+				ReqID:       seq,
+				PartitionID: w.dp.PartitionID,
+				ExtentID:    w.extentID(),
+				FileOffset:  sp.fileOff,
+				CRC:         util.CRC(chunk),
+				Data:        chunk,
+			}
+		}); err != nil {
 			return written, err
 		}
-		written = end
 	}
 	return written, nil
 }
@@ -179,21 +256,23 @@ func (w *ExtentWriter) WriteSmall(fileOff uint64, data []byte) error {
 	}
 	chunk := append([]byte(nil), data...)
 	sp := &streamPkt{fileOff: fileOff, data: chunk, small: true}
-	pkt := &proto.Packet{
-		Op:          proto.OpDataAppend,
-		ReqID:       w.nextSeq(sp),
-		PartitionID: w.dp.PartitionID,
-		FileOffset:  fileOff,
-		CRC:         util.CRC(chunk),
-		Data:        chunk,
-	}
-	return w.send(pkt)
+	w.register(sp)
+	return w.send(sp, func(seq uint64) *proto.Packet {
+		return &proto.Packet{
+			Op:          proto.OpDataAppend,
+			ReqID:       seq,
+			PartitionID: w.dp.PartitionID,
+			FileOffset:  fileOff,
+			CRC:         util.CRC(chunk),
+			Data:        chunk,
+		}
+	})
 }
 
 func (w *ExtentWriter) waitWindow() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	for w.err == nil && len(w.pending) >= w.window {
+	for w.err == nil && len(w.pending) >= w.win.cur {
 		w.cond.Wait()
 	}
 	return w.err
@@ -203,6 +282,14 @@ func (w *ExtentWriter) extentID() uint64 {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.extent
+}
+
+// Window returns the writer's current in-flight window size (adaptive
+// sizing makes this a moving target; ablations read it).
+func (w *ExtentWriter) Window() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.win.cur
 }
 
 // Idle reports whether a flush would be a no-op: nothing in flight, no
@@ -216,7 +303,9 @@ func (w *ExtentWriter) Idle() bool {
 // Drain blocks until every accepted packet is acked or the session fails.
 // It returns the extent keys committed since the last Drain (in order) and,
 // on failure, the uncommitted chunks for replay. The error is sticky: a
-// failed writer stays failed and should be Closed.
+// failed writer stays failed and should be Closed. The session's ack
+// deadline bounds the wait - a hung replica surfaces here as an error plus
+// the pending tail, never as an indefinite block.
 func (w *ExtentWriter) Drain() ([]proto.ExtentKey, []PendingWrite, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -238,11 +327,13 @@ func (w *ExtentWriter) Drain() ([]proto.ExtentKey, []PendingWrite, error) {
 	return keys, pend, w.err
 }
 
-// Close tears down the session and waits for the ack collector to exit.
-// Callers that care about in-flight data must Drain first.
+// Close detaches the writer from its session. Pooled sessions stay open
+// for the next writer; a dedicated session (pooling disabled) is torn
+// down. Callers that care about in-flight data must Drain first.
 func (w *ExtentWriter) Close() error {
-	w.st.Close()
-	<-w.recvDone
+	if w.dedicated {
+		w.sess.close()
+	}
 	w.fail(fmt.Errorf("client: writer closed: %w", util.ErrClosed))
 	return nil
 }
@@ -256,51 +347,49 @@ func (w *ExtentWriter) fail(err error) {
 	w.mu.Unlock()
 }
 
-// recvLoop collects acks. The server acks strictly in sequence order, so
-// each ack matches the window head; an error ack (or a transport error)
-// poisons the writer and leaves the rest of the window as uncommitted.
-func (w *ExtentWriter) recvLoop() {
-	defer close(w.recvDone)
-	for {
-		ack, err := w.st.Recv()
-		if err != nil {
-			w.fail(fmt.Errorf("client: replication stream to dp %d: %w", w.dp.PartitionID, err))
-			return
-		}
-		w.mu.Lock()
-		if w.err != nil {
-			w.mu.Unlock()
-			continue // draining post-failure acks until the stream closes
-		}
-		if len(w.pending) == 0 || ack.ReqID != w.pending[0].seq {
-			w.err = fmt.Errorf("client: dp %d: ack for seq %d out of order", w.dp.PartitionID, ack.ReqID)
-			w.cond.Broadcast()
-			w.mu.Unlock()
-			continue
-		}
-		if ack.ResultCode != proto.ResultOK {
-			// Mirror the stop-and-wait client's error mapping: a data-node
-			// reject means "roll to another partition/extent" upstream.
-			w.err = fmt.Errorf("client: append to dp %d: %s: %w", w.dp.PartitionID, ack.Data, util.ErrReadOnly)
-			w.cond.Broadcast()
-			w.mu.Unlock()
-			continue
-		}
-		sp := w.pending[0]
-		w.pending = w.pending[1:]
-		if sp.create {
-			w.extent = ack.ExtentID
-		} else {
-			w.keys = append(w.keys, proto.ExtentKey{
-				PartitionID:  w.dp.PartitionID,
-				ExtentID:     ack.ExtentID,
-				ExtentOffset: ack.ExtentOffset,
-				FileOffset:   sp.fileOff,
-				Size:         uint32(len(sp.data)),
-				CRC:          util.CRC(sp.data),
-			})
-		}
-		w.cond.Broadcast()
-		w.mu.Unlock()
+// sessionFailed poisons the writer when its session dies underneath it
+// (transport error, ack deadline, server abort). Pending packets stay
+// registered so Drain reports them for replay.
+func (w *ExtentWriter) sessionFailed(err error) { w.fail(err) }
+
+// handleAck consumes one in-order ack routed by the session. The server
+// acks a writer's frames strictly in its send order, so each ack matches
+// the window head; an error ack poisons the writer and leaves the rest of
+// the window as uncommitted.
+func (w *ExtentWriter) handleAck(sp *streamPkt, ack *proto.Packet, now time.Time) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return // poisoned; Drain already owns the pending tail
 	}
+	if len(w.pending) == 0 || w.pending[0] != sp {
+		// A protocol-order violation means the session state cannot be
+		// trusted; wrap it retriably so the pending tail is replayed on a
+		// fresh session rather than hard-failing the caller's write.
+		w.err = fmt.Errorf("client: dp %d: ack for seq %d out of order: %w", w.dp.PartitionID, ack.ReqID, util.ErrTimeout)
+		w.cond.Broadcast()
+		return
+	}
+	if ack.ResultCode != proto.ResultOK {
+		// Mirror the stop-and-wait client's error mapping: a data-node
+		// reject means "roll to another partition/extent" upstream.
+		w.err = fmt.Errorf("client: append to dp %d: %s: %w", w.dp.PartitionID, ack.Data, util.ErrReadOnly)
+		w.cond.Broadcast()
+		return
+	}
+	w.pending = w.pending[1:]
+	if sp.create {
+		w.extent = ack.ExtentID
+	} else {
+		w.keys = append(w.keys, proto.ExtentKey{
+			PartitionID:  w.dp.PartitionID,
+			ExtentID:     ack.ExtentID,
+			ExtentOffset: ack.ExtentOffset,
+			FileOffset:   sp.fileOff,
+			Size:         uint32(len(sp.data)),
+			CRC:          util.CRC(sp.data),
+		})
+		w.win.observe(now.Sub(sp.sentAt), now, len(w.pending) > 0)
+	}
+	w.cond.Broadcast()
 }

@@ -793,3 +793,43 @@ func TestStreamedWriteReadAfterWindowDrains(t *testing.T) {
 	}
 	f.Close()
 }
+
+// TestWriteResumesAfterIdleSessionRetire: the session pool retires
+// sessions whose writers go quiet, and a dormant File's next write must
+// transparently reopen on a fresh session (retriable ErrStale), not
+// hard-fail on a healthy cluster.
+func TestWriteResumesAfterIdleSessionRetire(t *testing.T) {
+	e := startEnv(t, MountOptions{Client: client.Config{
+		KeepaliveInterval: 20 * time.Millisecond, // retire after ~240ms idle
+	}})
+	f, err := e.fs.Create("/pause.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := bytes.Repeat([]byte("a"), 200*1024)
+	if _, err := f.Write(first); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Fsync(); err != nil {
+		t.Fatal(err)
+	}
+	// Outlast the idle-retire threshold with margin.
+	time.Sleep(600 * time.Millisecond)
+	second := bytes.Repeat([]byte("b"), 200*1024)
+	if _, err := f.Write(second); err != nil {
+		t.Fatalf("write after idle retirement: %v", err)
+	}
+	if err := f.Fsync(); err != nil {
+		t.Fatalf("fsync after idle retirement: %v", err)
+	}
+	got := make([]byte, len(first)+len(second))
+	if _, err := f.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:len(first)], first) || !bytes.Equal(got[len(first):], second) {
+		t.Fatal("content mismatch across the retirement pause")
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -494,7 +494,14 @@ func (f *File) Close() error {
 }
 
 // retriableAppendErr reports whether an append failure means "roll to
-// another partition/extent" rather than a hard error.
+// another partition/extent" rather than a hard error. Timeouts qualify: a
+// hung, crashed, or aborted replication session (ack deadline, half-open
+// replica, stream EOF) surfaces as util.ErrTimeout with the uncommitted
+// tail attached, and the right response is to replay that tail on a
+// different partition. Staleness qualifies too: the session pool retires
+// sessions under idle writers (or when the leader moves), and the
+// replacement session is one reopen away.
 func retriableAppendErr(err error) bool {
-	return errors.Is(err, util.ErrFull) || errors.Is(err, util.ErrReadOnly)
+	return errors.Is(err, util.ErrFull) || errors.Is(err, util.ErrReadOnly) ||
+		errors.Is(err, util.ErrTimeout) || errors.Is(err, util.ErrStale)
 }

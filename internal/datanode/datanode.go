@@ -40,17 +40,36 @@ type Config struct {
 	// DisableHeartbeat turns off the background heartbeat loop (tests
 	// drive heartbeats manually).
 	DisableHeartbeat bool
+
+	// AckDeadline bounds how long a replication session waits for a
+	// follower's ack before declaring the replica hung and aborting the
+	// session (the half-open conversion). Zero means 10s.
+	AckDeadline time.Duration
+	// KeepaliveInterval is how often idle forward chains are pinged so a
+	// dead follower is noticed before the next write blocks on it. Zero
+	// means 3s.
+	KeepaliveInterval time.Duration
+	// SessionIdleTimeout closes a replication session whose client has
+	// sent nothing (not even a keepalive) for this long. Zero means 2m.
+	SessionIdleTimeout time.Duration
+	// DisableRecovery skips the recovery pass on partitions reopened at
+	// start (tests that stage a restart mid-scenario drive Recover
+	// explicitly).
+	DisableRecovery bool
 }
 
 // DataNode hosts data partitions.
 type DataNode struct {
-	addr       string
-	masterAddr string
-	dir        string
-	total      uint64
-	extentSize uint64
-	nw         transport.Network
-	raft       *raftstore.Store
+	addr        string
+	masterAddr  string
+	dir         string
+	total       uint64
+	extentSize  uint64
+	nw          transport.Network
+	raft        *raftstore.Store
+	ackDeadline time.Duration
+	keepalive   time.Duration
+	idleTimeout time.Duration
 
 	mu         sync.RWMutex
 	partitions map[uint64]*Partition
@@ -73,18 +92,30 @@ func Start(nw transport.Network, cfg Config) (*DataNode, error) {
 	if cfg.HeartbeatInterval == 0 {
 		cfg.HeartbeatInterval = time.Second
 	}
+	if cfg.AckDeadline == 0 {
+		cfg.AckDeadline = 10 * time.Second
+	}
+	if cfg.KeepaliveInterval == 0 {
+		cfg.KeepaliveInterval = 3 * time.Second
+	}
+	if cfg.SessionIdleTimeout == 0 {
+		cfg.SessionIdleTimeout = 2 * time.Minute
+	}
 	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
 		return nil, err
 	}
 	d := &DataNode{
-		addr:       cfg.Addr,
-		masterAddr: cfg.MasterAddr,
-		dir:        cfg.Dir,
-		total:      cfg.Total,
-		extentSize: cfg.ExtentSize,
-		nw:         nw,
-		partitions: make(map[uint64]*Partition),
-		stopc:      make(chan struct{}),
+		addr:        cfg.Addr,
+		masterAddr:  cfg.MasterAddr,
+		dir:         cfg.Dir,
+		total:       cfg.Total,
+		extentSize:  cfg.ExtentSize,
+		nw:          nw,
+		ackDeadline: cfg.AckDeadline,
+		keepalive:   cfg.KeepaliveInterval,
+		idleTimeout: cfg.SessionIdleTimeout,
+		partitions:  make(map[uint64]*Partition),
+		stopc:       make(chan struct{}),
 	}
 	d.raft = raftstore.New(cfg.Addr, nw, cfg.Raft)
 	ln, err := nw.Listen(cfg.Addr, d.handle)
@@ -100,6 +131,15 @@ func Start(nw transport.Network, cfg Config) (*DataNode, error) {
 			d.Close()
 			return nil, err
 		}
+	}
+	// Re-host every partition persisted under Dir BEFORE registering, so
+	// the first heartbeat reports them and reads of already-committed
+	// bytes work without waiting for the master (ROADMAP
+	// "committed-offset durability": a restarted node used to expose
+	// nothing it stores).
+	if err := d.reopenPartitions(!cfg.DisableRecovery); err != nil {
+		d.Close()
+		return nil, err
 	}
 	if cfg.MasterAddr != "" {
 		if err := d.register(); err != nil {
@@ -134,11 +174,98 @@ func (d *DataNode) Close() {
 	d.wg.Wait()
 	d.raft.Close()
 	for _, p := range parts {
+		p.stopSaves()         // fence stale debounce timers first
+		_ = p.saveCommitted() // snapshot watermarks for the next open
 		p.store.Close()
 	}
 	if d.ln != nil {
 		d.ln.Close()
 	}
+}
+
+// reopenPartitions re-hosts every partition recorded under the data
+// directory (Partition.Recover wired into partition (re)open, Section
+// 2.2.5): extents are rescanned by the store, persisted committed
+// watermarks are merged back, and - on partitions this node leads - a
+// best-effort recovery pass realigns followers and re-advances the
+// committed offsets. The recovery pass runs in the background: it makes
+// blocking calls to followers that may still be down (whole-cluster
+// restart), and registration/heartbeats must not wait out those dial
+// timeouts - the persisted watermarks already serve everything that was
+// committed before the restart, so nothing depends on the pass finishing
+// first. Its errors are swallowed for the same reason.
+func (d *DataNode) reopenPartitions(recover bool) error {
+	reqs, err := scanPartitionDirs(d.dir)
+	if err != nil {
+		return err
+	}
+	for _, req := range reqs {
+		if err := d.CreatePartition(req); err != nil {
+			return err
+		}
+	}
+	if !recover || len(reqs) == 0 {
+		return nil
+	}
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		var leaders []*Partition
+		for _, req := range reqs {
+			if p := d.Partition(req.PartitionID); p != nil && p.isLeader() {
+				leaders = append(leaders, p)
+			}
+		}
+		// Phase 1, every partition first: recover the committed FRONTIER
+		// from the followers' learned maps. Safe against live traffic, so
+		// it re-serves everything acked before a crash within
+		// milliseconds even if clients rebound immediately - no partition
+		// may wait behind another's alignment retries for this.
+		for _, p := range leaders {
+			select {
+			case <-d.stopc:
+				return
+			default:
+			}
+			p.adoptFollowerCommitted()
+		}
+		// Phase 2, round-robin: the full quiesced alignment pass. Any
+		// error re-queues the partition - ErrBusy means clients are bound
+		// to it, and transient transport errors are routine in a
+		// whole-cluster restart where followers are still booting; either
+		// way nothing else triggers restart-time alignment, so dropping a
+		// partition here would leave its stale tails unaligned for good.
+		// Backoff cycles the remainder; a stuck partition never blocks
+		// the others.
+		pending := leaders
+		delay := time.Second
+		for len(pending) > 0 {
+			var retry []*Partition
+			for _, p := range pending {
+				select {
+				case <-d.stopc:
+					return
+				default:
+				}
+				if _, err := p.Recover(); err != nil {
+					retry = append(retry, p)
+				}
+			}
+			pending = retry
+			if len(pending) == 0 {
+				return
+			}
+			select {
+			case <-d.stopc:
+				return
+			case <-time.After(delay):
+			}
+			if delay < 30*time.Second {
+				delay *= 2
+			}
+		}
+	}()
+	return nil
 }
 
 // Partition returns the hosted partition with the given id, or nil.
@@ -235,9 +362,21 @@ func (d *DataNode) CreatePartition(req *proto.CreateDataPartitionReq) error {
 		Members:   append([]string(nil), req.Members...),
 		Capacity:  req.Capacity,
 		node:      d,
+		dir:       dir,
 		store:     store,
 		committed: make(map[uint64]uint64),
 		status:    proto.PartitionReadWrite,
+	}
+	// Persist the assignment and merge back any committed snapshot: a
+	// fresh create writes its identity for the next restart, a reopen
+	// finds both files already there.
+	if err := p.saveMeta(); err != nil {
+		store.Close()
+		return err
+	}
+	if err := p.loadCommitted(); err != nil {
+		store.Close()
+		return err
 	}
 	if len(req.Members) > 1 {
 		node, err := d.raft.CreateGroup(req.PartitionID, req.Members, &partitionSM{p: p})
@@ -290,7 +429,8 @@ func (d *DataNode) handle(op uint8, req any) (any, error) {
 		return p.handleExtentInfo(r)
 
 	case proto.OpDataCreateExtent, proto.OpDataAppend, proto.OpDataOverwrite,
-		proto.OpDataRead, proto.OpDataMarkDelete, proto.OpDataFlush:
+		proto.OpDataRead, proto.OpDataMarkDelete, proto.OpDataFlush,
+		proto.OpDataCommitted:
 		pkt, ok := req.(*proto.Packet)
 		if !ok {
 			return nil, fmt.Errorf("datanode: %w: packet body %T", util.ErrInvalidArgument, req)
@@ -318,6 +458,13 @@ func (d *DataNode) dispatchPacket(p *Partition, pkt *proto.Packet) (*proto.Packe
 		return p.handleRead(pkt)
 	case proto.OpDataMarkDelete:
 		return p.handleMarkDelete(pkt)
+	case proto.OpDataCommitted:
+		// Committed-offset gossip from the leader (Call-path variant of
+		// the stream's control frame); same apply rule as the stream hop.
+		if err := p.applyFollowerHop(pkt); err != nil {
+			return pkt.ErrResponse(proto.ResultErrIO, err.Error()), nil
+		}
+		return pkt.OKResponse(nil), nil
 	case proto.OpDataFlush:
 		if err := p.store.Flush(); err != nil {
 			return pkt.ErrResponse(proto.ResultErrIO, err.Error()), nil

@@ -54,13 +54,19 @@ type testCluster struct {
 }
 
 func startCluster(t *testing.T, n int) *testCluster {
+	return startClusterCfg(t, n, nil)
+}
+
+// startClusterCfg starts n data nodes, letting mod tweak each node's
+// config (liveness deadlines, directories) before it boots.
+func startClusterCfg(t *testing.T, n int, mod func(i int, cfg *Config)) *testCluster {
 	t.Helper()
 	nw := transport.NewMemory()
 	tc := &testCluster{nw: nw}
 	tc.fm = startFakeMaster(t, nw, "master")
 	for i := 0; i < n; i++ {
 		addr := fmt.Sprintf("dn%d", i)
-		dn, err := Start(nw, Config{
+		cfg := Config{
 			Addr:             addr,
 			MasterAddr:       "master",
 			Dir:              t.TempDir(),
@@ -68,7 +74,11 @@ func startCluster(t *testing.T, n int) *testCluster {
 			Raft: raftstore.Config{
 				FlushInterval: time.Millisecond,
 			},
-		})
+		}
+		if mod != nil {
+			mod(i, &cfg)
+		}
+		dn, err := Start(nw, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -136,6 +146,27 @@ func (tc *testCluster) read(t *testing.T, addr string, pid, eid, off uint64, len
 	return resp.Data, &resp
 }
 
+// readEventually polls one replica until it serves the range. A follower
+// enforces the Section 2.2.5 clamp against the committed offset it has
+// LEARNED (piggybacked on hops, gossiped on window drains), which trails
+// the client ack by one async hop - so direct follower reads of the
+// freshest tail legitimately refuse until the gossip lands.
+func (tc *testCluster) readEventually(t *testing.T, addr string, pid, eid, off uint64, length uint32) []byte {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		data, resp := tc.read(t, addr, pid, eid, off, length)
+		if resp.ResultCode == proto.ResultOK {
+			return data
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replica %s never served [%d,%d) of extent %d: rc=%d %s",
+				addr, off, off+uint64(length), eid, resp.ResultCode, resp.Data)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
 func TestAppendReplicatesToAllReplicas(t *testing.T) {
 	tc := startCluster(t, 3)
 	tc.createPartition(t, 100)
@@ -150,11 +181,11 @@ func TestAppendReplicatesToAllReplicas(t *testing.T) {
 		t.Fatalf("second append offset = %d", off)
 	}
 
-	// Every replica can serve the committed range.
+	// Every replica can serve the committed range (followers once the
+	// committed-offset gossip lands).
 	for _, addr := range tc.addrs {
-		data, resp := tc.read(t, addr, 100, eid, 0, 11)
-		if resp.ResultCode != proto.ResultOK || string(data) != "hello world" {
-			t.Fatalf("replica %s read = %q rc=%d", addr, data, resp.ResultCode)
+		if data := tc.readEventually(t, addr, 100, eid, 0, 11); string(data) != "hello world" {
+			t.Fatalf("replica %s read = %q", addr, data)
 		}
 	}
 	// Leader tracked the committed offset.
@@ -225,9 +256,8 @@ func TestSmallFileAggregatedWrite(t *testing.T) {
 	}
 	for _, addr := range tc.addrs {
 		for _, l := range locs {
-			data, resp := tc.read(t, addr, 100, l.eid, l.off, uint32(len(l.data)))
-			if resp.ResultCode != proto.ResultOK || string(data) != l.data {
-				t.Fatalf("replica %s small read = %q rc=%d", addr, data, resp.ResultCode)
+			if data := tc.readEventually(t, addr, 100, l.eid, l.off, uint32(len(l.data))); string(data) != l.data {
+				t.Fatalf("replica %s small read = %q", addr, data)
 			}
 		}
 	}
@@ -386,10 +416,20 @@ func TestAlignReplicasCatchesUpLaggingFollower(t *testing.T) {
 	if shipped == 0 {
 		t.Fatal("alignment shipped nothing to the lagging follower")
 	}
-	// Follower 2 now serves the leader's local watermark worth of data.
+	// Alignment alone ships bytes but must NOT promote the follower's
+	// read clamp - a partial recovery pass may leave other replicas
+	// missing the tail, so the tail stays unservable until Recover
+	// completes and pushes the promoted offsets.
+	if _, rr := tc.read(t, tc.addrs[2], 100, eid, 0, 19); rr.ResultCode == proto.ResultOK {
+		t.Fatal("bare alignment promoted the follower's committed clamp")
+	}
+	if _, err := leaderP.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	// After the full recovery pass, follower 2 serves the whole tail.
 	data, rr := tc.read(t, tc.addrs[2], 100, eid, 0, 19)
 	if rr.ResultCode != proto.ResultOK || string(data) != "committed-data-tail" {
-		t.Fatalf("aligned follower read = %q rc=%d", data, rr.ResultCode)
+		t.Fatalf("post-recovery follower read = %q rc=%d", data, rr.ResultCode)
 	}
 }
 

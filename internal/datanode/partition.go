@@ -31,12 +31,36 @@ type Partition struct {
 	Capacity uint64
 
 	node  *DataNode
+	dir   string // partition directory (extent store + lifecycle metadata)
 	store *storage.ExtentStore
 	raft  *multiraft.Group
 
 	mu        sync.Mutex
 	committed map[uint64]uint64 // extent id -> all-replica committed offset
 	status    proto.PartitionStatus
+	// Recovery quiescence: Recover's promotion of the local watermark to
+	// the committed offset is only sound when NO writer can have in-flight
+	// un-acked bytes for its whole duration (Section 2.2.5). liveSessions
+	// counts bound, unfailed leader write sessions; liveWrites counts
+	// in-flight Call-path appends; recovering, while set, refuses new
+	// sessions and Call appends with a retriable error.
+	liveSessions int
+	liveWrites   int
+	recovering   bool
+
+	// Debounced committed-snapshot state (persist.go), separate from mu
+	// so the save timer never contends with the data path.
+	saveMu      sync.Mutex
+	savePending bool
+	saveStopped bool
+
+	// Call-path committed gossip is coalesced: appends mark extents dirty
+	// and at most one flusher goroutine per partition pushes the LATEST
+	// offsets, so a sustained write load costs one in-flight update per
+	// partition instead of one goroutine + RPC fan-out per append.
+	gossipMu    sync.Mutex
+	gossipDirty map[uint64]bool
+	gossipBusy  bool
 }
 
 // isLeader reports whether this node is the partition's primary-backup
@@ -90,6 +114,62 @@ func (p *Partition) advanceCommitted(extentID, end uint64) {
 	if end > p.committed[extentID] {
 		p.committed[extentID] = end
 	}
+	p.mu.Unlock()
+}
+
+// sessionStart claims a live-session slot; refused while a recovery pass
+// holds the partition quiesced (the caller rejects the bind retriably).
+func (p *Partition) sessionStart() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.recovering {
+		return false
+	}
+	p.liveSessions++
+	return true
+}
+
+func (p *Partition) sessionEnd() {
+	p.mu.Lock()
+	p.liveSessions--
+	p.mu.Unlock()
+}
+
+// writeStart claims an in-flight slot for one Call-path append (refused
+// during recovery); writeEnd releases it.
+func (p *Partition) writeStart() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.recovering {
+		return false
+	}
+	p.liveWrites++
+	return true
+}
+
+func (p *Partition) writeEnd() {
+	p.mu.Lock()
+	p.liveWrites--
+	p.mu.Unlock()
+}
+
+// beginRecover atomically checks quiescence and, if the partition is
+// quiet, holds it quiet (new sessions and Call appends are refused) until
+// endRecover - closing the check-then-promote race a bare counter read
+// would leave open.
+func (p *Partition) beginRecover() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.recovering || p.liveSessions > 0 || p.liveWrites > 0 {
+		return false
+	}
+	p.recovering = true
+	return true
+}
+
+func (p *Partition) endRecover() {
+	p.mu.Lock()
+	p.recovering = false
 	p.mu.Unlock()
 }
 
@@ -166,16 +246,33 @@ const resultHopFollower uint8 = 0xF7
 // applyFollowerHop applies one forwarded hop to the local store. Both the
 // per-packet Call path and the streaming session path route through here,
 // so the replication apply rules (small-file marker, watermark-checked
-// appends, leader-assigned extent creation) exist exactly once.
+// appends, leader-assigned extent creation) exist exactly once. Append
+// hops piggyback the extent's all-replica committed offset, which is how a
+// follower learns what its own read clamp may expose (Section 2.2.5).
 func (p *Partition) applyFollowerHop(pkt *proto.Packet) error {
 	switch pkt.Op {
 	case proto.OpDataCreateExtent:
 		return p.store.Create(pkt.ExtentID)
 	case proto.OpDataAppend:
+		var err error
 		if pkt.FileOffset == smallFileMarker {
-			return p.store.SmallFileAt(pkt.ExtentID, pkt.ExtentOffset, pkt.Data)
+			err = p.store.SmallFileAt(pkt.ExtentID, pkt.ExtentOffset, pkt.Data)
+		} else {
+			err = p.store.AppendAt(pkt.ExtentID, pkt.ExtentOffset, pkt.Data)
 		}
-		return p.store.AppendAt(pkt.ExtentID, pkt.ExtentOffset, pkt.Data)
+		if err == nil {
+			p.advanceCommitted(pkt.ExtentID, pkt.Committed)
+		}
+		return err
+	case proto.OpDataCommitted:
+		p.advanceCommitted(pkt.ExtentID, pkt.Committed)
+		// Persist the learned map so a crash-restarted follower on a
+		// then-quiescent partition serves reads instead of reloading an
+		// empty map - but debounced off the receive path: gossip can
+		// arrive per window drain (or per Call append), and a full-map
+		// snapshot per frame would put file I/O on the replication loop.
+		p.saveCommittedSoon()
+		return nil
 	default:
 		return fmt.Errorf("datanode: op %s is not a replication hop: %w", pkt.Op, util.ErrInvalidArgument)
 	}
@@ -183,8 +280,10 @@ func (p *Partition) applyFollowerHop(pkt *proto.Packet) error {
 
 // appendHopPacket builds the leader -> follower hop for an applied append:
 // the client's payload and CRC with the leader-assigned extent placement,
-// small-file aggregation signalled through the FileOffset marker.
-func appendHopPacket(partitionID uint64, pkt *proto.Packet, extentID, off uint64, small bool) *proto.Packet {
+// small-file aggregation signalled through the FileOffset marker, and the
+// extent's current all-replica committed offset piggybacked so followers
+// keep their read clamp fresh at zero extra frames.
+func appendHopPacket(partitionID uint64, pkt *proto.Packet, extentID, off uint64, small bool, committed uint64) *proto.Packet {
 	fwd := &proto.Packet{
 		Op:           pkt.Op,
 		ResultCode:   resultHopFollower,
@@ -193,6 +292,7 @@ func appendHopPacket(partitionID uint64, pkt *proto.Packet, extentID, off uint64
 		ExtentID:     extentID,
 		ExtentOffset: off,
 		FileOffset:   pkt.FileOffset,
+		Committed:    committed,
 		CRC:          pkt.CRC,
 		Data:         pkt.Data,
 	}
@@ -218,6 +318,13 @@ func (p *Partition) leaderAppend(pkt *proto.Packet) (*proto.Packet, error) {
 	if !p.isLeader() {
 		return pkt.ErrResponse(proto.ResultErrNotLeader, "not primary"), nil
 	}
+	if !p.writeStart() {
+		// Recovery holds the partition quiesced; the client's error
+		// mapping treats this as retriable and rolls elsewhere.
+		return pkt.ErrResponse(proto.ResultErrAgain,
+			fmt.Sprintf("partition %d recovering: %v", p.ID, util.ErrReadOnly)), nil
+	}
+	defer p.writeEnd()
 	if err := p.checkWritable(); err != nil {
 		return pkt.ErrResponse(proto.ResultErrIO, err.Error()), nil
 	}
@@ -237,7 +344,7 @@ func (p *Partition) leaderAppend(pkt *proto.Packet) (*proto.Packet, error) {
 	}
 
 	// Forward in replica-array order; all must ack before commit.
-	fwd := appendHopPacket(p.ID, pkt, extentID, off, small)
+	fwd := appendHopPacket(p.ID, pkt, extentID, off, small, p.committedOf(extentID))
 	for _, f := range p.followers() {
 		var resp proto.Packet
 		if err := p.node.nw.Call(f, uint8(pkt.Op), fwd, &resp); err != nil {
@@ -250,11 +357,67 @@ func (p *Partition) leaderAppend(pkt *proto.Packet) (*proto.Packet, error) {
 	}
 	end := off + uint64(len(pkt.Data))
 	p.advanceCommitted(extentID, end)
+	// The hop above carried the PREVIOUS committed offset (this packet was
+	// not yet all-replica stored when it was forwarded); gossip the new one
+	// asynchronously so follower read clamps converge without adding a
+	// round trip to the commit path.
+	p.gossipCommitted(extentID)
 
 	out := pkt.OKResponse(nil)
 	out.ExtentID = extentID
 	out.ExtentOffset = off
 	return out, nil
+}
+
+// gossipCommitted marks an extent's committed offset for follower gossip,
+// best-effort and coalesced (a missed update only delays a follower's
+// clamp; the next hop's piggyback carries it again). Back-to-back appends
+// fold into one update carrying the latest offset; the final append in a
+// burst is always flushed.
+func (p *Partition) gossipCommitted(extentID uint64) {
+	p.gossipMu.Lock()
+	if p.gossipDirty == nil {
+		p.gossipDirty = make(map[uint64]bool)
+	}
+	p.gossipDirty[extentID] = true
+	if p.gossipBusy {
+		p.gossipMu.Unlock()
+		return
+	}
+	p.gossipBusy = true
+	p.gossipMu.Unlock()
+	go p.gossipFlush()
+}
+
+func (p *Partition) gossipFlush() {
+	for {
+		p.gossipMu.Lock()
+		var ext uint64
+		found := false
+		for e := range p.gossipDirty {
+			ext, found = e, true
+			break
+		}
+		if !found {
+			p.gossipBusy = false
+			p.gossipMu.Unlock()
+			return
+		}
+		delete(p.gossipDirty, ext)
+		p.gossipMu.Unlock()
+		p.pushCommitted(ext)
+	}
+}
+
+// pushCommitted synchronously pushes one extent's CURRENT committed
+// offset to every follower, best-effort (a miss is healed by the next
+// hop's piggyback or gossip round).
+func (p *Partition) pushCommitted(extentID uint64) {
+	upd := committedHopPacket(p.ID, extentID, p.committedOf(extentID))
+	for _, f := range p.followers() {
+		var resp proto.Packet
+		_ = p.node.nw.Call(f, uint8(proto.OpDataCommitted), upd, &resp)
+	}
 }
 
 // smallFileMarker in FileOffset tells a follower hop to use the small-file
@@ -338,18 +501,19 @@ func (sm *partitionSM) Restore(data []byte) error { return nil }
 
 func (p *Partition) handleRead(pkt *proto.Packet) (*proto.Packet, error) {
 	length := binary.BigEndian.Uint32(pkt.Data)
-	// Section 2.2.5 invariant: the leader only exposes the offset committed
-	// by ALL replicas. With pipelined appends an uncommitted local tail is
-	// routine (in-flight window, aborted session), so clamp here rather
-	// than trusting the store watermark. Followers keep relying on the
-	// watermark check below: they have no committed map, and a follower
-	// can only hold bytes the leader already replicated to it.
-	if p.isLeader() {
-		if end := pkt.ExtentOffset + uint64(length); end > p.committedOf(pkt.ExtentID) {
-			return pkt.ErrResponse(proto.ResultErrIO, fmt.Sprintf(
-				"read [%d,%d) of extent %d beyond committed offset %d: %v",
-				pkt.ExtentOffset, end, pkt.ExtentID, p.committedOf(pkt.ExtentID), util.ErrOutOfRange)), nil
-		}
+	// Section 2.2.5 invariant: EVERY replica only exposes the offset
+	// committed by ALL replicas. The leader's map is authoritative (it
+	// advances as windows drain); a follower's is learned from the
+	// committed offsets piggybacked on forward hops, gossiped on window
+	// drains, and promoted by alignment - so a follower holding a
+	// replicated-but-not-yet-committed tail refuses it rather than serving
+	// bytes some other replica may be missing. A follower can therefore
+	// lag the leader by an in-flight window and refuse a read the leader
+	// would serve; clients fall through to the next replica.
+	if end := pkt.ExtentOffset + uint64(length); end > p.committedOf(pkt.ExtentID) {
+		return pkt.ErrResponse(proto.ResultErrIO, fmt.Sprintf(
+			"read [%d,%d) of extent %d beyond committed offset %d: %v",
+			pkt.ExtentOffset, end, pkt.ExtentID, p.committedOf(pkt.ExtentID), util.ErrOutOfRange)), nil
 	}
 	buf, err := p.store.ReadAt(pkt.ExtentID, pkt.ExtentOffset, length)
 	if err != nil {
@@ -436,8 +600,15 @@ func (p *Partition) AlignReplicas(follower string) (uint64, error) {
 				PartitionID:  p.ID,
 				ExtentID:     info.ID,
 				ExtentOffset: have,
-				CRC:          util.CRC(data),
-				Data:         data,
+				// Carry the CURRENT committed offset only. Aligning one
+				// follower must not promote its read clamp to the shipped
+				// watermark - other followers may still be missing these
+				// bytes (a partial Recover run), and "committed by
+				// definition" only holds once EVERY follower is aligned,
+				// which is when Recover advances and pushes the offsets.
+				Committed: p.committedOf(info.ID),
+				CRC:       util.CRC(data),
+				Data:      data,
 			}
 			var resp proto.Packet
 			if err := p.node.nw.Call(follower, uint8(proto.OpDataAppend), pkt, &resp); err != nil {
@@ -457,11 +628,19 @@ func (p *Partition) AlignReplicas(follower string) (uint64, error) {
 // leader: first the primary-backup pass aligns every follower's extents,
 // then the committed offsets advance to the aligned watermark (Raft
 // recovery for the overwrite path proceeds on its own through snapshot
-// installation). Returns total bytes shipped.
+// installation) and are persisted. Returns total bytes shipped.
 func (p *Partition) Recover() (uint64, error) {
 	if !p.isLeader() {
 		return 0, util.ErrNotLeader
 	}
+	if !p.beginRecover() {
+		// Live traffic maintains its own committed frontier, and
+		// promoting a live window's un-acked tail would serve bytes no
+		// follower acked. Surface the skip (ErrBusy) so callers retry at
+		// a quiet moment instead of mistaking it for a completed pass.
+		return 0, fmt.Errorf("datanode: partition %d has live writers: %w", p.ID, util.ErrBusy)
+	}
+	defer p.endRecover()
 	var shipped uint64
 	for _, f := range p.followers() {
 		n, err := p.AlignReplicas(f)
@@ -473,6 +652,15 @@ func (p *Partition) Recover() (uint64, error) {
 	for _, info := range p.store.Infos() {
 		p.advanceCommitted(info.ID, info.Size)
 	}
+	// Alignment hops only reach followers that were MISSING bytes; a
+	// follower that already stored the full tail (it applied the forward
+	// before the session aborted) never sees one, so push the promoted
+	// offsets explicitly or its read clamp stays at the pre-failure value
+	// forever.
+	for _, info := range p.store.Infos() {
+		p.pushCommitted(info.ID)
+	}
+	_ = p.saveCommitted()
 	return shipped, nil
 }
 
@@ -480,9 +668,35 @@ func (p *Partition) handleExtentInfo(req *proto.ExtentInfoReq) (*proto.ExtentInf
 	infos := p.store.Infos()
 	out := &proto.ExtentInfoResp{Extents: make([]proto.ExtentSummary, len(infos))}
 	for i, e := range infos {
-		out.Extents[i] = proto.ExtentSummary{ID: e.ID, Size: e.Size, CRC: e.CRC, Holed: e.Holed}
+		out.Extents[i] = proto.ExtentSummary{
+			ID: e.ID, Size: e.Size, CRC: e.CRC, Holed: e.Holed,
+			Committed: p.committedOf(e.ID),
+		}
 	}
 	return out, nil
+}
+
+// adoptFollowerCommitted pulls each follower's learned committed map and
+// merges it in (monotonic max). Unlike the full Recover pass this is safe
+// against live traffic - a follower only ever learns offsets the leader
+// had committed - so a crash-restarted leader whose own snapshot lags can
+// re-serve bytes it acked before the crash without waiting for a quiet
+// moment. Best-effort per follower.
+func (p *Partition) adoptFollowerCommitted() {
+	if !p.isLeader() {
+		return
+	}
+	for _, f := range p.followers() {
+		var resp proto.ExtentInfoResp
+		if err := p.node.nw.Call(f, uint8(proto.OpDataExtentInfo),
+			&proto.ExtentInfoReq{PartitionID: p.ID}, &resp); err != nil {
+			continue
+		}
+		for _, e := range resp.Extents {
+			p.advanceCommitted(e.ID, e.Committed)
+		}
+	}
+	p.saveCommittedSoon()
 }
 
 func (p *Partition) reportFailure(addr string) {

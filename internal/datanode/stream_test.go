@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 	"testing"
+	"time"
 
 	"cfs/internal/proto"
 	"cfs/internal/transport"
@@ -73,12 +74,12 @@ func TestWriteStreamPipelinedAppend(t *testing.T) {
 		off += uint64(len(fmt.Sprintf("chunk-%02d|", seq)))
 	}
 
-	// Every replica serves the committed range, and the leader's
-	// committed offset covers exactly the acked bytes.
+	// Every replica serves the committed range (followers as soon as the
+	// drain gossip lands), and the leader's committed offset covers
+	// exactly the acked bytes.
 	for _, addr := range tc.addrs {
-		data, resp := tc.read(t, addr, 100, eid, 0, uint32(len(want)))
-		if resp.ResultCode != proto.ResultOK || string(data) != string(want) {
-			t.Fatalf("replica %s read rc=%d data=%q", addr, resp.ResultCode, data)
+		if data := tc.readEventually(t, addr, 100, eid, 0, uint32(len(want))); string(data) != string(want) {
+			t.Fatalf("replica %s read data=%q", addr, data)
 		}
 	}
 	if got := tc.nodes[0].Partition(100).committedOf(eid); got != uint64(len(want)) {
@@ -113,9 +114,8 @@ func TestWriteStreamSmallFileAggregation(t *testing.T) {
 		}
 	}
 	for _, addr := range tc.addrs {
-		data, resp := tc.read(t, addr, 100, eid, 0, 21)
-		if resp.ResultCode != proto.ResultOK || string(data) != "small-1small-2small-3" {
-			t.Fatalf("replica %s small read rc=%d data=%q", addr, resp.ResultCode, data)
+		if data := tc.readEventually(t, addr, 100, eid, 0, 21); string(data) != "small-1small-2small-3" {
+			t.Fatalf("replica %s small read data=%q", addr, data)
 		}
 	}
 }
@@ -149,9 +149,8 @@ func TestWriteStreamCorruptFrameDoesNotPoison(t *testing.T) {
 	}
 	// The two good packets are contiguous and committed on all replicas.
 	for _, addr := range tc.addrs {
-		data, resp := tc.read(t, addr, 100, eid, 0, 13)
-		if resp.ResultCode != proto.ResultOK || string(data) != "first.second." {
-			t.Fatalf("replica %s read rc=%d data=%q", addr, resp.ResultCode, data)
+		if data := tc.readEventually(t, addr, 100, eid, 0, 13); string(data) != "first.second." {
+			t.Fatalf("replica %s read data=%q", addr, data)
 		}
 	}
 	if got := tc.nodes[0].Partition(100).committedOf(eid); got != 13 {
@@ -278,6 +277,84 @@ func TestReadNeverExceedsCommitted(t *testing.T) {
 	data, resp = tc.read(t, tc.leaderAddr(), 100, eid, 0, 14)
 	if resp.ResultCode != proto.ResultOK || string(data) != "committed.tail" {
 		t.Fatalf("post-recovery read rc=%d data=%q", resp.ResultCode, data)
+	}
+}
+
+// TestFollowerReadNeverExceedsCommitted mirrors the leader-side Section
+// 2.2.5 regression on a FOLLOWER: a follower holding a replicated-but-
+// uncommitted tail (it applied the hop, but a sibling replica did not)
+// must refuse to serve it. Before the committed offset was piggybacked on
+// forward frames, a follower clamped only at its local watermark and
+// served exactly these bytes.
+func TestFollowerReadNeverExceedsCommitted(t *testing.T) {
+	tc := startClusterCfg(t, 3, func(i int, cfg *Config) {
+		cfg.AckDeadline = 150 * time.Millisecond
+		cfg.KeepaliveInterval = 50 * time.Millisecond
+	})
+	tc.createPartition(t, 100)
+	st := tc.openWriteStream(t)
+	eid := streamCreateExtent(t, st, 100)
+
+	if err := st.Send(streamAppendPkt(2, 100, eid, []byte("commit"))); err != nil {
+		t.Fatal(err)
+	}
+	if ack, err := st.Recv(); err != nil || ack.ResultCode != proto.ResultOK {
+		t.Fatalf("baseline ack = %+v, %v", ack, err)
+	}
+	// The drain gossip teaches follower 1 the baseline is committed.
+	if data := tc.readEventually(t, tc.addrs[1], 100, eid, 0, 6); string(data) != "commit" {
+		t.Fatalf("follower baseline read = %q", data)
+	}
+
+	// Half-open follower 2 (frames stall, nothing errors) and push a
+	// tail: follower 1's healthy chain delivers and applies it, follower
+	// 2 never acks, so the ack deadline aborts the session and the tail
+	// is never committed - the exact split-replica state the clamp is
+	// for.
+	tc.nw.Freeze(tc.addrs[2])
+	t.Cleanup(func() { tc.nw.Heal(tc.addrs[2]) })
+	if err := st.Send(streamAppendPkt(3, 100, eid, []byte("tail"))); err != nil {
+		t.Fatal(err)
+	}
+	if ack, err := st.Recv(); err != nil || ack.ResultCode == proto.ResultOK {
+		t.Fatalf("stranded append ack = %+v, %v", ack, err)
+	}
+	// Wait until follower 1 has PHYSICALLY stored the tail (its apply
+	// races the abort ack) - the refusal below must come from the clamp,
+	// not from a short watermark.
+	f1 := tc.nodes[1].Partition(100)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if sz := leaderStoreSize(t, f1, eid); sz == 10 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("follower 1 never stored the forwarded tail")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Follower 1 keeps serving the committed range but refuses any read
+	// touching the uncommitted tail, exactly like the leader does.
+	data, resp := tc.read(t, tc.addrs[1], 100, eid, 0, 6)
+	if resp.ResultCode != proto.ResultOK || string(data) != "commit" {
+		t.Fatalf("follower committed read rc=%d data=%q", resp.ResultCode, data)
+	}
+	if _, resp = tc.read(t, tc.addrs[1], 100, eid, 0, 10); resp.ResultCode == proto.ResultOK {
+		t.Fatal("follower served bytes beyond the all-replica committed offset")
+	}
+	if _, resp = tc.read(t, tc.addrs[1], 100, eid, 6, 4); resp.ResultCode == proto.ResultOK {
+		t.Fatal("follower served the uncommitted tail")
+	}
+
+	// Recovery realigns follower 2 and promotes the tail everywhere; the
+	// alignment hops carry the promotion, so follower reads reopen.
+	tc.nw.Heal(tc.addrs[2])
+	if _, err := tc.nodes[0].Partition(100).Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if data := tc.readEventually(t, tc.addrs[1], 100, eid, 0, 10); string(data) != "committail" {
+		t.Fatalf("post-recovery follower read = %q", data)
 	}
 }
 

@@ -282,11 +282,7 @@ func (m *MetaNode) PersistSnapshots() {
 			continue
 		}
 		path := filepath.Join(m.dir, fmt.Sprintf("mp_%d.snap", p.ID))
-		tmp := path + ".tmp"
-		if err := os.WriteFile(tmp, data, 0o644); err != nil {
-			continue
-		}
-		_ = os.Rename(tmp, path)
+		_ = util.WriteFileAtomic(path, data)
 	}
 }
 
@@ -298,6 +294,12 @@ func (m *MetaNode) loadSnapshots() error {
 	for _, e := range entries {
 		var id uint64
 		if _, err := fmt.Sscanf(e.Name(), "mp_%d.snap", &id); err != nil {
+			continue
+		}
+		// Sscanf matches prefixes, so "mp_5.snap.tmp-123" (a temp file a
+		// crash mid-snapshot can leave behind) would parse as id 5;
+		// require the exact snapshot name.
+		if e.Name() != fmt.Sprintf("mp_%d.snap", id) {
 			continue
 		}
 		data, err := os.ReadFile(filepath.Join(m.dir, e.Name()))

@@ -53,6 +53,21 @@ const (
 	// acks stream back as the all-replica window drains (Figure 4 run as a
 	// pipeline instead of stop-and-wait).
 	OpDataWriteStream
+
+	// Session-lifecycle frames (append-only, like everything above).
+	//
+	// OpDataPing is a keepalive that rides a replication session in window
+	// order: the client pings an idle pooled session to prove the leader is
+	// alive, and the leader pings idle per-follower forward chains so a
+	// half-open replica is detected before the next write blocks on it.
+	// A ping is never replicated and never advances any offset.
+	OpDataPing
+	// OpDataCommitted gossips the all-replica committed offset of one
+	// extent from the leader to its followers (Section 2.2.5): piggybacked
+	// on every forward hop and broadcast when a window drains, it is what
+	// lets a follower enforce the committed clamp on its own reads instead
+	// of trusting its local watermark.
+	OpDataCommitted
 )
 
 func (o Op) String() string {
@@ -121,6 +136,10 @@ func (o Op) String() string {
 		return "RaftMessage"
 	case OpDataWriteStream:
 		return "DataWriteStream"
+	case OpDataPing:
+		return "DataPing"
+	case OpDataCommitted:
+		return "DataCommitted"
 	default:
 		return "Op(unknown)"
 	}
@@ -412,6 +431,11 @@ type ExtentSummary struct {
 	Size  uint64
 	CRC   uint32
 	Holed uint64
+	// Committed is the replying replica's learned all-replica committed
+	// offset for the extent. A crash-restarted leader adopts the max over
+	// its followers: a follower's learned value never exceeds the true
+	// committed offset, so adoption is safe even against live traffic.
+	Committed uint64
 }
 
 type ExtentInfoResp struct {

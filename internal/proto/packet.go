@@ -21,10 +21,12 @@ const PacketMagic uint8 = 0xCF
 //
 //	magic(1) op(1) resultCode(1) followerCnt(1)
 //	reqID(8) partitionID(8) extentID(8) extentOffset(8)
-//	size(4) crc(4) fileOffset(8) reserved(6)
+//	size(4) crc(4) fileOffset(8) committed(6)
 //
 // followed by followerCnt length-prefixed follower addresses, then size
-// bytes of payload.
+// bytes of payload. The trailing 6 bytes were reserved until the committed
+// offset started riding replication hops; 48 bits bound it at 256 TB per
+// extent, far above any extent size.
 type Packet struct {
 	Op           Op
 	ResultCode   uint8
@@ -33,9 +35,13 @@ type Packet struct {
 	ExtentID     uint64
 	ExtentOffset uint64
 	FileOffset   uint64
-	CRC          uint32
-	Followers    []string // replication order tail; empty on follower hops
-	Data         []byte
+	// Committed piggybacks the extent's all-replica committed offset on
+	// leader->follower hops (and OpDataCommitted frames) so followers can
+	// enforce the Section 2.2.5 clamp. Zero elsewhere.
+	Committed uint64
+	CRC       uint32
+	Followers []string // replication order tail; empty on follower hops
+	Data      []byte
 }
 
 // Packet result codes.
@@ -46,7 +52,15 @@ const (
 	ResultErrCRC
 	ResultErrIO
 	ResultErrArg
+	// ResultErrAborted marks a replication-session abort: every undecided
+	// window entry carries it, and so does any traffic rejected after the
+	// abort. Clients discard the pooled session on sight and replay the
+	// uncommitted tail elsewhere.
+	ResultErrAborted
 )
+
+// maxCommitted is the largest committed offset the 48-bit header slot holds.
+const maxCommitted = 1<<48 - 1
 
 const packetHeaderSize = 58
 
@@ -70,6 +84,9 @@ func (p *Packet) WriteTo(w io.Writer) (int64, error) {
 	if len(p.Data) > int(^uint32(0)) {
 		return 0, fmt.Errorf("proto: payload of %d bytes exceeds packet limit", len(p.Data))
 	}
+	if p.Committed > maxCommitted {
+		return 0, fmt.Errorf("proto: committed offset %d exceeds the 48-bit header slot", p.Committed)
+	}
 	hdr := make([]byte, packetHeaderSize)
 	hdr[0] = PacketMagic
 	hdr[1] = uint8(p.Op)
@@ -82,6 +99,8 @@ func (p *Packet) WriteTo(w io.Writer) (int64, error) {
 	binary.BigEndian.PutUint32(hdr[36:], uint32(len(p.Data)))
 	binary.BigEndian.PutUint32(hdr[40:], p.CRC)
 	binary.BigEndian.PutUint64(hdr[44:], p.FileOffset)
+	binary.BigEndian.PutUint16(hdr[52:], uint16(p.Committed>>32))
+	binary.BigEndian.PutUint32(hdr[54:], uint32(p.Committed))
 	var total int64
 	n, err := w.Write(hdr)
 	total += int64(n)
@@ -129,6 +148,8 @@ func (p *Packet) ReadFrom(r io.Reader) (int64, error) {
 	size := binary.BigEndian.Uint32(hdr[36:])
 	p.CRC = binary.BigEndian.Uint32(hdr[40:])
 	p.FileOffset = binary.BigEndian.Uint64(hdr[44:])
+	p.Committed = uint64(binary.BigEndian.Uint16(hdr[52:]))<<32 |
+		uint64(binary.BigEndian.Uint32(hdr[54:]))
 	p.Followers = nil
 	for i := 0; i < followerCnt; i++ {
 		var lbuf [2]byte

@@ -11,6 +11,7 @@ func TestPacketRoundTrip(t *testing.T) {
 	in := NewPacket(OpDataAppend, 42, 7, 99, []byte("hello world"))
 	in.ExtentOffset = 4096
 	in.FileOffset = 1 << 20
+	in.Committed = 1<<40 + 12345 // exercises both halves of the 48-bit slot
 	in.Followers = []string{"node-b:17310", "node-c:17310"}
 
 	var buf bytes.Buffer

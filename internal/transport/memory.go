@@ -15,16 +15,25 @@ import (
 //
 // Fault injection:
 //   - Partition(addr): calls to or from addr fail with util.ErrTimeout.
+//   - Freeze(addr): packet-stream frames destined for addr stall in Recv
+//     without any error - the TCP half-open failure mode, where the peer
+//     is gone (or wedged) but the connection never resets. Liveness
+//     deadlines, not error paths, are what convert this into progress.
 //   - SetLatency(d): every call sleeps d before dispatch, emulating a
 //     network round trip so concurrency effects (the x-axes of Figures
-//     6-9) are visible on a single machine.
+//     6-9) are visible on a single machine. DialStream pays the same
+//     delay once, modeling the handshake round trip a real socket dial
+//     costs - which is exactly what per-small-file session dialing wastes
+//     and the session pool amortizes.
 type Memory struct {
 	mu             sync.RWMutex
 	handlers       map[string]Handler
 	streamHandlers map[string]StreamHandler
 	partitioned    map[string]bool
+	frozen         map[string]bool
 	latency        time.Duration
 	calls          uint64
+	dials          uint64
 }
 
 // NewMemory returns an empty in-process network.
@@ -33,6 +42,7 @@ func NewMemory() *Memory {
 		handlers:       make(map[string]Handler),
 		streamHandlers: make(map[string]StreamHandler),
 		partitioned:    make(map[string]bool),
+		frozen:         make(map[string]bool),
 	}
 }
 
@@ -117,11 +127,39 @@ func (m *Memory) Partition(addr string) {
 	m.mu.Unlock()
 }
 
-// Heal reconnects addr.
+// Heal reconnects addr (clearing both a partition and a freeze).
 func (m *Memory) Heal(addr string) {
 	m.mu.Lock()
 	delete(m.partitioned, addr)
+	delete(m.frozen, addr)
 	m.mu.Unlock()
+}
+
+// Freeze half-opens addr: packet-stream frames addressed to it are
+// accepted by the network but stall before delivery, with no error on
+// either end - the peer looks alive and silent. Calls are unaffected
+// (a frozen node's RPC plane staying up is the nastiest variant).
+func (m *Memory) Freeze(addr string) {
+	m.mu.Lock()
+	m.frozen[addr] = true
+	m.mu.Unlock()
+}
+
+func (m *Memory) isFrozen(addr string) bool {
+	if addr == "" {
+		return false
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.frozen[addr]
+}
+
+// Dials returns the number of packet-stream dials so far (session-pool
+// ablations count how many dials a workload costs).
+func (m *Memory) Dials() uint64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.dials
 }
 
 // OpenStream implements StreamNetwork. The in-process network has no
@@ -161,10 +199,18 @@ func (m *Memory) DialStream(addr string, op uint8) (PacketStream, error) {
 }
 
 func (m *Memory) dialStream(from, addr string, op uint8) (PacketStream, error) {
-	m.mu.RLock()
+	m.mu.Lock()
+	m.dials++
 	h := m.streamHandlers[addr]
 	cut := m.partitioned[addr] || (from != "" && m.partitioned[from])
-	m.mu.RUnlock()
+	lat := m.latency
+	m.mu.Unlock()
+	if lat > 0 {
+		// A socket dial pays a full handshake round trip (SYN, SYN-ACK)
+		// before the first byte; latency here is one-way propagation, so
+		// the handshake costs two of them.
+		time.Sleep(2 * lat)
+	}
 	if cut {
 		return nil, fmt.Errorf("transport: %w: %s partitioned", util.ErrTimeout, addr)
 	}
@@ -233,7 +279,9 @@ func (s *memPacketStream) Send(pkt *proto.Packet) error {
 }
 
 // Recv implements PacketStream. Delivery waits until the frame's due time,
-// preserving order while letting later frames overlap the delay.
+// preserving order while letting later frames overlap the delay. A frozen
+// receiver stalls here indefinitely - no error, no progress - until healed
+// or the stream is closed, reproducing a half-open peer.
 func (s *memPacketStream) Recv() (*proto.Packet, error) {
 	var fr memFrame
 	select {
@@ -248,6 +296,13 @@ func (s *memPacketStream) Recv() (*proto.Packet, error) {
 	if !fr.due.IsZero() {
 		if d := time.Until(fr.due); d > 0 {
 			time.Sleep(d)
+		}
+	}
+	for s.net.isFrozen(s.self) {
+		select {
+		case <-s.in.done:
+			return nil, io.EOF // closed while frozen; give up the frame
+		case <-time.After(time.Millisecond):
 		}
 	}
 	return fr.pkt, nil

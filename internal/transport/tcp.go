@@ -162,11 +162,20 @@ func (t *TCP) ListenStream(addr string, h StreamHandler) error {
 
 // DialStream implements PacketStreamNetwork: it dials a dedicated
 // connection (never pooled - the stream owns it for its whole life) and
-// upgrades it with a stream-open frame.
+// upgrades it with a stream-open frame. OS-level TCP keepalives are
+// enabled as a backstop under the protocol's own OpDataPing frames: the
+// app-level pings ride the session in window order and prove the peer's
+// replication loop is alive, while the socket option only proves the
+// kernel is - both are needed, since a wedged process keeps answering
+// the latter forever.
 func (t *TCP) DialStream(addr string, op uint8) (PacketStream, error) {
 	conn, err := t.dial(addr)
 	if err != nil {
 		return nil, err
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		_ = tc.SetKeepAlive(true)
+		_ = tc.SetKeepAlivePeriod(30 * time.Second)
 	}
 	bw := bufio.NewWriterSize(conn, 256*util.KB)
 	hdr := [7]byte{op, kindPacket, statusStreamOpen}

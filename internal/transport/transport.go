@@ -139,6 +139,7 @@ var sentinels = []error{
 	util.ErrRetryLimit,
 	util.ErrInvalidArgument,
 	util.ErrOutOfRange,
+	util.ErrBusy,
 }
 
 // EncodeError classifies err against the sentinel set.

@@ -547,3 +547,75 @@ func TestMemoryEndpointPacketStreamPartitionedSender(t *testing.T) {
 		t.Fatalf("partitioned endpoint send: %v", err)
 	}
 }
+
+// TestMemoryFreezeHalfOpensStreams: Freeze stalls frame DELIVERY to the
+// frozen node without any error on either end (the TCP half-open failure
+// mode), and Heal resumes delivery of the stalled frames in order.
+func TestMemoryFreezeHalfOpensStreams(t *testing.T) {
+	m := NewMemory()
+	ln, err := m.Listen("srv", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	if err := m.ListenStream("srv", echoStreamHandler); err != nil {
+		t.Fatal(err)
+	}
+	st, err := m.DialStream("srv", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	m.Freeze("srv")
+	if err := st.Send(proto.NewPacket(proto.OpDataAppend, 1, 1, 1, []byte("stalled"))); err != nil {
+		t.Fatalf("send to frozen peer must succeed (it is half-open, not dead): %v", err)
+	}
+	got := make(chan *proto.Packet, 1)
+	go func() {
+		if pkt, err := st.Recv(); err == nil {
+			got <- pkt
+		}
+	}()
+	select {
+	case <-got:
+		t.Fatal("frozen peer echoed a frame")
+	case <-time.After(50 * time.Millisecond):
+	}
+	m.Heal("srv")
+	select {
+	case pkt := <-got:
+		if pkt.ReqID != 1 {
+			t.Fatalf("resumed frame = %+v", pkt)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("frame never delivered after heal")
+	}
+}
+
+// TestMemoryDialCounter: Dials counts packet-stream dials (the session
+// pool's reuse metric) and latency charges each dial one handshake.
+func TestMemoryDialCounter(t *testing.T) {
+	m := NewMemory()
+	ln, err := m.Listen("srv", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	if err := m.ListenStream("srv", echoStreamHandler); err != nil {
+		t.Fatal(err)
+	}
+	if m.Dials() != 0 {
+		t.Fatalf("fresh network reports %d dials", m.Dials())
+	}
+	for i := 0; i < 3; i++ {
+		st, err := m.DialStream("srv", 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st.Close()
+	}
+	if m.Dials() != 3 {
+		t.Fatalf("Dials = %d, want 3", m.Dials())
+	}
+}

@@ -7,6 +7,8 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"os"
+	"path/filepath"
 )
 
 // Size constants used throughout the system.
@@ -25,11 +27,17 @@ const (
 	// threshold to avoid packet assembly or splitting.
 	DefaultPacketSize = 128 * KB
 
-	// DefaultWriteWindow is the number of packets a pipelined sequential
-	// writer keeps in flight before blocking on acks. Sized so that at
-	// LAN round-trip times the pipe stays full for packet-sized frames
-	// without ballooning per-file client memory (window x packet = 1 MB).
+	// DefaultWriteWindow is the STARTING number of packets a pipelined
+	// sequential writer keeps in flight before blocking on acks; the
+	// adaptive controller then tracks the observed bandwidth-delay
+	// product. Sized so that at LAN round-trip times the pipe stays full
+	// for packet-sized frames without ballooning per-file client memory
+	// (window x packet = 1 MB).
 	DefaultWriteWindow = 8
+
+	// DefaultMaxWriteWindow caps the adaptive window (window x packet =
+	// 8 MB of accepted-but-uncommitted bytes per writer, worst case).
+	DefaultMaxWriteWindow = 64
 )
 
 // Error kinds shared across subsystems. Wrap these with %w so callers can
@@ -51,6 +59,7 @@ var (
 	ErrRetryLimit      = errors.New("retry limit exceeded")
 	ErrInvalidArgument = errors.New("invalid argument")
 	ErrOutOfRange      = errors.New("offset out of range")
+	ErrBusy            = errors.New("busy; retry later")
 )
 
 // CRC computes the IEEE CRC-32 checksum of data. Extent stores cache this
@@ -150,4 +159,41 @@ func MaxU64(a, b uint64) uint64 {
 		return a
 	}
 	return b
+}
+
+// WriteFileAtomic writes data via a uniquely named temp file + rename:
+// a crash mid-write leaves the previous file intact, and two concurrent
+// writers (e.g. a debounced snapshot timer racing a shutdown snapshot)
+// each publish a complete file instead of interleaving into a corrupt
+// one - last rename wins. Shared by every snapshot writer (meta
+// partition snapshots, data-partition lifecycle metadata) so further
+// hardening (fsync before rename) lands once.
+func WriteFileAtomic(path string, data []byte) error {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	f, err := os.CreateTemp(dir, base+".tmp-")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Chmod(tmp, 0o644); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }
