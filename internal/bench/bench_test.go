@@ -174,8 +174,13 @@ func TestWritePipelineSpeedup(t *testing.T) {
 	s := tiny()
 	// Make the RTT decisively the bottleneck: at sub-millisecond latency,
 	// CPU contention from test packages running in parallel can compress
-	// the ratios toward the 2x bar; at 1ms the protocol dominates.
+	// the ratios toward the 2x bar; at 1ms the protocol dominates. The
+	// race detector multiplies per-op CPU cost the same way, so it gets a
+	// wider latency floor for the same reason.
 	s.Latency = time.Millisecond
+	if raceEnabled {
+		s.Latency = 3 * time.Millisecond
+	}
 	_, nums, err := RunWritePipeline(s)
 	if err != nil {
 		t.Fatal(err)

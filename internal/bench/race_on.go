@@ -1,0 +1,8 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports whether the race detector is compiled in; timing-
+// sensitive acceptance tests widen their latency floor under it so the
+// detector's per-op overhead (not the protocol) never decides the ratio.
+const raceEnabled = true

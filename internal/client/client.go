@@ -160,6 +160,7 @@ func Mount(nw transport.Network, masterAddr, volume string, cfg Config) (*Client
 	}
 	c.Meta = newMetaClient(nw, masterAddr, volume, full)
 	c.Data = newDataClient(nw, full)
+	c.Data.refresh = c.Refresh // stale-epoch retry loops re-pull the view
 	if err := c.Refresh(); err != nil {
 		return nil, err
 	}

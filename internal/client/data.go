@@ -23,12 +23,24 @@ type DataClient struct {
 	nw   transport.Network
 	cfg  Config
 	pool *sessionPool // replication sessions, one per partition leader
+	// refresh re-pulls the volume view from the master (wired by Mount).
+	// Stale-epoch retry loops call it so a failover observed mid-write
+	// resolves to the new leader without waiting for the background
+	// refresh tick.
+	refresh func() error
 
 	mu     sync.Mutex
 	view   []proto.DataPartitionInfo
 	leader map[uint64]string
 	rnd    *util.Rand
 	reqID  atomic.Uint64
+}
+
+// refreshView best-effort re-pulls the volume view when the hook is wired.
+func (d *DataClient) refreshView() {
+	if d.refresh != nil {
+		_ = d.refresh()
+	}
 }
 
 func newDataClient(nw transport.Network, cfg Config) *DataClient {
@@ -81,17 +93,28 @@ func (d *DataClient) partitionInfo(pid uint64) (proto.DataPartitionInfo, error) 
 	return proto.DataPartitionInfo{}, fmt.Errorf("client: data partition %d: %w", pid, util.ErrNotFound)
 }
 
+// rejectKind maps a data-node reject code to the retriable error kind the
+// upper layers dispatch on: staleness (refresh the view and re-dial) vs a
+// write refusal (roll to another partition/extent).
+func rejectKind(code uint8) error {
+	if code == proto.ResultErrStaleEpoch {
+		return util.ErrStale
+	}
+	return util.ErrReadOnly
+}
+
 // CreateExtent allocates a new extent on the partition's leader and
 // returns its id.
 func (d *DataClient) CreateExtent(dp proto.DataPartitionInfo) (uint64, error) {
 	pkt := proto.NewPacket(proto.OpDataCreateExtent, d.reqID.Add(1), dp.PartitionID, 0, nil)
+	pkt.Epoch = dp.ReplicaEpoch
 	var resp proto.Packet
 	if err := d.nw.Call(dp.Members[0], uint8(proto.OpDataCreateExtent), pkt, &resp); err != nil {
 		return 0, err
 	}
 	if resp.ResultCode != proto.ResultOK {
 		return 0, fmt.Errorf("client: create extent on dp %d: %s: %w",
-			dp.PartitionID, resp.Data, util.ErrReadOnly)
+			dp.PartitionID, resp.Data, rejectKind(resp.ResultCode))
 	}
 	return resp.ExtentID, nil
 }
@@ -107,13 +130,14 @@ func (d *DataClient) Append(dp proto.DataPartitionInfo, extentID, fileOffset uin
 		chunk := data[off:end]
 		pkt := proto.NewPacket(proto.OpDataAppend, d.reqID.Add(1), dp.PartitionID, extentID, chunk)
 		pkt.FileOffset = fileOffset + uint64(off)
+		pkt.Epoch = dp.ReplicaEpoch
 		var resp proto.Packet
 		if err := d.nw.Call(dp.Members[0], uint8(proto.OpDataAppend), pkt, &resp); err != nil {
 			return keys, err
 		}
 		if resp.ResultCode != proto.ResultOK {
 			return keys, fmt.Errorf("client: append to dp %d ext %d: %s: %w",
-				dp.PartitionID, extentID, resp.Data, util.ErrReadOnly)
+				dp.PartitionID, extentID, resp.Data, rejectKind(resp.ResultCode))
 		}
 		keys = append(keys, proto.ExtentKey{
 			PartitionID:  dp.PartitionID,
@@ -144,13 +168,14 @@ func (d *DataClient) WriteSmallFile(fileOffset uint64, data []byte) (proto.Exten
 	}
 	pkt := proto.NewPacket(proto.OpDataAppend, d.reqID.Add(1), dp.PartitionID, 0, data)
 	pkt.FileOffset = fileOffset
+	pkt.Epoch = dp.ReplicaEpoch
 	var resp proto.Packet
 	if err := d.nw.Call(dp.Members[0], uint8(proto.OpDataAppend), pkt, &resp); err != nil {
 		return proto.ExtentKey{}, err
 	}
 	if resp.ResultCode != proto.ResultOK {
 		return proto.ExtentKey{}, fmt.Errorf("client: small-file write to dp %d: %s: %w",
-			dp.PartitionID, resp.Data, util.ErrReadOnly)
+			dp.PartitionID, resp.Data, rejectKind(resp.ResultCode))
 	}
 	return proto.ExtentKey{
 		PartitionID:  dp.PartitionID,
@@ -170,11 +195,22 @@ func (d *DataClient) writeSmallFileStreamed(dp proto.DataPartitionInfo, fileOffs
 			return ek, nil
 		}
 		lastErr = err
-		// Only a retired pooled session is retried here: the pool already
-		// dropped it, so the next attempt dials fresh, and the single
-		// packet either never committed or its copy is unreferenced.
-		if !errors.Is(err, util.ErrStale) {
-			break
+		// Retry everything the big-writer replay path treats as
+		// retriable. It is always safe for this one packet: a timeout or
+		// abort guarantees at worst an unreferenced copy (the key was
+		// never returned), staleness means the view moved (refresh before
+		// redialing), and full/read-only/recovering means roll to another
+		// partition - which re-picking below does. Anything else is a
+		// hard error and surfaces.
+		switch {
+		case errors.Is(err, util.ErrStale):
+			d.refreshView()
+		case errors.Is(err, util.ErrTimeout), errors.Is(err, util.ErrReadOnly), errors.Is(err, util.ErrFull):
+		default:
+			return proto.ExtentKey{}, lastErr
+		}
+		if fresh, ferr := d.PickWritable(); ferr == nil {
+			dp = fresh
 		}
 	}
 	return proto.ExtentKey{}, lastErr

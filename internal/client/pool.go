@@ -47,7 +47,12 @@ type repSession struct {
 	pool *sessionPool // nil when the session is dedicated (pooling disabled)
 	pid  uint64
 	addr string
-	st   transport.PacketStream
+	// epoch is the partition's ReplicaEpoch at dial time. The pool retires
+	// the session when the view's epoch moves past it (failover or
+	// reconfiguration): its frames would only earn retriable stale-epoch
+	// rejects from the data node.
+	epoch uint64
+	st    transport.PacketStream
 
 	// sendMu serializes senders and pins wire order to FIFO order:
 	// registration and the stream write happen inside one sendMu critical
@@ -64,10 +69,40 @@ type repSession struct {
 	lastSend     time.Time
 	lastProgress time.Time
 	lastUsed     time.Time // last WRITER send (pings excluded): idle-retire clock
+	// lastWin is the last adaptive-window estimate a writer on this
+	// session reported (cross-extent state: a fresh writer on an extent
+	// roll seeds its controller from it instead of relearning the BDP from
+	// the start window). Zeroed fields mean "no estimate yet".
+	lastWin winEstimate
 
 	stopc    chan struct{}
 	stopOnce sync.Once
 	recvDone chan struct{}
+}
+
+// winEstimate is the controller state worth carrying across writers of one
+// session: the converged window plus the RTT/gap estimates behind it.
+type winEstimate struct {
+	cur    int
+	minRTT float64
+	sgap   float64
+}
+
+// noteWindow records a departing writer's controller state for successors.
+func (s *repSession) noteWindow(e winEstimate) {
+	if e.cur <= 0 {
+		return
+	}
+	s.mu.Lock()
+	s.lastWin = e
+	s.mu.Unlock()
+}
+
+// windowHint returns the last recorded controller state (zero when none).
+func (s *repSession) windowHint() winEstimate {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastWin
 }
 
 // idleRetireTicks is how many keepalive intervals a pooled session may sit
@@ -92,7 +127,8 @@ func (d *DataClient) dialSession(dp proto.DataPartitionInfo, pool *sessionPool) 
 	}
 	now := time.Now()
 	s := &repSession{
-		d: d, pool: pool, pid: dp.PartitionID, addr: dp.Members[0], st: st,
+		d: d, pool: pool, pid: dp.PartitionID, addr: dp.Members[0],
+		epoch: dp.ReplicaEpoch, st: st,
 		lastSend: now, lastProgress: now, lastUsed: now,
 		stopc: make(chan struct{}), recvDone: make(chan struct{}),
 	}
@@ -184,6 +220,14 @@ func (s *repSession) recvLoop() {
 			// The server aborted the whole session; its remaining acks are
 			// all rejections, so fail fast and let writers replay.
 			s.fail(fmt.Errorf("client: dp %d session aborted by server: %s: %w", s.pid, ack.Data, util.ErrTimeout))
+			return
+		}
+		if ack.ResultCode == proto.ResultErrStaleEpoch {
+			// The partition reconfigured underneath this session (leader
+			// failover or replica change): every future frame earns the
+			// same reject, so retire now. ErrStale sends writers through
+			// the refresh -> re-dial -> replay path.
+			s.fail(fmt.Errorf("client: dp %d session at stale replica epoch: %s: %w", s.pid, ack.Data, util.ErrStale))
 			return
 		}
 		if e.owner == nil && ack.ResultCode != proto.ResultOK {
@@ -354,7 +398,7 @@ func (p *sessionPool) get(dp proto.DataPartitionInfo) (*repSession, error) {
 		return nil, fmt.Errorf("client: session pool: %w", util.ErrClosed)
 	}
 	cached := p.sessions[dp.PartitionID]
-	if cached != nil && cached.addr == leader && cached.healthy() {
+	if cached != nil && cached.addr == leader && cached.epoch == dp.ReplicaEpoch && cached.healthy() {
 		p.mu.Unlock()
 		cached.touch()
 		return cached, nil
@@ -362,8 +406,9 @@ func (p *sessionPool) get(dp proto.DataPartitionInfo) (*repSession, error) {
 	delete(p.sessions, dp.PartitionID)
 	p.mu.Unlock()
 	if cached != nil {
-		// Leader moved or the session failed; writers still streaming on
-		// it replay their tails on the replacement (ErrStale).
+		// Leader moved, the epoch advanced past the session's, or the
+		// session failed; writers still streaming on it replay their
+		// tails on the replacement (ErrStale).
 		cached.retire("leader moved")
 	}
 	s, err := p.d.dialSession(dp, p)
@@ -376,7 +421,7 @@ func (p *sessionPool) get(dp proto.DataPartitionInfo) (*repSession, error) {
 		s.close()
 		return nil, fmt.Errorf("client: session pool: %w", util.ErrClosed)
 	}
-	if cur := p.sessions[dp.PartitionID]; cur != nil && cur.addr == leader && cur.healthy() {
+	if cur := p.sessions[dp.PartitionID]; cur != nil && cur.addr == leader && cur.epoch == dp.ReplicaEpoch && cur.healthy() {
 		p.mu.Unlock()
 		s.close() // lost the dial race; reuse the winner
 		cur.touch()

@@ -204,7 +204,7 @@ func TestAdaptiveWindowGrowsWithLatency(t *testing.T) {
 }
 
 // TestWinControllerTracksBDP drives the controller with synthetic
-// observations: target = srtt/gap packets, stepped one ack at a time,
+// observations: target = minRTT/gap packets, stepped one ack at a time,
 // clamped to [1, max], frozen when adaptation is disabled.
 func TestWinControllerTracksBDP(t *testing.T) {
 	now := time.Unix(0, 0)
@@ -212,15 +212,15 @@ func TestWinControllerTracksBDP(t *testing.T) {
 	// 10ms RTT, 1ms between acks of a busy window: BDP ~ 11 packets.
 	for i := 0; i < 40; i++ {
 		now = now.Add(time.Millisecond)
-		w.observe(10*time.Millisecond, now, true)
+		w.observe(10*time.Millisecond, now, true, w.cur)
 	}
 	if w.cur < 10 || w.cur > 12 {
-		t.Fatalf("window = %d, want ~11 (srtt/gap + 1)", w.cur)
+		t.Fatalf("window = %d, want ~11 (minRTT/gap + 1)", w.cur)
 	}
 	// RTT collapses to ~equal the gap: the window walks back down.
 	for i := 0; i < 40; i++ {
 		now = now.Add(time.Millisecond)
-		w.observe(time.Millisecond, now, true)
+		w.observe(time.Millisecond, now, true, w.cur)
 	}
 	if w.cur > 4 {
 		t.Fatalf("window = %d after RTT collapse, want shrink toward ~2", w.cur)
@@ -233,16 +233,99 @@ func TestWinControllerTracksBDP(t *testing.T) {
 	now2 := time.Unix(0, 0)
 	for i := 0; i < 50; i++ {
 		now2 = now2.Add(time.Millisecond)
-		w2.observe(100*time.Millisecond, now2, true)
+		w2.observe(100*time.Millisecond, now2, true, w2.cur)
 	}
 	if w2.cur != 4 {
 		t.Fatalf("window = %d, want clamped at max 4", w2.cur)
 	}
 	// Static mode never moves.
 	ws := winController{cur: 3, max: 16}
-	ws.observe(time.Second, time.Unix(1, 0), true)
-	ws.observe(time.Second, time.Unix(2, 0), true)
+	ws.observe(time.Second, time.Unix(1, 0), true, 0)
+	ws.observe(time.Second, time.Unix(2, 0), true, 0)
 	if ws.cur != 3 {
 		t.Fatalf("static window moved to %d", ws.cur)
+	}
+}
+
+// TestWinControllerMinRTTFiltersSelfQueueing is the min-RTT satellite
+// regression: a saturating writer's samples include its own queueing delay
+// (rtt ~ cur*gap), so the old EWMA-based target tracked cur+1 and ratcheted
+// every window to the MaxWriteWindow cap. The windowed-min filter keeps the
+// target at the true BDP learned from low-occupancy samples.
+func TestWinControllerMinRTTFiltersSelfQueueing(t *testing.T) {
+	const gap = time.Millisecond
+	trueRTT := 4 * time.Millisecond // true BDP ~ 5 packets
+	now := time.Unix(0, 0)
+	w := winController{cur: 2, max: 64, adaptive: true}
+	// Warm-up at low occupancy: samples near the true RTT.
+	for i := 0; i < 10; i++ {
+		now = now.Add(gap)
+		w.observe(trueRTT, now, true, 0)
+	}
+	// Saturation: every sample inflated by the writer's own queue
+	// (rtt grows with the current window), sent into a full window.
+	for i := 0; i < 500; i++ {
+		now = now.Add(gap)
+		inflated := trueRTT + time.Duration(w.cur)*gap
+		w.observe(inflated, now, true, w.cur)
+	}
+	if w.cur > 8 {
+		t.Fatalf("window ratcheted to %d under self-induced queueing, want ~5 (true BDP)", w.cur)
+	}
+	if w.cur < 3 {
+		t.Fatalf("window = %d, collapsed below the true BDP", w.cur)
+	}
+	// A genuine path change (higher true RTT at low occupancy) is still
+	// learned once the stale minimum ages out.
+	for i := 0; i < minRTTWindow+50; i++ {
+		now = now.Add(gap)
+		w.observe(20*time.Millisecond, now, true, 0)
+	}
+	if w.cur < 15 {
+		t.Fatalf("window = %d after the path slowed, want growth toward ~21", w.cur)
+	}
+}
+
+// TestCrossExtentWindowSeeding is the cross-extent satellite: a fresh
+// writer on a pooled session starts from the session's last converged
+// estimate instead of relearning the BDP from the start window.
+func TestCrossExtentWindowSeeding(t *testing.T) {
+	nw := transport.NewMemory()
+	startCluster(t, nw)
+	poolVolume(t, nw)
+	c, err := Mount(nw, "master", "pool", Config{WriteWindow: 2, PacketSize: 8 * 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	dp, err := c.Data.PickWritable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.SetLatency(500 * time.Microsecond)
+	defer nw.SetLatency(0)
+	w, err := c.Data.NewExtentWriter(dp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write(0, make([]byte, 128*8*1024)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := w.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	grown := w.Window()
+	if grown < 8 {
+		t.Fatalf("first writer's window = %d, want growth past 8", grown)
+	}
+	w.Close() // hands the estimate back to the pooled session
+
+	w2, err := c.Data.NewExtentWriter(dp) // the extent-roll successor
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if got := w2.Window(); got < grown-1 {
+		t.Fatalf("successor writer starts at window %d, want seeded ~%d (not the start window 2)", got, grown)
 	}
 }

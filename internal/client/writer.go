@@ -23,13 +23,17 @@ import (
 // poisons every writer sharing the session; the pool redials for the next
 // one.
 //
-// The window is adaptive by default: each ack's measured round trip and the
-// spacing between consecutive acks estimate the bandwidth-delay product in
-// packets, and the window tracks it between 1 and MaxWriteWindow - a
-// high-latency path grows the window to keep the pipe full, a fast local
-// one shrinks it to bound buffered-but-uncommitted bytes.
-// Config.WriteWindow is the starting point (and the fixed size when
-// DisableAdaptiveWindow pins it for ablations).
+// The window is adaptive by default: a windowed-minimum ack round trip
+// (BBR-style, favoring samples taken at low window occupancy so the
+// writer's own queueing does not inflate the estimate) over the
+// EWMA-smoothed spacing between consecutive acks estimates the
+// bandwidth-delay product in packets, and the window tracks it between 1
+// and MaxWriteWindow - a high-latency path grows the window to keep the
+// pipe full, a fast local one shrinks it to bound
+// buffered-but-uncommitted bytes. Config.WriteWindow is the starting point
+// (and the fixed size when DisableAdaptiveWindow pins it for ablations);
+// on a pooled session a fresh writer seeds its controller from the
+// session's last estimate, so an extent roll does not relearn the BDP.
 //
 // An ExtentWriter is not safe for concurrent use; core.File serializes
 // access under its own mutex.
@@ -55,6 +59,11 @@ type streamPkt struct {
 	create  bool
 	small   bool
 	sentAt  time.Time // stamped by the session; feeds the RTT estimate
+	// qdepth is how many packets this writer already had in flight when
+	// the packet was registered: samples sent into a near-empty window
+	// carry almost no self-induced queueing delay, so they qualify for
+	// the controller's min-RTT filter.
+	qdepth int
 }
 
 // PendingWrite is an accepted-but-uncommitted chunk surfaced by Drain
@@ -64,32 +73,63 @@ type PendingWrite struct {
 	Data       []byte
 }
 
-// winController sizes the in-flight window from observed ack behavior:
-// EWMA-smoothed ack round trip over EWMA-smoothed inter-ack spacing is the
-// bandwidth-delay product in packets, and the window walks one step per
-// ack toward it (step-wise so one outlier ack cannot halve the window).
+// winController sizes the in-flight window from observed ack behavior: a
+// windowed-minimum ack round trip over EWMA-smoothed inter-ack spacing is
+// the bandwidth-delay product in packets, and the window walks one step
+// per ack toward it (step-wise so one outlier ack cannot halve the
+// window).
+//
+// The min filter is the fix for self-congestion: an EWMA of ALL samples
+// includes the queueing delay the writer itself induces, so a saturating
+// writer's smoothed RTT tracks cur*gap and the target ratchets to the
+// MaxWriteWindow cap instead of the true BDP - maximizing the
+// accepted-but-uncommitted bytes an abort must replay. BBR's answer,
+// adopted here: estimate propagation delay as the minimum over a sliding
+// window of samples, trusting primarily those taken at LOW window
+// occupancy (little of the writer's own queue ahead of them), and let the
+// minimum expire so a genuine path change is relearned.
 type winController struct {
 	cur      int
 	max      int
 	adaptive bool
 
-	srtt    float64 // smoothed ack round trip, seconds
 	sgap    float64 // smoothed gap between consecutive acks, seconds
+	minRTT  float64 // windowed-min round trip, seconds; 0 = unknown
+	minAge  int     // acks since minRTT was (re)set
 	lastAck time.Time
 	busy    bool // last ack left frames in flight (gap is a service gap)
 }
 
 const ewmaAlpha = 0.125 // the classic SRTT weight
 
-func (w *winController) observe(rtt time.Duration, now time.Time, stillBusy bool) {
+// minRTTWindow bounds the age of the min-RTT estimate in acks; past it the
+// next qualifying sample restarts the minimum so route or load changes are
+// not pinned to an ancient best case.
+const minRTTWindow = 256
+
+// lowOccupancy reports whether a packet entered a window shallow enough
+// (at most a quarter full, or empty) for its round trip to approximate the
+// true propagation delay.
+func (w *winController) lowOccupancy(qdepth int) bool {
+	return qdepth == 0 || qdepth*4 <= w.cur
+}
+
+func (w *winController) observe(rtt time.Duration, now time.Time, stillBusy bool, qdepth int) {
 	if !w.adaptive {
 		return
 	}
 	r := rtt.Seconds()
-	if w.srtt == 0 {
-		w.srtt = r
-	} else {
-		w.srtt += ewmaAlpha * (r - w.srtt)
+	w.minAge++
+	switch {
+	case w.minRTT == 0:
+		w.minRTT, w.minAge = r, 0
+	case r < w.minRTT:
+		w.minRTT, w.minAge = r, 0
+	case w.minAge > minRTTWindow && w.lowOccupancy(qdepth):
+		// Expiry: restart from a fresh low-occupancy sample only, so a
+		// saturating writer cannot launder its queueing delay into the
+		// propagation estimate just by aging the minimum out.
+		w.minRTT, w.minAge = r, 0
 	}
 	if w.busy && !w.lastAck.IsZero() {
 		// Only gaps between acks of a continuously busy window measure the
@@ -105,7 +145,7 @@ func (w *winController) observe(rtt time.Duration, now time.Time, stillBusy bool
 	if w.sgap <= 0 {
 		return
 	}
-	target := int(w.srtt/w.sgap) + 1 // BDP in packets, rounded up
+	target := int(w.minRTT/w.sgap) + 1 // BDP in packets, rounded up
 	if target > w.max {
 		target = w.max
 	}
@@ -115,6 +155,29 @@ func (w *winController) observe(rtt time.Duration, now time.Time, stillBusy bool
 	case target < w.cur && w.cur > 1:
 		w.cur--
 	}
+}
+
+// estimate snapshots the controller state worth carrying to a successor
+// writer on the same session (cross-extent adaptive state).
+func (w *winController) estimate() winEstimate {
+	return winEstimate{cur: w.cur, minRTT: w.minRTT, sgap: w.sgap}
+}
+
+// seed primes a fresh controller from a predecessor's estimate, clamped to
+// this writer's cap.
+func (w *winController) seed(e winEstimate) {
+	if !w.adaptive || e.cur <= 0 {
+		return
+	}
+	w.cur = e.cur
+	if w.cur > w.max {
+		w.cur = w.max
+	}
+	if w.cur < 1 {
+		w.cur = 1
+	}
+	w.minRTT = e.minRTT
+	w.sgap = e.sgap
 }
 
 // Pipelined reports whether the streaming write path is available: the
@@ -167,6 +230,12 @@ func (d *DataClient) newStreamWriter(dp proto.DataPartitionInfo, window int, ada
 		d: d, dp: dp, sess: sess, dedicated: dedicated,
 		win: winController{cur: window, max: max, adaptive: adaptive},
 	}
+	if !dedicated {
+		// Cross-extent adaptive state: the pooled session remembers the
+		// last writer's converged estimate, so an extent roll starts at
+		// the learned BDP instead of relearning from the start window.
+		w.win.seed(sess.windowHint())
+	}
 	w.cond = sync.NewCond(&w.mu)
 	return w, nil
 }
@@ -184,6 +253,7 @@ func (w *ExtentWriter) createExtent() error {
 			Op:          proto.OpDataCreateExtent,
 			ReqID:       seq,
 			PartitionID: w.dp.PartitionID,
+			Epoch:       w.dp.ReplicaEpoch,
 		}
 	}); err != nil {
 		return err
@@ -199,6 +269,7 @@ func (w *ExtentWriter) createExtent() error {
 // matching packet before registering the next one.
 func (w *ExtentWriter) register(sp *streamPkt) {
 	w.mu.Lock()
+	sp.qdepth = len(w.pending) // occupancy at entry, for the min-RTT filter
 	w.pending = append(w.pending, sp)
 	w.mu.Unlock()
 }
@@ -238,6 +309,7 @@ func (w *ExtentWriter) Write(fileOff uint64, data []byte) (int, error) {
 				PartitionID: w.dp.PartitionID,
 				ExtentID:    w.extentID(),
 				FileOffset:  sp.fileOff,
+				Epoch:       w.dp.ReplicaEpoch,
 				CRC:         util.CRC(chunk),
 				Data:        chunk,
 			}
@@ -263,6 +335,7 @@ func (w *ExtentWriter) WriteSmall(fileOff uint64, data []byte) error {
 			ReqID:       seq,
 			PartitionID: w.dp.PartitionID,
 			FileOffset:  fileOff,
+			Epoch:       w.dp.ReplicaEpoch,
 			CRC:         util.CRC(chunk),
 			Data:        chunk,
 		}
@@ -328,11 +401,20 @@ func (w *ExtentWriter) Drain() ([]proto.ExtentKey, []PendingWrite, error) {
 }
 
 // Close detaches the writer from its session. Pooled sessions stay open
-// for the next writer; a dedicated session (pooling disabled) is torn
-// down. Callers that care about in-flight data must Drain first.
+// for the next writer and inherit the writer's adaptive-window estimate; a
+// dedicated session (pooling disabled) is torn down. Callers that care
+// about in-flight data must Drain first.
 func (w *ExtentWriter) Close() error {
 	if w.dedicated {
 		w.sess.close()
+	} else {
+		w.mu.Lock()
+		est := w.win.estimate()
+		adaptive := w.win.adaptive
+		w.mu.Unlock()
+		if adaptive {
+			w.sess.noteWindow(est)
+		}
 	}
 	w.fail(fmt.Errorf("client: writer closed: %w", util.ErrClosed))
 	return nil
@@ -370,6 +452,23 @@ func (w *ExtentWriter) handleAck(sp *streamPkt, ack *proto.Packet, now time.Time
 		w.cond.Broadcast()
 		return
 	}
+	if ack.ResultCode == proto.ResultErrStaleEpoch {
+		// The partition reconfigured (leader failover, replica change):
+		// retriable staleness, not a write refusal - the caller refreshes
+		// the view, re-dials the current leader, and replays the tail.
+		w.err = fmt.Errorf("client: append to dp %d: %s: %w", w.dp.PartitionID, ack.Data, util.ErrStale)
+		w.cond.Broadcast()
+		return
+	}
+	if ack.ResultCode == proto.ResultErrAborted {
+		// Session abort (a SIBLING writer's replica failure can trigger
+		// it): the packet never committed, and the contract is replay,
+		// not refusal - same timeout class as a session that died under
+		// us, so every caller's retriable-replay path applies.
+		w.err = fmt.Errorf("client: append to dp %d: %s: %w", w.dp.PartitionID, ack.Data, util.ErrTimeout)
+		w.cond.Broadcast()
+		return
+	}
 	if ack.ResultCode != proto.ResultOK {
 		// Mirror the stop-and-wait client's error mapping: a data-node
 		// reject means "roll to another partition/extent" upstream.
@@ -389,7 +488,7 @@ func (w *ExtentWriter) handleAck(sp *streamPkt, ack *proto.Packet, now time.Time
 			Size:         uint32(len(sp.data)),
 			CRC:          util.CRC(sp.data),
 		})
-		w.win.observe(now.Sub(sp.sentAt), now, len(w.pending) > 0)
+		w.win.observe(now.Sub(sp.sentAt), now, len(w.pending) > 0, sp.qdepth)
 	}
 	w.cond.Broadcast()
 }

@@ -597,25 +597,44 @@ func TestDataNodeFailureDuringWrite(t *testing.T) {
 	if _, err := f.Write(bytes.Repeat([]byte("a"), 256*1024)); err != nil {
 		t.Fatal(err)
 	}
-	// Partition one data node: appends through partitions whose chain
-	// includes it fail; the client rolls to other partitions or, if all
-	// are affected, surfaces an error. Here all partitions have 3
-	// replicas spanning the 3 nodes, so writes CANNOT proceed; verify
-	// the client reports an error rather than losing data silently. With
-	// the pipelined writer the packets may be ACCEPTED into the in-flight
-	// window before the replica failure is observed, so the error is
-	// permitted to surface at the flush point (Fsync) instead of the
-	// Write call - what matters is that it surfaces.
+	// Partition one data node mid-file. Every data partition's chain
+	// includes it, so the in-flight window aborts - but the failure
+	// report now makes the master DETACH the replica under a bumped
+	// epoch instead of fencing the partition read-only, and the client
+	// replays the uncommitted tail on the surviving replicas: the write
+	// self-heals with no operator intervention and no silent loss. (The
+	// leader's own report is async; the explicit reports below make the
+	// reconfiguration deterministic for the test.)
 	e.nw.Partition("dn2")
+	var view proto.GetVolumeResp
+	if err := e.nw.Call("master", uint8(proto.OpMasterGetVolume),
+		&proto.GetVolumeReq{Name: "vol"}, &view); err != nil {
+		t.Fatal(err)
+	}
+	for _, dp := range view.View.DataPartitions {
+		if err := e.nw.Call("master", uint8(proto.OpMasterReportFailure),
+			&proto.ReportFailureReq{PartitionID: dp.PartitionID, Addr: "dn2"}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
 	_, werr := f.Write(bytes.Repeat([]byte("b"), 256*1024))
 	if werr == nil {
 		werr = f.Fsync()
 	}
-	if werr == nil {
-		t.Fatal("write+fsync succeeded with an unreachable replica (primary-backup needs all)")
+	if werr != nil {
+		t.Fatalf("write did not self-heal around the detached replica: %v", werr)
 	}
-	// Heal: writes work again from the committed end of the file (the
-	// failed flush rolled the size back to the all-replica watermark).
+	// Nothing was lost: the whole file reads back through the survivors.
+	got := make([]byte, 512*1024)
+	if _, err := f.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	want := append(bytes.Repeat([]byte("a"), 256*1024), bytes.Repeat([]byte("b"), 256*1024)...)
+	if !bytes.Equal(got, want) {
+		t.Fatal("content mismatch after replaying around the detached replica")
+	}
+	// Heal: writes keep working (the healed node re-attaches via the
+	// master's maintenance scan; the failover tests cover that path).
 	e.nw.Heal("dn2")
 	if _, err := f.Seek(0, io.SeekEnd); err != nil {
 		t.Fatalf("seek after heal: %v", err)

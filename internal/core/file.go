@@ -243,6 +243,13 @@ func (f *File) flushWriterLocked() error {
 			f.size = f.committedSize
 			return err
 		}
+		if errors.Is(err, util.ErrStale) {
+			// Staleness means the VIEW is behind (session retired under a
+			// leader move, or the replica epoch advanced past ours after a
+			// failover); replaying against the cached record would earn
+			// the same reject, so re-pull before re-dialing.
+			_ = f.fs.c.Refresh()
+		}
 		if oerr := f.openWriterLocked(); oerr != nil {
 			f.size = f.committedSize
 			return oerr

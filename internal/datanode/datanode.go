@@ -5,6 +5,7 @@
 package datanode
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -195,13 +196,21 @@ func (d *DataNode) Close() {
 // committed before the restart, so nothing depends on the pass finishing
 // first. Its errors are swallowed for the same reason.
 func (d *DataNode) reopenPartitions(recover bool) error {
-	reqs, err := scanPartitionDirs(d.dir)
+	reqs, promoting, err := scanPartitionDirs(d.dir)
 	if err != nil {
 		return err
 	}
 	for _, req := range reqs {
 		if err := d.CreatePartition(req); err != nil {
 			return err
+		}
+		if promoting[req.PartitionID] {
+			// The node went down between a promotion and its completing
+			// alignment pass: come back write-gated, or clients could
+			// bind before the predecessor's divergence is shed.
+			if p := d.Partition(req.PartitionID); p != nil {
+				p.markPromoting()
+			}
 		}
 	}
 	if !recover || len(reqs) == 0 {
@@ -247,8 +256,17 @@ func (d *DataNode) reopenPartitions(recover bool) error {
 					return
 				default:
 				}
+				if !p.isLeader() {
+					// Deposed while waiting (a master reconfiguration made
+					// someone else leader); alignment is their job now.
+					continue
+				}
 				if _, err := p.Recover(); err != nil {
 					retry = append(retry, p)
+				} else if p.promotionPending() {
+					// A restart-resumed promotion: the completed pass is
+					// what the persisted gate was waiting for.
+					p.endPromotion()
 				}
 			}
 			pending = retry
@@ -323,11 +341,12 @@ func (d *DataNode) SendHeartbeat() {
 		u := p.Used()
 		used += u
 		reports = append(reports, proto.PartitionReport{
-			PartitionID: p.ID,
-			Used:        u,
-			ExtentCount: uint64(p.ExtentCount()),
-			IsLeader:    p.isLeader(),
-			Status:      p.Status(),
+			PartitionID:  p.ID,
+			Used:         u,
+			ExtentCount:  uint64(p.ExtentCount()),
+			IsLeader:     p.isLeader(),
+			Status:       p.Status(),
+			ReplicaEpoch: p.Epoch(),
 		})
 	}
 	d.mu.RUnlock()
@@ -356,6 +375,10 @@ func (d *DataNode) CreatePartition(req *proto.CreateDataPartitionReq) error {
 	if err != nil {
 		return err
 	}
+	epoch := req.ReplicaEpoch
+	if epoch == 0 {
+		epoch = 1 // pre-epoch callers and persisted metadata default to 1
+	}
 	p := &Partition{
 		ID:        req.PartitionID,
 		Volume:    req.Volume,
@@ -364,6 +387,7 @@ func (d *DataNode) CreatePartition(req *proto.CreateDataPartitionReq) error {
 		node:      d,
 		dir:       dir,
 		store:     store,
+		epoch:     epoch,
 		committed: make(map[uint64]uint64),
 		status:    proto.PartitionReadWrite,
 	}
@@ -396,6 +420,93 @@ func (d *DataNode) CreatePartition(req *proto.CreateDataPartitionReq) error {
 	return nil
 }
 
+// handleUpdatePartition adopts a master reconfiguration task: new Members
+// order under a bumped ReplicaEpoch (stale epochs are ignored, so replays
+// are harmless). A node that stays or becomes leader re-runs the recovery
+// pass in the background - a promoted leader is additionally write-gated
+// until that pass completes, because its watermark and its followers' may
+// have diverged under the old leader's in-flight forwards.
+func (d *DataNode) handleUpdatePartition(req *proto.UpdateDataPartitionReq) (*proto.UpdateDataPartitionResp, error) {
+	p := d.Partition(req.PartitionID)
+	if p == nil {
+		// A member that lost the partition (disk wiped between detach and
+		// re-attach): re-create it empty under the pushed configuration.
+		// The leader's alignment pass refills it - refusing here would
+		// wedge the reconfiguration with no repair path, since a node that
+		// doesn't host the partition never reports it in heartbeats.
+		err := d.CreatePartition(&proto.CreateDataPartitionReq{
+			PartitionID:  req.PartitionID,
+			Volume:       req.Volume,
+			Capacity:     req.Capacity,
+			Members:      req.Members,
+			ReplicaEpoch: req.ReplicaEpoch,
+		})
+		if err != nil && !errors.Is(err, util.ErrExist) {
+			return nil, err
+		}
+		if p = d.Partition(req.PartitionID); p == nil {
+			return nil, fmt.Errorf("datanode: partition %d: %w", req.PartitionID, util.ErrNotFound)
+		}
+	}
+	held, promoted, applied := p.applyReconfig(req.Members, req.ReplicaEpoch)
+	if applied && p.isLeader() {
+		d.runRecoverLoop(p, promoted)
+	}
+	return &proto.UpdateDataPartitionResp{ReplicaEpoch: held}, nil
+}
+
+// runRecoverLoop retries the Section 2.2.5 recovery pass in the background
+// until it completes (ErrBusy while writers drain away and transient
+// transport errors are routine right after a failover), the node stops, or
+// the partition is deposed again. When the loop was started by a promotion
+// it lifts the write gate on the first successful pass.
+func (d *DataNode) runRecoverLoop(p *Partition, promoted bool) {
+	// wg.Add happens inside the lock so it strictly precedes (or observes)
+	// Close's closed=true; Close's wg.Wait then always sees the count.
+	d.mu.RLock()
+	closed := d.closed
+	if !closed {
+		d.wg.Add(1)
+	}
+	d.mu.RUnlock()
+	if closed {
+		return
+	}
+	go func() {
+		defer d.wg.Done()
+		// Drain: refuse new binds while this loop is pending, so bound
+		// sessions die away (abort, idle retire, client close) and the
+		// quiescence check cannot be starved by instant rebinds.
+		p.recoverWait()
+		defer p.recoverDone()
+		delay := 10 * time.Millisecond
+		for {
+			select {
+			case <-d.stopc:
+				return
+			default:
+			}
+			if !p.isLeader() {
+				return // deposed; the new leader owns alignment now
+			}
+			if _, err := p.Recover(); err == nil {
+				if promoted {
+					p.endPromotion()
+				}
+				return
+			}
+			select {
+			case <-d.stopc:
+				return
+			case <-time.After(delay):
+			}
+			if delay < 5*time.Second {
+				delay *= 2
+			}
+		}
+	}()
+}
+
 // handle dispatches one RPC.
 func (d *DataNode) handle(op uint8, req any) (any, error) {
 	switch proto.Op(op) {
@@ -417,6 +528,36 @@ func (d *DataNode) handle(op uint8, req any) (any, error) {
 		}
 		return &proto.CreateDataPartitionResp{}, nil
 
+	case proto.OpAdminUpdateDataPartition:
+		r, ok := req.(*proto.UpdateDataPartitionReq)
+		if !ok {
+			return nil, fmt.Errorf("datanode: %w: body %T", util.ErrInvalidArgument, req)
+		}
+		return d.handleUpdatePartition(r)
+
+	case proto.OpAdminRecoverPartition:
+		r, ok := req.(*proto.RecoverPartitionReq)
+		if !ok {
+			return nil, fmt.Errorf("datanode: %w: body %T", util.ErrInvalidArgument, req)
+		}
+		p := d.Partition(r.PartitionID)
+		if p == nil {
+			return nil, fmt.Errorf("datanode: partition %d: %w", r.PartitionID, util.ErrNotFound)
+		}
+		shipped, err := p.Recover()
+		if errors.Is(err, util.ErrBusy) {
+			// Writers are bound right now: schedule the pass instead of
+			// bouncing the task back - the loop drains new binds and runs
+			// at the next quiet moment, which a caller-side retry cannot
+			// guarantee.
+			d.runRecoverLoop(p, false)
+			return &proto.RecoverPartitionResp{}, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		return &proto.RecoverPartitionResp{Shipped: shipped}, nil
+
 	case proto.OpDataExtentInfo:
 		r, ok := req.(*proto.ExtentInfoReq)
 		if !ok {
@@ -430,7 +571,7 @@ func (d *DataNode) handle(op uint8, req any) (any, error) {
 
 	case proto.OpDataCreateExtent, proto.OpDataAppend, proto.OpDataOverwrite,
 		proto.OpDataRead, proto.OpDataMarkDelete, proto.OpDataFlush,
-		proto.OpDataCommitted:
+		proto.OpDataCommitted, proto.OpDataTruncate:
 		pkt, ok := req.(*proto.Packet)
 		if !ok {
 			return nil, fmt.Errorf("datanode: %w: packet body %T", util.ErrInvalidArgument, req)
@@ -458,11 +599,17 @@ func (d *DataNode) dispatchPacket(p *Partition, pkt *proto.Packet) (*proto.Packe
 		return p.handleRead(pkt)
 	case proto.OpDataMarkDelete:
 		return p.handleMarkDelete(pkt)
-	case proto.OpDataCommitted:
-		// Committed-offset gossip from the leader (Call-path variant of
-		// the stream's control frame); same apply rule as the stream hop.
+	case proto.OpDataCommitted, proto.OpDataTruncate:
+		// Committed-offset gossip and alignment truncation from the leader
+		// (Call-path variants of the stream's control frames); same apply
+		// rules - including the stale-epoch fence - as the stream hops.
+		// Truncation is destructive, so it additionally requires the hop
+		// marker: it is a replication-internal frame, never a client op.
+		if pkt.Op == proto.OpDataTruncate && pkt.ResultCode != resultHopFollower {
+			return pkt.ErrResponse(proto.ResultErrArg, "truncate is a replication hop, not a client op"), nil
+		}
 		if err := p.applyFollowerHop(pkt); err != nil {
-			return pkt.ErrResponse(proto.ResultErrIO, err.Error()), nil
+			return pkt.ErrResponse(hopErrCode(err), err.Error()), nil
 		}
 		return pkt.OKResponse(nil), nil
 	case proto.OpDataFlush:

@@ -2,6 +2,7 @@ package datanode
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -27,7 +28,6 @@ import (
 type Partition struct {
 	ID       uint64
 	Volume   string
-	Members  []string // replication order; Members[0] is the leader
 	Capacity uint64
 
 	node  *DataNode
@@ -35,9 +35,38 @@ type Partition struct {
 	store *storage.ExtentStore
 	raft  *multiraft.Group
 
-	mu        sync.Mutex
-	committed map[uint64]uint64 // extent id -> all-replica committed offset
-	status    proto.PartitionStatus
+	mu sync.Mutex
+	// Members is the replication order; Members[0] is the leader. Mutable
+	// since master-driven failover (guarded by mu): a reconfiguration may
+	// promote this node or detach a failed sibling mid-flight.
+	Members []string
+	// epoch is the fencing version of Members (the view's ReplicaEpoch).
+	// Write requests and replication hops carry the sender's epoch; holders
+	// of a newer one reject them, which is what stops a deposed leader from
+	// ever assembling an all-replica commit again.
+	epoch uint64
+	// promoting gates writes on a node that just became leader through a
+	// reconfiguration: until its alignment pass (Recover) has run, its
+	// watermark and its followers' may diverge, so sessions and Call
+	// appends are refused retriably.
+	promoting bool
+	// hopEpoch is the highest epoch observed on an accepted replication
+	// hop. A follower that misses the master's reconfiguration push still
+	// learns "the world moved" from the new leader's first epoch-stamped
+	// frame (promotion Recover pushes committed offsets to every
+	// follower), and the fence then rejects the deposed leader's hops
+	// even though the follower's own config epoch lags. Not persisted:
+	// a restart reloads the config epoch, and the new leader's next
+	// frame re-teaches the watermark.
+	hopEpoch uint64
+	// recoverWaiters counts recovery loops waiting for quiescence. While
+	// any is pending, NEW session binds and Call appends are refused
+	// retriably - without the drain, a client that rebinds the instant
+	// its session aborts could starve a master-tasked realignment
+	// forever (bound sessions always beat the retry timer).
+	recoverWaiters int
+	committed      map[uint64]uint64 // extent id -> all-replica committed offset
+	status         proto.PartitionStatus
 	// Recovery quiescence: Recover's promotion of the local watermark to
 	// the committed offset is only sound when NO writer can have in-flight
 	// un-acked bytes for its whole duration (Section 2.2.5). liveSessions
@@ -66,11 +95,19 @@ type Partition struct {
 // isLeader reports whether this node is the partition's primary-backup
 // leader (the first entry of the replica array).
 func (p *Partition) isLeader() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.isLeaderLocked()
+}
+
+func (p *Partition) isLeaderLocked() bool {
 	return len(p.Members) > 0 && p.Members[0] == p.node.addr
 }
 
 // followers returns every member except this node.
 func (p *Partition) followers() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if len(p.Members) == 0 {
 		return nil // guard: a negative cap below would panic
 	}
@@ -81,6 +118,148 @@ func (p *Partition) followers() []string {
 		}
 	}
 	return out
+}
+
+// Epoch returns the partition's current replica epoch.
+func (p *Partition) Epoch() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.epoch
+}
+
+// fenceEpoch returns the newest epoch this replica has EVIDENCE of - its
+// config epoch or the highest epoch observed on an accepted hop. This is
+// what the fence compares against, and what extent-info replies advertise
+// (so a restarted deposed leader learns it is deposed even from followers
+// whose own config push was missed).
+func (p *Partition) fenceEpoch() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.hopEpoch > p.epoch {
+		return p.hopEpoch
+	}
+	return p.epoch
+}
+
+// applyReconfig adopts a master reconfiguration: a new Members order under
+// a strictly newer epoch (stale or duplicate deliveries are ignored, and
+// report applied=false). It reports the epoch now held and whether this
+// node just became the leader - in which case the partition is write-gated
+// (promoting) until the caller's alignment pass completes.
+func (p *Partition) applyReconfig(members []string, epoch uint64) (held uint64, promoted, applied bool) {
+	p.mu.Lock()
+	if epoch <= p.epoch {
+		held = p.epoch
+		p.mu.Unlock()
+		return held, false, false
+	}
+	wasLeader := p.isLeaderLocked()
+	p.Members = append([]string(nil), members...)
+	p.epoch = epoch
+	isLeader := p.isLeaderLocked()
+	promoted = !wasLeader && isLeader
+	if promoted {
+		p.promoting = true
+	} else if !isLeader {
+		p.promoting = false // deposed before its promotion pass finished
+	}
+	p.mu.Unlock()
+	_ = p.saveMeta() // durable: a restart must not revive the old epoch
+	return epoch, promoted, true
+}
+
+// markPromoting re-arms the promotion write gate on a partition restarted
+// mid-promotion (the persisted flag said its alignment pass never
+// completed).
+func (p *Partition) markPromoting() {
+	p.mu.Lock()
+	p.promoting = true
+	p.mu.Unlock()
+}
+
+// promotionPending reports whether the promotion write gate is held.
+func (p *Partition) promotionPending() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.promoting
+}
+
+// endPromotion lifts the promotion write gate (the promoted leader's first
+// successful Recover pass calls it) and persists the lift - the gate is
+// durable, so a crash mid-promotion comes back gated.
+func (p *Partition) endPromotion() {
+	p.mu.Lock()
+	p.promoting = false
+	p.mu.Unlock()
+	_ = p.saveMeta()
+}
+
+// recoverWait registers a pending recovery loop: new binds are refused
+// until recoverDone, so already-bound sessions drain away (next abort,
+// idle retire, or client close) instead of racing the retry timer.
+func (p *Partition) recoverWait() {
+	p.mu.Lock()
+	p.recoverWaiters++
+	p.mu.Unlock()
+}
+
+func (p *Partition) recoverDone() {
+	p.mu.Lock()
+	p.recoverWaiters--
+	p.mu.Unlock()
+}
+
+// checkClientEpoch validates a client write request against the current
+// replica epoch. Epoch zero (reads, legacy callers) always passes; any
+// mismatch - older OR newer than this node's knowledge - is rejected
+// retriably, since one of the two parties is behind the master and a
+// refresh resolves it.
+func (p *Partition) checkClientEpoch(pkt *proto.Packet) error {
+	p.mu.Lock()
+	cur := p.epoch
+	p.mu.Unlock()
+	if pkt.Epoch != 0 && pkt.Epoch != cur {
+		return fmt.Errorf("datanode: partition %d at replica epoch %d, request carries %d: %w",
+			p.ID, cur, pkt.Epoch, util.ErrStaleEpoch)
+	}
+	return nil
+}
+
+// checkHopEpoch is the follower half of the failover fence (GFS/PacificA-
+// style): a hop from a replica epoch this node has already moved past is a
+// deposed leader still forwarding. Rejecting it here is what makes the
+// fence airtight - a stale leader can never collect the all-replica acks a
+// commit needs, so no client of the old view can commit bytes through it.
+// A NEWER epoch is accepted AND adopted as the fence watermark (the sender
+// heard from the master before we did; adopting closes the window where a
+// follower that missed the reconfiguration push would still take the
+// deposed leader's same-epoch hops). Zero is unfenced.
+func (p *Partition) checkHopEpoch(pkt *proto.Packet) error {
+	if pkt.Epoch == 0 {
+		return nil
+	}
+	p.mu.Lock()
+	cur := p.epoch
+	if p.hopEpoch > cur {
+		cur = p.hopEpoch
+	}
+	if pkt.Epoch > p.hopEpoch {
+		p.hopEpoch = pkt.Epoch
+	}
+	p.mu.Unlock()
+	if pkt.Epoch < cur {
+		return fmt.Errorf("datanode: partition %d: hop at replica epoch %d, local %d: %w",
+			p.ID, pkt.Epoch, cur, util.ErrStaleEpoch)
+	}
+	return nil
+}
+
+// hopErrCode maps a replication-hop apply error to its wire result code.
+func hopErrCode(err error) uint8 {
+	if errors.Is(err, util.ErrStaleEpoch) {
+		return proto.ResultErrStaleEpoch
+	}
+	return proto.ResultErrIO
 }
 
 // Status returns the partition's current lifecycle state.
@@ -109,6 +288,9 @@ func (p *Partition) committedOf(extentID uint64) uint64 {
 	return p.committed[extentID]
 }
 
+// CommittedOf exposes the committed offset to tools and tests.
+func (p *Partition) CommittedOf(extentID uint64) uint64 { return p.committedOf(extentID) }
+
 func (p *Partition) advanceCommitted(extentID, end uint64) {
 	p.mu.Lock()
 	if end > p.committed[extentID] {
@@ -118,11 +300,12 @@ func (p *Partition) advanceCommitted(extentID, end uint64) {
 }
 
 // sessionStart claims a live-session slot; refused while a recovery pass
-// holds the partition quiesced (the caller rejects the bind retriably).
+// holds the partition quiesced or a promotion awaits its alignment pass
+// (the caller rejects the bind retriably).
 func (p *Partition) sessionStart() bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if p.recovering {
+	if p.recovering || p.promoting || p.recoverWaiters > 0 {
 		return false
 	}
 	p.liveSessions++
@@ -140,7 +323,7 @@ func (p *Partition) sessionEnd() {
 func (p *Partition) writeStart() bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if p.recovering {
+	if p.recovering || p.promoting || p.recoverWaiters > 0 {
 		return false
 	}
 	p.liveWrites++
@@ -195,13 +378,16 @@ func (p *Partition) handleCreateExtent(pkt *proto.Packet) (*proto.Packet, error)
 	if pkt.ResultCode == resultHopFollower {
 		// Follower hop: create the extent the leader assigned.
 		if err := p.applyFollowerHop(pkt); err != nil {
-			return pkt.ErrResponse(proto.ResultErrIO, err.Error()), nil
+			return pkt.ErrResponse(hopErrCode(err), err.Error()), nil
 		}
 		return pkt.OKResponse(nil), nil
 	}
 	// Leader hop: allocate an id, create locally, forward.
 	if !p.isLeader() {
 		return pkt.ErrResponse(proto.ResultErrNotLeader, "not primary"), nil
+	}
+	if err := p.checkClientEpoch(pkt); err != nil {
+		return pkt.ErrResponse(proto.ResultErrStaleEpoch, err.Error()), nil
 	}
 	if err := p.checkWritable(); err != nil {
 		return pkt.ErrResponse(proto.ResultErrIO, err.Error()), nil
@@ -210,7 +396,7 @@ func (p *Partition) handleCreateExtent(pkt *proto.Packet) (*proto.Packet, error)
 	if err := p.store.Create(id); err != nil {
 		return pkt.ErrResponse(proto.ResultErrIO, err.Error()), nil
 	}
-	fwd := createHopPacket(p.ID, pkt.ReqID, id)
+	fwd := createHopPacket(p.ID, pkt.ReqID, id, p.Epoch())
 	for _, f := range p.followers() {
 		var resp proto.Packet
 		if err := p.node.nw.Call(f, uint8(proto.OpDataCreateExtent), fwd, &resp); err != nil {
@@ -246,10 +432,14 @@ const resultHopFollower uint8 = 0xF7
 // applyFollowerHop applies one forwarded hop to the local store. Both the
 // per-packet Call path and the streaming session path route through here,
 // so the replication apply rules (small-file marker, watermark-checked
-// appends, leader-assigned extent creation) exist exactly once. Append
-// hops piggyback the extent's all-replica committed offset, which is how a
-// follower learns what its own read clamp may expose (Section 2.2.5).
+// appends, leader-assigned extent creation, epoch fencing) exist exactly
+// once. Append hops piggyback the extent's all-replica committed offset,
+// which is how a follower learns what its own read clamp may expose
+// (Section 2.2.5).
 func (p *Partition) applyFollowerHop(pkt *proto.Packet) error {
+	if err := p.checkHopEpoch(pkt); err != nil {
+		return err
+	}
 	switch pkt.Op {
 	case proto.OpDataCreateExtent:
 		return p.store.Create(pkt.ExtentID)
@@ -273,6 +463,28 @@ func (p *Partition) applyFollowerHop(pkt *proto.Packet) error {
 		// snapshot per frame would put file I/O on the replication loop.
 		p.saveCommittedSoon()
 		return nil
+	case proto.OpDataTruncate:
+		// Promotion alignment: shed divergent state the sending leader
+		// does not recognize. Hard safety rail regardless of epochs:
+		// nothing at or below the locally known committed offset is ever
+		// discarded - committed bytes exist on every replica of SOME
+		// configuration and may already have been served.
+		committed := p.committedOf(pkt.ExtentID)
+		if pkt.FileOffset == smallFileMarker {
+			// Whole-extent shed (the leader does not know this extent).
+			// Only an uncommitted orphan may go; committed bytes here mean
+			// the SENDER's extent view is the stale one.
+			if committed > 0 {
+				return fmt.Errorf("datanode: partition %d: refusing to shed extent %d with %d committed bytes: %w",
+					p.ID, pkt.ExtentID, committed, util.ErrStaleEpoch)
+			}
+			return p.store.Delete(pkt.ExtentID)
+		}
+		target := pkt.ExtentOffset
+		if target < committed {
+			target = committed
+		}
+		return p.store.Truncate(pkt.ExtentID, target)
 	default:
 		return fmt.Errorf("datanode: op %s is not a replication hop: %w", pkt.Op, util.ErrInvalidArgument)
 	}
@@ -280,10 +492,11 @@ func (p *Partition) applyFollowerHop(pkt *proto.Packet) error {
 
 // appendHopPacket builds the leader -> follower hop for an applied append:
 // the client's payload and CRC with the leader-assigned extent placement,
-// small-file aggregation signalled through the FileOffset marker, and the
+// small-file aggregation signalled through the FileOffset marker, the
 // extent's current all-replica committed offset piggybacked so followers
-// keep their read clamp fresh at zero extra frames.
-func appendHopPacket(partitionID uint64, pkt *proto.Packet, extentID, off uint64, small bool, committed uint64) *proto.Packet {
+// keep their read clamp fresh at zero extra frames, and the leader's
+// replica epoch so a deposed leader's hops are fenced off.
+func appendHopPacket(partitionID uint64, pkt *proto.Packet, extentID, off uint64, small bool, committed, epoch uint64) *proto.Packet {
 	fwd := &proto.Packet{
 		Op:           pkt.Op,
 		ResultCode:   resultHopFollower,
@@ -293,6 +506,7 @@ func appendHopPacket(partitionID uint64, pkt *proto.Packet, extentID, off uint64
 		ExtentOffset: off,
 		FileOffset:   pkt.FileOffset,
 		Committed:    committed,
+		Epoch:        epoch,
 		CRC:          pkt.CRC,
 		Data:         pkt.Data,
 	}
@@ -304,19 +518,23 @@ func appendHopPacket(partitionID uint64, pkt *proto.Packet, extentID, off uint64
 
 // createHopPacket builds the leader -> follower hop that replicates a
 // leader-assigned extent id.
-func createHopPacket(partitionID, reqID, extentID uint64) *proto.Packet {
+func createHopPacket(partitionID, reqID, extentID, epoch uint64) *proto.Packet {
 	return &proto.Packet{
 		Op:          proto.OpDataCreateExtent,
 		ResultCode:  resultHopFollower,
 		ReqID:       reqID,
 		PartitionID: partitionID,
 		ExtentID:    extentID,
+		Epoch:       epoch,
 	}
 }
 
 func (p *Partition) leaderAppend(pkt *proto.Packet) (*proto.Packet, error) {
 	if !p.isLeader() {
 		return pkt.ErrResponse(proto.ResultErrNotLeader, "not primary"), nil
+	}
+	if err := p.checkClientEpoch(pkt); err != nil {
+		return pkt.ErrResponse(proto.ResultErrStaleEpoch, err.Error()), nil
 	}
 	if !p.writeStart() {
 		// Recovery holds the partition quiesced; the client's error
@@ -344,7 +562,7 @@ func (p *Partition) leaderAppend(pkt *proto.Packet) (*proto.Packet, error) {
 	}
 
 	// Forward in replica-array order; all must ack before commit.
-	fwd := appendHopPacket(p.ID, pkt, extentID, off, small, p.committedOf(extentID))
+	fwd := appendHopPacket(p.ID, pkt, extentID, off, small, p.committedOf(extentID), p.Epoch())
 	for _, f := range p.followers() {
 		var resp proto.Packet
 		if err := p.node.nw.Call(f, uint8(pkt.Op), fwd, &resp); err != nil {
@@ -362,6 +580,12 @@ func (p *Partition) leaderAppend(pkt *proto.Packet) (*proto.Packet, error) {
 	// asynchronously so follower read clamps converge without adding a
 	// round trip to the commit path.
 	p.gossipCommitted(extentID)
+	// Leader-side committed-snapshot cadence: debounce-persist on the
+	// commit path, like followers do on gossip. Before this, the leader
+	// wrote committed.json only on clean shutdown and after Recover, so a
+	// kill -9 lost the whole tail since then and widened the recovery
+	// window (reads refused until the reopen pass re-advanced it).
+	p.saveCommittedSoon()
 
 	out := pkt.OKResponse(nil)
 	out.ExtentID = extentID
@@ -413,7 +637,7 @@ func (p *Partition) gossipFlush() {
 // offset to every follower, best-effort (a miss is healed by the next
 // hop's piggyback or gossip round).
 func (p *Partition) pushCommitted(extentID uint64) {
-	upd := committedHopPacket(p.ID, extentID, p.committedOf(extentID))
+	upd := committedHopPacket(p.ID, extentID, p.committedOf(extentID), p.Epoch())
 	for _, f := range p.followers() {
 		var resp proto.Packet
 		_ = p.node.nw.Call(f, uint8(proto.OpDataCommitted), upd, &resp)
@@ -426,7 +650,7 @@ const smallFileMarker = ^uint64(0)
 
 func (p *Partition) followerAppend(pkt *proto.Packet) (*proto.Packet, error) {
 	if err := p.applyFollowerHop(pkt); err != nil {
-		return pkt.ErrResponse(proto.ResultErrIO, err.Error()), nil
+		return pkt.ErrResponse(hopErrCode(err), err.Error()), nil
 	}
 	return pkt.OKResponse(nil), nil
 }
@@ -534,6 +758,11 @@ func (p *Partition) handleMarkDelete(pkt *proto.Packet) (*proto.Packet, error) {
 		return p.store.PunchHole(pkt.ExtentID, pkt.ExtentOffset, length)
 	}
 	if pkt.ResultCode == resultHopFollower {
+		// Same fence as every other hop: a deposed leader's delete hops
+		// must not reach the store.
+		if err := p.checkHopEpoch(pkt); err != nil {
+			return pkt.ErrResponse(hopErrCode(err), err.Error()), nil
+		}
 		if err := apply(); err != nil {
 			return pkt.ErrResponse(proto.ResultErrIO, err.Error()), nil
 		}
@@ -549,6 +778,7 @@ func (p *Partition) handleMarkDelete(pkt *proto.Packet) (*proto.Packet, error) {
 	// delete leaves garbage that the next alignment pass clears.
 	fwd := *pkt
 	fwd.ResultCode = resultHopFollower
+	fwd.Epoch = p.Epoch()
 	fwd.Followers = nil
 	for _, f := range p.followers() {
 		go func(addr string, pkt proto.Packet) {
@@ -563,22 +793,75 @@ func (p *Partition) handleMarkDelete(pkt *proto.Packet) (*proto.Packet, error) {
 // Failure recovery (Section 2.2.5): first align extents (primary-backup
 // recovery), then let Raft recovery proceed on its own.
 
-// AlignReplicas pushes missing extent tails from this (leader) replica to
-// the given follower so that every extent's watermark matches the leader's
-// committed offset. Returns the number of bytes shipped.
+// AlignReplicas pushes extent content from this (leader) replica to the
+// given follower so that every extent's watermark matches the leader's,
+// and - since leaders can now change - sheds follower state this leader
+// cannot vouch for first. The only prefix provably shared across
+// configurations is the follower's own COMMITTED offset (committed bytes
+// were stored identically by every replica of whatever configuration
+// committed them, and are never truncated); everything a follower stores
+// above it may have been applied under a different leader and can differ
+// from ours byte-for-byte even below our own watermark. So each remote
+// extent is truncated to its committed offset and re-shipped from there,
+// and extents this leader does not know at all are deleted whole (or a
+// later leader-assigned id would collide with the orphan). The receiver
+// independently clamps both operations at its committed offset, so even a
+// stale aligner cannot destroy committed bytes. Returns bytes shipped.
 func (p *Partition) AlignReplicas(follower string) (uint64, error) {
 	if !p.isLeader() {
 		return 0, util.ErrNotLeader
 	}
+	epoch := p.Epoch()
 	var infoResp proto.ExtentInfoResp
 	err := p.node.nw.Call(follower, uint8(proto.OpDataExtentInfo),
 		&proto.ExtentInfoReq{PartitionID: p.ID}, &infoResp)
 	if err != nil {
 		return 0, err
 	}
+	if infoResp.ReplicaEpoch > p.fenceEpoch() {
+		// The follower is telling us we are deposed. Abort BEFORE any hop:
+		// a fully-caught-up follower set would otherwise let this pass
+		// complete hop-free (nothing for the per-hop fence to reject), and
+		// Recover would then promote our divergent uncommitted tail to
+		// committed - serving wrong bytes to stale-view readers.
+		return 0, fmt.Errorf("datanode: partition %d: follower %s at replica epoch %d, local %d: %w",
+			p.ID, follower, infoResp.ReplicaEpoch, p.fenceEpoch(), util.ErrStaleEpoch)
+	}
+	local := make(map[uint64]uint64)
+	for _, info := range p.store.Infos() {
+		local[info.ID] = info.Size
+	}
 	remote := make(map[uint64]uint64, len(infoResp.Extents))
 	for _, e := range infoResp.Extents {
 		remote[e.ID] = e.Size
+		target, known := local[e.ID]
+		safe := util.MinU64(e.Committed, e.Size) // the provably shared prefix
+		if known && e.Size <= safe {
+			continue // nothing above the committed prefix; ship-only
+		}
+		fix := &proto.Packet{
+			Op:           proto.OpDataTruncate,
+			ResultCode:   resultHopFollower,
+			PartitionID:  p.ID,
+			ExtentID:     e.ID,
+			ExtentOffset: safe,
+			Epoch:        epoch,
+		}
+		if !known {
+			// Whole-extent shed (the marker selects delete). The receiver
+			// refuses if it holds committed bytes for the extent - that
+			// means WE are the stale side, and failing the pass loudly
+			// beats destroying data.
+			fix.FileOffset = smallFileMarker
+		}
+		var resp proto.Packet
+		if err := p.node.nw.Call(follower, uint8(fix.Op), fix, &resp); err != nil {
+			return 0, err
+		}
+		if resp.ResultCode != proto.ResultOK {
+			return 0, fmt.Errorf("datanode: shed divergent extent %d on %s: %s", e.ID, follower, resp.Data)
+		}
+		remote[e.ID] = util.MinU64(safe, target)
 	}
 	var shipped uint64
 	for _, info := range p.store.Infos() {
@@ -587,7 +870,20 @@ func (p *Partition) AlignReplicas(follower string) (uint64, error) {
 		// served to clients - but alignment may legitimately promote it:
 		// once every replica stores it, it is committed by definition.
 		target := info.Size
-		have := remote[info.ID]
+		have, exists := remote[info.ID]
+		if !exists && target > 0 {
+			// The follower does not have the extent at all - a replica
+			// that missed the create hop, or one re-created empty after
+			// losing its disk. Create it first; AppendAt never does.
+			hop := createHopPacket(p.ID, 0, info.ID, epoch)
+			var resp proto.Packet
+			if err := p.node.nw.Call(follower, uint8(proto.OpDataCreateExtent), hop, &resp); err != nil {
+				return shipped, err
+			}
+			if resp.ResultCode != proto.ResultOK {
+				return shipped, fmt.Errorf("datanode: align create extent %d on %s: %s", info.ID, follower, resp.Data)
+			}
+		}
 		for have < target {
 			chunk := util.MinU64(target-have, 128*util.KB)
 			data, err := p.store.ReadAt(info.ID, have, uint32(chunk))
@@ -600,6 +896,7 @@ func (p *Partition) AlignReplicas(follower string) (uint64, error) {
 				PartitionID:  p.ID,
 				ExtentID:     info.ID,
 				ExtentOffset: have,
+				Epoch:        epoch,
 				// Carry the CURRENT committed offset only. Aligning one
 				// follower must not promote its read clamp to the shipped
 				// watermark - other followers may still be missing these
@@ -666,7 +963,10 @@ func (p *Partition) Recover() (uint64, error) {
 
 func (p *Partition) handleExtentInfo(req *proto.ExtentInfoReq) (*proto.ExtentInfoResp, error) {
 	infos := p.store.Infos()
-	out := &proto.ExtentInfoResp{Extents: make([]proto.ExtentSummary, len(infos))}
+	out := &proto.ExtentInfoResp{
+		Extents:      make([]proto.ExtentSummary, len(infos)),
+		ReplicaEpoch: p.fenceEpoch(),
+	}
 	for i, e := range infos {
 		out.Extents[i] = proto.ExtentSummary{
 			ID: e.ID, Size: e.Size, CRC: e.CRC, Holed: e.Holed,
@@ -678,19 +978,27 @@ func (p *Partition) handleExtentInfo(req *proto.ExtentInfoReq) (*proto.ExtentInf
 
 // adoptFollowerCommitted pulls each follower's learned committed map and
 // merges it in (monotonic max). Unlike the full Recover pass this is safe
-// against live traffic - a follower only ever learns offsets the leader
-// had committed - so a crash-restarted leader whose own snapshot lags can
-// re-serve bytes it acked before the crash without waiting for a quiet
-// moment. Best-effort per follower.
+// against live traffic - a SAME-EPOCH follower only ever learns offsets
+// this leader had committed - so a crash-restarted leader whose own
+// snapshot lags can re-serve bytes it acked before the crash without
+// waiting for a quiet moment. Followers at a NEWER epoch are skipped: they
+// belong to a configuration that committed bytes this replica may not even
+// store (a deposed leader restarting on a stale partition.json would
+// otherwise mark its own divergent tail committed and serve wrong data).
+// Best-effort per follower.
 func (p *Partition) adoptFollowerCommitted() {
 	if !p.isLeader() {
 		return
 	}
+	myEpoch := p.fenceEpoch()
 	for _, f := range p.followers() {
 		var resp proto.ExtentInfoResp
 		if err := p.node.nw.Call(f, uint8(proto.OpDataExtentInfo),
 			&proto.ExtentInfoReq{PartitionID: p.ID}, &resp); err != nil {
 			continue
+		}
+		if resp.ReplicaEpoch > myEpoch {
+			continue // we are the deposed one; adoption is poison here
 		}
 		for _, e := range resp.Extents {
 			p.advanceCommitted(e.ID, e.Committed)

@@ -36,6 +36,17 @@ type partitionMeta struct {
 	Volume   string
 	Members  []string
 	Capacity uint64
+	// ReplicaEpoch survives restarts so a crashed replica comes back
+	// knowing how recent its view of Members is; zero (pre-epoch files)
+	// loads as 1. A deposed leader restarting on a stale file is still
+	// fenced by its followers' newer epochs until the master re-attaches
+	// it under the current one.
+	ReplicaEpoch uint64
+	// Promoting persists the promotion write-gate: a leader that crashes
+	// between its promotion and the completing alignment pass must come
+	// back gated, or clients could bind before the divergence its
+	// predecessor left behind is shed.
+	Promoting bool
 }
 
 // committedEntry is one extent's persisted committed offset.
@@ -45,9 +56,16 @@ type committedEntry struct {
 }
 
 func (p *Partition) saveMeta() error {
-	data, err := json.Marshal(partitionMeta{
-		ID: p.ID, Volume: p.Volume, Members: p.Members, Capacity: p.Capacity,
-	})
+	p.mu.Lock()
+	meta := partitionMeta{
+		ID: p.ID, Volume: p.Volume,
+		Members:      append([]string(nil), p.Members...),
+		Capacity:     p.Capacity,
+		ReplicaEpoch: p.epoch,
+		Promoting:    p.promoting,
+	}
+	p.mu.Unlock()
+	data, err := json.Marshal(meta)
 	if err != nil {
 		return err
 	}
@@ -135,13 +153,15 @@ func (p *Partition) loadCommitted() error {
 }
 
 // scanPartitionDirs returns the create requests persisted under dir, one
-// per dp_* subdirectory with a readable partition.json.
-func scanPartitionDirs(dir string) ([]*proto.CreateDataPartitionReq, error) {
+// per dp_* subdirectory with a readable partition.json, plus the set of
+// partitions whose promotion write-gate was held when the node went down.
+func scanPartitionDirs(dir string) ([]*proto.CreateDataPartitionReq, map[uint64]bool, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var reqs []*proto.CreateDataPartitionReq
+	promoting := make(map[uint64]bool)
 	for _, e := range entries {
 		if !e.IsDir() || !strings.HasPrefix(e.Name(), "dp_") {
 			continue
@@ -155,12 +175,16 @@ func scanPartitionDirs(dir string) ([]*proto.CreateDataPartitionReq, error) {
 			continue
 		}
 		reqs = append(reqs, &proto.CreateDataPartitionReq{
-			PartitionID: meta.ID,
-			Volume:      meta.Volume,
-			Capacity:    meta.Capacity,
-			Members:     meta.Members,
+			PartitionID:  meta.ID,
+			Volume:       meta.Volume,
+			Capacity:     meta.Capacity,
+			Members:      meta.Members,
+			ReplicaEpoch: meta.ReplicaEpoch,
 		})
+		if meta.Promoting {
+			promoting[meta.ID] = true
+		}
 	}
 	sort.Slice(reqs, func(i, j int) bool { return reqs[i].PartitionID < reqs[j].PartitionID })
-	return reqs, nil
+	return reqs, promoting, nil
 }

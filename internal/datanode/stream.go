@@ -261,6 +261,13 @@ func (s *writeSession) followerPacket(p *Partition, pkt *proto.Packet) {
 	case proto.OpDataPing:
 		// Keepalive: prove the replication loop (not just the kernel) is
 		// alive. No apply, no offset movement.
+	case proto.OpDataTruncate:
+		// Alignment truncation travels the Call path only (AlignReplicas);
+		// a hop-stamped truncate arriving on a stream is a forgery, and
+		// unlike the other hops it is destructive - mirror the Call path's
+		// client-op rejection instead of applying it.
+		s.reject(pkt, proto.ResultErrArg, "truncate is not a stream op")
+		return
 	case proto.OpDataAppend:
 		if !pkt.VerifyCRC() {
 			s.reject(pkt, proto.ResultErrCRC, "payload crc mismatch")
@@ -268,10 +275,11 @@ func (s *writeSession) followerPacket(p *Partition, pkt *proto.Packet) {
 		}
 		fallthrough
 	default:
-		// Appends, creates, and committed-offset gossip all apply through
-		// applyFollowerHop so the replication apply rules exist once.
+		// Appends, creates, truncates, and committed-offset gossip all
+		// apply through applyFollowerHop so the replication apply rules
+		// (including the stale-epoch fence) exist once.
 		if err := p.applyFollowerHop(pkt); err != nil {
-			s.reject(pkt, proto.ResultErrIO, err.Error())
+			s.reject(pkt, hopErrCode(err), err.Error())
 			return
 		}
 	}
@@ -289,6 +297,25 @@ func (s *writeSession) followerPacket(p *Partition, pkt *proto.Packet) {
 }
 
 func (s *writeSession) leaderPacket(p *Partition, pkt *proto.Packet) {
+	// Epoch fence on the session handshake and every later frame: a client
+	// whose cached view predates (or outruns) a reconfiguration is told to
+	// refresh retriably before any byte lands. Pings are exempt - they are
+	// advisory and epoch-free.
+	if pkt.Op != proto.OpDataPing {
+		if err := p.checkClientEpoch(pkt); err != nil {
+			s.mu.Lock()
+			unbound := s.p == nil
+			s.mu.Unlock()
+			if unbound {
+				s.reject(pkt, proto.ResultErrStaleEpoch, err.Error())
+			} else {
+				// Ordered rejection, like every post-bind error: the ack
+				// must not overtake pending window entries.
+				s.enqueueError(pkt, proto.ResultErrStaleEpoch, err.Error())
+			}
+			return
+		}
+	}
 	s.mu.Lock()
 	if s.p == nil {
 		if !p.sessionStart() { // slot released on abort/teardown (releaseSlot)
@@ -351,7 +378,7 @@ func (s *writeSession) leaderPacket(p *Partition, pkt *proto.Packet) {
 			return
 		}
 		e.extentID = id
-		fwd = createHopPacket(p.ID, pkt.ReqID, id)
+		fwd = createHopPacket(p.ID, pkt.ReqID, id, p.Epoch())
 	case proto.OpDataAppend:
 		if !pkt.VerifyCRC() {
 			// Reject just this frame; the stream and later packets are
@@ -377,7 +404,7 @@ func (s *writeSession) leaderPacket(p *Partition, pkt *proto.Packet) {
 			return
 		}
 		e.extentID, e.offset, e.length = extentID, off, uint64(len(pkt.Data))
-		fwd = appendHopPacket(p.ID, pkt, extentID, off, small, p.committedOf(extentID))
+		fwd = appendHopPacket(p.ID, pkt, extentID, off, small, p.committedOf(extentID), p.Epoch())
 	default:
 		s.enqueueError(pkt, proto.ResultErrArg, fmt.Sprintf("op %s not allowed on a write stream", pkt.Op))
 		return
@@ -618,11 +645,18 @@ func (s *writeSession) commitReady() {
 	var gossip []*proto.Packet
 	if len(s.pending) == 0 && len(advanced) > 0 && !s.failed {
 		for ext := range advanced {
-			gossip = append(gossip, committedHopPacket(s.p.ID, ext, s.p.committedOf(ext)))
+			gossip = append(gossip, committedHopPacket(s.p.ID, ext, s.p.committedOf(ext), s.p.Epoch()))
 		}
 	}
+	p := s.p
 	chains := s.fwds
 	s.mu.Unlock()
+	if len(advanced) > 0 {
+		// Leader-side committed-snapshot cadence: persist (debounced) as
+		// the window drains, so a leader kill -9 loses at most the
+		// debounce window instead of everything since the last Recover.
+		p.saveCommittedSoon()
+	}
 	for _, g := range gossip {
 		for _, c := range chains {
 			cp := *g // each sender stamps its own sequence on the frame
@@ -660,13 +694,14 @@ func ackForEntry(partitionID uint64, e *repEntry) *proto.Packet {
 
 // committedHopPacket builds the leader -> follower frame gossiping an
 // extent's all-replica committed offset.
-func committedHopPacket(partitionID, extentID, committed uint64) *proto.Packet {
+func committedHopPacket(partitionID, extentID, committed, epoch uint64) *proto.Packet {
 	return &proto.Packet{
 		Op:          proto.OpDataCommitted,
 		ResultCode:  resultHopFollower,
 		PartitionID: partitionID,
 		ExtentID:    extentID,
 		Committed:   committed,
+		Epoch:       epoch,
 	}
 }
 

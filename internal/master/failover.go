@@ -1,0 +1,369 @@
+package master
+
+import (
+	"time"
+
+	"cfs/internal/proto"
+)
+
+// Master-driven leader failover and follower recovery (paper Section 2.3.3
+// read as an imperative: the resource manager is the failure AUTHORITY, not
+// a scoreboard). Missed heartbeats and failure reports become decisions:
+//
+//   - A dead node is detached from every data partition it belongs to, the
+//     replica array is reordered under a bumped ReplicaEpoch (the PacificA
+//     configuration version), and - when the dead node led - the first live
+//     follower is promoted. The partition stays writable on the survivors:
+//     primary-backup's all-replica commit now quantifies over the NEW set.
+//   - The epoch fences the deposed leader: write requests and replication
+//     hops carry it, and any replica holding a newer epoch rejects
+//     stale-epoch frames, so the old leader can never again assemble an
+//     all-replica ack - a stale-view client cannot commit bytes through it.
+//   - A detached replica that heartbeats again (or a member that
+//     re-registers after a quick restart) is re-attached / realigned by
+//     tasking the partition's leader with a targeted Recover, instead of
+//     waiting for the leader's own next recovery pass.
+//
+// All reconfigurations replicate through the master's Raft group
+// (cmdReconfigureDataPartition) before any node or client observes them;
+// the epoch check in apply makes racing triggers (a failure report and the
+// liveness scan noticing the same corpse) collapse to one winner.
+
+// checkNodeLiveness declares nodes whose heartbeats stopped for NodeTimeout
+// dead and reconfigures their data partitions around them. ALREADY-inactive
+// silent nodes are re-swept too: a detach that lost an epoch race to a
+// concurrent reconfiguration returns without retrying, and without the
+// sweep the dead node would stay a member of that partition until the next
+// failed write produced a failure report.
+func (m *Master) checkNodeLiveness() {
+	if !m.node.IsLeader() {
+		return
+	}
+	now := time.Now()
+	type deadNode struct {
+		addr       string
+		deactivate bool // still marked Active; propose the flag flip
+	}
+	var dead []deadNode
+	m.mu.Lock()
+	for addr, n := range m.state.Nodes {
+		hb, ok := m.soft.lastHeartbeat[addr]
+		if !ok {
+			// No liveness signal since this replica became leader (its
+			// soft state is rebuilt from heartbeats after a master
+			// failover): start the clock now instead of condemning the
+			// node on missing data.
+			m.soft.lastHeartbeat[addr] = now
+			continue
+		}
+		if now.Sub(hb) > m.cfg.NodeTimeout {
+			dead = append(dead, deadNode{addr: addr, deactivate: n.Active})
+		}
+	}
+	m.mu.Unlock()
+	for _, d := range dead {
+		m.failNode(d.addr, d.deactivate)
+	}
+}
+
+// failNode marks one node dead (when not already) and detaches it from
+// every data partition that lists it as a member. Idempotent: a node with
+// no remaining memberships produces no proposals.
+func (m *Master) failNode(addr string, deactivate bool) {
+	if deactivate {
+		_, _ = m.propose(&command{Kind: cmdSetNodeActive, Addr: addr, Active: false})
+	}
+	type task struct {
+		volume string
+		dp     proto.DataPartitionInfo
+	}
+	var tasks []task
+	m.mu.Lock()
+	for _, v := range m.state.Volumes {
+		for _, dp := range v.DataPartitions {
+			for _, member := range dp.Members {
+				if member == addr {
+					tasks = append(tasks, task{volume: v.Name, dp: dp})
+					break
+				}
+			}
+		}
+	}
+	m.mu.Unlock()
+	for _, t := range tasks {
+		m.detachReplica(t.volume, t.dp, addr)
+	}
+}
+
+// detachReplica removes addr from dp's replication set under a bumped
+// epoch. If addr led the partition, the first surviving member is promoted
+// (it re-runs the quiesce-gated alignment pass before accepting writes -
+// the datanode side of the contract). The partition returns to read-write
+// on the survivors; with no survivor left it is marked unavailable.
+func (m *Master) detachReplica(volume string, dp proto.DataPartitionInfo, addr string) {
+	members := make([]string, 0, len(dp.Members))
+	for _, member := range dp.Members {
+		if member != addr {
+			members = append(members, member)
+		}
+	}
+	if len(members) == len(dp.Members) {
+		return // stale report: addr is not (no longer) a member
+	}
+	if len(members) == 0 {
+		if dp.Status != proto.PartitionUnavailable { // idempotent under re-sweeps
+			_, _ = m.propose(&command{
+				Kind: cmdSetPartitionStatus, VolumeName: volume,
+				PartitionID: dp.PartitionID, Status: proto.PartitionUnavailable,
+			})
+		}
+		return
+	}
+	detached := append(append([]string(nil), dp.Detached...), addr)
+	out, err := m.propose(&command{
+		Kind:         cmdReconfigureDataPartition,
+		VolumeName:   volume,
+		PartitionID:  dp.PartitionID,
+		Members:      members,
+		Detached:     detached,
+		ReplicaEpoch: dp.ReplicaEpoch + 1,
+		Status:       proto.PartitionReadWrite,
+	})
+	if err != nil {
+		return // a racing reconfiguration won (stale epoch) or we lost leadership
+	}
+	applied := out.(proto.DataPartitionInfo)
+	m.mu.Lock()
+	// The dead replica's heartbeat stats may still say read-only/fuller
+	// than the survivors; drop them so the refreshed record speaks.
+	delete(m.soft.partStats, dp.PartitionID)
+	delete(m.soft.failures, dp.PartitionID)
+	if m.soft.detachedAt[dp.PartitionID] == nil {
+		m.soft.detachedAt[dp.PartitionID] = make(map[string]time.Time)
+	}
+	m.soft.detachedAt[dp.PartitionID][addr] = time.Now()
+	m.mu.Unlock()
+	m.pushPartitionUpdate(applied)
+}
+
+// checkReattach re-attaches detached replicas whose heartbeats resumed
+// (strictly after the detach mark, so the heartbeat already in flight when
+// the failure was declared cannot instantly undo it), and revives
+// UNAVAILABLE partitions whose every member is heartbeating again - the
+// last-member-death case leaves the member in place with the partition
+// fenced, and without the revival a healthy returned node holding every
+// committed byte would stay unwritable forever.
+func (m *Master) checkReattach() {
+	if !m.node.IsLeader() {
+		return
+	}
+	type task struct {
+		volume string
+		dp     proto.DataPartitionInfo
+		addr   string // empty = revive (status flip + targeted recover)
+	}
+	var tasks []task
+	now := time.Now()
+	fresh := func(addr string) bool {
+		hb, ok := m.soft.lastHeartbeat[addr]
+		return ok && now.Sub(hb) <= m.cfg.NodeTimeout
+	}
+	m.mu.Lock()
+	for _, v := range m.state.Volumes {
+		for _, dp := range v.DataPartitions {
+			if dp.Status == proto.PartitionUnavailable && len(dp.Members) > 0 {
+				alive := true
+				for _, addr := range dp.Members {
+					if !fresh(addr) {
+						alive = false
+						break
+					}
+				}
+				if alive {
+					tasks = append(tasks, task{volume: v.Name, dp: dp})
+					continue
+				}
+			}
+			for _, addr := range dp.Detached {
+				if !fresh(addr) {
+					continue
+				}
+				if da, ok := m.soft.detachedAt[dp.PartitionID][addr]; ok && !m.soft.lastHeartbeat[addr].After(da) {
+					continue
+				}
+				tasks = append(tasks, task{volume: v.Name, dp: dp, addr: addr})
+				break // one membership change per partition per scan
+			}
+		}
+	}
+	m.mu.Unlock()
+	for _, t := range tasks {
+		if t.addr == "" {
+			m.revivePartition(t.volume, t.dp)
+			continue
+		}
+		m.reattachReplica(t.volume, t.dp, t.addr)
+	}
+}
+
+// revivePartition flips an unavailable partition whose members all
+// heartbeat again back to read-write and tasks its leader with a recovery
+// pass to re-advance the committed frontier.
+func (m *Master) revivePartition(volume string, dp proto.DataPartitionInfo) {
+	if _, err := m.propose(&command{
+		Kind: cmdSetPartitionStatus, VolumeName: volume,
+		PartitionID: dp.PartitionID, Status: proto.PartitionReadWrite,
+	}); err != nil {
+		return
+	}
+	m.mu.Lock()
+	delete(m.soft.partStats, dp.PartitionID)
+	delete(m.soft.failures, dp.PartitionID)
+	m.mu.Unlock()
+	m.pushPartitionUpdate(dp)
+	go m.taskRecover(dp)
+}
+
+// reattachReplica returns a detached replica to the END of dp's replication
+// order (a returning node is never promoted) under a bumped epoch, then
+// lets the leader's recovery pass realign its extents before the committed
+// frontier re-advances through it.
+func (m *Master) reattachReplica(volume string, dp proto.DataPartitionInfo, addr string) {
+	detached := make([]string, 0, len(dp.Detached))
+	for _, d := range dp.Detached {
+		if d != addr {
+			detached = append(detached, d)
+		}
+	}
+	if len(detached) == len(dp.Detached) {
+		return // already re-attached by a racing trigger
+	}
+	members := append(append([]string(nil), dp.Members...), addr)
+	out, err := m.propose(&command{
+		Kind:         cmdReconfigureDataPartition,
+		VolumeName:   volume,
+		PartitionID:  dp.PartitionID,
+		Members:      members,
+		Detached:     detached,
+		ReplicaEpoch: dp.ReplicaEpoch + 1,
+		Status:       proto.PartitionReadWrite,
+	})
+	if err != nil {
+		return
+	}
+	applied := out.(proto.DataPartitionInfo)
+	m.mu.Lock()
+	delete(m.soft.detachedAt[dp.PartitionID], addr)
+	m.mu.Unlock()
+	// Push to every member INCLUDING the returning one: the update rewrites
+	// its stale partition.json (it may still believe it leads at the old
+	// epoch) and the leader's copy triggers the alignment pass that ships
+	// the tail the replica missed while it was gone.
+	m.pushPartitionUpdate(applied)
+}
+
+// onNodeReturned reacts to a data node's re-registration: partitions that
+// still list the node as a follower get a targeted leader Recover (a quick
+// restart loses the in-memory committed map and possibly a tail; before
+// this hook, realignment waited for the leader's own next pass), and
+// partitions that detached the node re-attach it immediately.
+func (m *Master) onNodeReturned(addr string) {
+	type task struct {
+		volume   string
+		dp       proto.DataPartitionInfo
+		detached bool
+	}
+	var tasks []task
+	m.mu.Lock()
+	for _, v := range m.state.Volumes {
+		for _, dp := range v.DataPartitions {
+			for _, member := range dp.Members {
+				if member == addr && dp.Members[0] != addr {
+					tasks = append(tasks, task{volume: v.Name, dp: dp})
+					break
+				}
+			}
+			for _, d := range dp.Detached {
+				if d == addr {
+					tasks = append(tasks, task{volume: v.Name, dp: dp, detached: true})
+					break
+				}
+			}
+		}
+	}
+	m.mu.Unlock()
+	for _, t := range tasks {
+		if t.detached {
+			m.reattachReplica(t.volume, t.dp, addr)
+			continue
+		}
+		m.taskRecover(t.dp)
+	}
+}
+
+// taskRecover asks a partition's leader to run one recovery pass now.
+// Best-effort with bounded retries: ErrBusy means writers are bound (the
+// pass will run at the next quiet moment or the next trigger), and the
+// heartbeat-driven re-push path is the durable backstop.
+func (m *Master) taskRecover(dp proto.DataPartitionInfo) {
+	if len(dp.Members) == 0 {
+		return
+	}
+	req := &proto.RecoverPartitionReq{PartitionID: dp.PartitionID}
+	for attempt := 0; attempt < 5; attempt++ {
+		var resp proto.RecoverPartitionResp
+		if err := m.nw.Call(dp.Members[0], uint8(proto.OpAdminRecoverPartition), req, &resp); err == nil {
+			return
+		}
+		time.Sleep(time.Duration(attempt+1) * 20 * time.Millisecond)
+	}
+}
+
+// pushPartitionUpdate delivers a reconfiguration to every member, with
+// bounded retries per member. Misses are tolerated: the member's next
+// heartbeat reports its stale epoch and repushPartition repairs it.
+func (m *Master) pushPartitionUpdate(dp proto.DataPartitionInfo) {
+	req := &proto.UpdateDataPartitionReq{
+		PartitionID:  dp.PartitionID,
+		Volume:       dp.Volume,
+		Capacity:     dp.Capacity,
+		Members:      dp.Members,
+		ReplicaEpoch: dp.ReplicaEpoch,
+	}
+	for _, addr := range dp.Members {
+		for attempt := 0; attempt < 3; attempt++ {
+			var resp proto.UpdateDataPartitionResp
+			if err := m.nw.Call(addr, uint8(proto.OpAdminUpdateDataPartition), req, &resp); err == nil {
+				break
+			}
+			time.Sleep(time.Duration(attempt+1) * 10 * time.Millisecond)
+		}
+	}
+}
+
+// repushPartition re-delivers the current reconfiguration to a partition's
+// members after a heartbeat revealed one of them holds a stale epoch.
+func (m *Master) repushPartition(pid uint64) {
+	m.mu.Lock()
+	dp, _, ok := m.findDataPartitionLocked(pid)
+	m.mu.Unlock()
+	if ok {
+		m.pushPartitionUpdate(dp)
+	}
+	m.mu.Lock()
+	delete(m.soft.pushing, pid)
+	m.mu.Unlock()
+}
+
+// findDataPartitionLocked locates a data partition record by id. Caller
+// holds m.mu.
+func (m *Master) findDataPartitionLocked(pid uint64) (proto.DataPartitionInfo, string, bool) {
+	for _, v := range m.state.Volumes {
+		for _, dp := range v.DataPartitions {
+			if dp.PartitionID == pid {
+				return dp, v.Name, true
+			}
+		}
+	}
+	return proto.DataPartitionInfo{}, "", false
+}

@@ -48,9 +48,15 @@ type Config struct {
 	// DataPartitionCapacity is the per-partition byte capacity handed to
 	// data nodes. Zero means 1 GB.
 	DataPartitionCapacity uint64
-	// FailureThreshold marks a partition unavailable after this many
-	// failure reports (Section 2.3.3). Zero means 3.
+	// FailureThreshold marks a meta partition unavailable after this many
+	// failure reports (Section 2.3.3). Zero means 3. (Data partitions
+	// reconfigure around failed replicas instead; see failover.go.)
 	FailureThreshold int
+	// NodeTimeout declares a node dead once its heartbeats stop for this
+	// long; the maintenance scan then reconfigures the node's data
+	// partitions around it (promoting a live follower when the dead node
+	// led). Zero means 10s.
+	NodeTimeout time.Duration
 	// CheckInterval is the background scan period for splitting and
 	// capacity expansion. Zero means 500ms.
 	CheckInterval time.Duration
@@ -105,6 +111,9 @@ func Start(nw transport.Network, cfg Config) (*Master, error) {
 	}
 	if cfg.FailureThreshold == 0 {
 		cfg.FailureThreshold = 3
+	}
+	if cfg.NodeTimeout == 0 {
+		cfg.NodeTimeout = 10 * time.Second
 	}
 	if cfg.CheckInterval == 0 {
 		cfg.CheckInterval = 500 * time.Millisecond
@@ -300,21 +309,60 @@ func (m *Master) handleRegister(req *proto.RegisterNodeReq) (*proto.RegisterNode
 	if err := m.requireLeader(); err != nil {
 		return nil, err
 	}
+	m.mu.Lock()
+	_, returning := m.state.Nodes[req.Addr]
+	m.mu.Unlock()
 	out, err := m.propose(&command{Kind: cmdRegisterNode, Node: &proto.NodeInfo{
 		Addr: req.Addr, IsMeta: req.IsMeta, Total: req.Total,
 	}})
 	if err != nil {
 		return nil, err
 	}
+	m.mu.Lock()
+	// A registration counts as liveness; without this a node that
+	// registers but has not heartbeated yet would look timed-out.
+	m.soft.lastHeartbeat[req.Addr] = time.Now()
+	m.mu.Unlock()
+	if returning && !req.IsMeta {
+		// Re-registration = the node restarted. React now instead of
+		// waiting for the leaders' own next recovery pass: task a targeted
+		// Recover for every partition the node follows, and re-attach it
+		// wherever an earlier failover detached it (Section 2.3.3 turned
+		// into decisions, not just bookkeeping).
+		go m.onNodeReturned(req.Addr)
+	}
 	return &proto.RegisterNodeResp{RaftSet: out.(int)}, nil
 }
 
 func (m *Master) handleHeartbeat(req *proto.HeartbeatReq) (*proto.HeartbeatResp, error) {
 	// Heartbeats refresh soft state only; no Raft round trip.
+	var lagging []uint64
 	m.mu.Lock()
 	m.soft.used[req.Addr] = req.Used
 	m.soft.lastHeartbeat[req.Addr] = time.Now()
+	inactive := false
+	if n, ok := m.state.Nodes[req.Addr]; ok && !n.Active {
+		inactive = true
+	}
+	// Reconfiguration repair needs the recorded epoch per reported
+	// partition; the cached index (rebuilt only when the replicated state
+	// changes) keeps the steady-state heartbeat O(reports) under the lock.
+	var dpEpochs map[uint64]uint64
+	if !req.IsMeta && len(req.Partitions) > 0 {
+		dpEpochs = dpEpochsLocked(m.state, m.soft)
+	}
 	for _, pr := range req.Partitions {
+		// Reconfiguration repair FIRST (followers report too, and they are
+		// exactly who misses pushes): a replica reporting an older epoch
+		// than the record holds missed (or lost) an update push; re-push
+		// so a partial failover cannot leave a member fenced forever.
+		if pr.ReplicaEpoch != 0 && dpEpochs != nil {
+			if rec, ok := dpEpochs[pr.PartitionID]; ok &&
+				pr.ReplicaEpoch < rec && !m.soft.pushing[pr.PartitionID] {
+				m.soft.pushing[pr.PartitionID] = true
+				lagging = append(lagging, pr.PartitionID)
+			}
+		}
 		// Every replica reports each partition; the leader's view is
 		// authoritative (followers may lag a commit round and would
 		// otherwise understate MaxInodeID, breaking Algorithm 1's cut).
@@ -324,6 +372,15 @@ func (m *Master) handleHeartbeat(req *proto.HeartbeatReq) (*proto.HeartbeatResp,
 		m.soft.partStats[pr.PartitionID] = pr
 	}
 	m.mu.Unlock()
+	if inactive && m.node.IsLeader() {
+		// The node was declared dead but is talking again: flip it back so
+		// placement may use it (re-attach of its detached replicas is the
+		// maintenance scan's job).
+		_, _ = m.propose(&command{Kind: cmdSetNodeActive, Addr: req.Addr, Active: true})
+	}
+	for _, pid := range lagging {
+		go m.repushPartition(pid)
+	}
 	return &proto.HeartbeatResp{}, nil
 }
 
@@ -459,15 +516,17 @@ func (m *Master) addDataPartition(volume string) (*proto.DataPartitionInfo, erro
 		return nil, err
 	}
 	dp := &proto.DataPartitionInfo{
-		PartitionID: id,
-		Volume:      volume,
-		Members:     members,
-		LeaderAddr:  members[0],
-		Status:      proto.PartitionReadWrite,
-		Capacity:    m.cfg.DataPartitionCapacity,
+		PartitionID:  id,
+		Volume:       volume,
+		Members:      members,
+		LeaderAddr:   members[0],
+		Status:       proto.PartitionReadWrite,
+		Capacity:     m.cfg.DataPartitionCapacity,
+		ReplicaEpoch: 1,
 	}
 	req := &proto.CreateDataPartitionReq{
 		PartitionID: id, Volume: volume, Capacity: dp.Capacity, Members: members,
+		ReplicaEpoch: 1,
 	}
 	for _, addr := range members {
 		var resp proto.CreateDataPartitionResp
@@ -533,9 +592,14 @@ func (m *Master) viewOf(name string) (*proto.VolumeView, error) {
 	return view, nil
 }
 
-// handleReportFailure implements Section 2.3.3: on a replica timeout the
-// remaining replicas go read-only; repeated failures mark the partition
-// unavailable (manual migration territory).
+// handleReportFailure implements Section 2.3.3 turned into decisions. For
+// META partitions the original escalation stands: a replica timeout sends
+// the partition read-only, repeated failures mark it unavailable (Raft
+// handles meta leadership itself). For DATA partitions the master
+// reconfigures instead of fencing the whole partition: the reported
+// replica is detached from the replication set under a bumped epoch, the
+// partition stays writable on the survivors, and the replica re-attaches
+// (realigned by the leader) once it heartbeats again.
 func (m *Master) handleReportFailure(req *proto.ReportFailureReq) (*proto.ReportFailureResp, error) {
 	if err := m.requireLeader(); err != nil {
 		return nil, err
@@ -545,6 +609,7 @@ func (m *Master) handleReportFailure(req *proto.ReportFailureReq) (*proto.Report
 	count := m.soft.failures[req.PartitionID]
 	var volume string
 	var isMeta bool
+	var dpRec proto.DataPartitionInfo
 	for _, v := range m.state.Volumes {
 		for _, mp := range v.MetaPartitions {
 			if mp.PartitionID == req.PartitionID {
@@ -554,12 +619,17 @@ func (m *Master) handleReportFailure(req *proto.ReportFailureReq) (*proto.Report
 		for _, dp := range v.DataPartitions {
 			if dp.PartitionID == req.PartitionID {
 				volume, isMeta = v.Name, false
+				dpRec = dp
 			}
 		}
 	}
 	m.mu.Unlock()
 	if volume == "" {
 		return nil, fmt.Errorf("master: partition %d: %w", req.PartitionID, util.ErrNotFound)
+	}
+	if !isMeta {
+		m.detachReplica(volume, dpRec, req.Addr)
+		return &proto.ReportFailureResp{}, nil
 	}
 	status := proto.PartitionReadOnly
 	if count >= m.cfg.FailureThreshold {
@@ -619,9 +689,14 @@ func (m *Master) backgroundLoop() {
 }
 
 // CheckOnce runs one maintenance scan (exported for tests and the bench
-// harness). It splits meta partitions whose inode count crossed the limit
-// and expands volumes whose writable data partitions are nearly full.
+// harness). It splits meta partitions whose inode count crossed the limit,
+// expands volumes whose writable data partitions are nearly full, declares
+// heartbeat-silent nodes dead (reconfiguring their data partitions around
+// them, promoting a live follower where the dead node led), and re-attaches
+// detached replicas that came back.
 func (m *Master) CheckOnce() {
+	m.checkNodeLiveness()
+	m.checkReattach()
 	m.mu.Lock()
 	type splitTask struct {
 		volume string

@@ -328,29 +328,91 @@ func TestDataPartitionExpansionWhenFull(t *testing.T) {
 	}
 }
 
-func TestFailureReportsEscalate(t *testing.T) {
+// TestFailureReportsReconfigureDataPartition: a failure report against a
+// data replica no longer just fences the partition - the master DETACHES
+// the replica under a bumped ReplicaEpoch and the partition stays writable
+// on the survivors. Only losing the last member makes it unavailable.
+func TestFailureReportsReconfigureDataPartition(t *testing.T) {
 	e := newEnv(t, 3, 3, Config{ReplicaCount: 3, FailureThreshold: 3})
 	view := e.createVolume("vol1", 1, 1)
 	dp := view.DataPartitions[0]
 
-	report := func() {
+	report := func(addr string) {
+		t.Helper()
 		var resp proto.ReportFailureResp
 		if err := e.nw.Call("master0", uint8(proto.OpMasterReportFailure),
-			&proto.ReportFailureReq{PartitionID: dp.PartitionID, Addr: dp.Members[1]}, &resp); err != nil {
+			&proto.ReportFailureReq{PartitionID: dp.PartitionID, Addr: addr}, &resp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	current := func() proto.DataPartitionInfo {
+		t.Helper()
+		var v proto.GetVolumeResp
+		if err := e.nw.Call("master0", uint8(proto.OpMasterGetVolume),
+			&proto.GetVolumeReq{Name: "vol1"}, &v); err != nil {
+			t.Fatal(err)
+		}
+		return v.View.DataPartitions[0]
+	}
+
+	failed := dp.Members[1]
+	report(failed)
+	got := current()
+	if got.Status != proto.PartitionReadWrite {
+		t.Fatalf("after detaching 1 of 3 replicas: %v, want read-write", got.Status)
+	}
+	if len(got.Members) != 2 || got.ReplicaEpoch != 2 {
+		t.Fatalf("after 1 report: members=%v epoch=%d, want 2 members at epoch 2", got.Members, got.ReplicaEpoch)
+	}
+	if len(got.Detached) != 1 || got.Detached[0] != failed {
+		t.Fatalf("detached = %v, want [%s]", got.Detached, failed)
+	}
+	// A duplicate report about a node that is no longer a member is inert.
+	report(failed)
+	if again := current(); again.ReplicaEpoch != 2 {
+		t.Fatalf("stale report bumped the epoch to %d", again.ReplicaEpoch)
+	}
+
+	report(got.Members[1])
+	got = current()
+	if len(got.Members) != 1 || got.ReplicaEpoch != 3 || got.Status != proto.PartitionReadWrite {
+		t.Fatalf("after 2 reports: members=%v epoch=%d status=%v", got.Members, got.ReplicaEpoch, got.Status)
+	}
+
+	// Losing the last member leaves nothing to promote: unavailable.
+	report(got.Members[0])
+	if got = current(); got.Status != proto.PartitionUnavailable {
+		t.Fatalf("after losing every replica: %v, want unavailable", got.Status)
+	}
+}
+
+// TestFailureReportsEscalateMetaPartition: meta partitions keep the
+// Section 2.3.3 escalation (Raft owns their leadership; the master only
+// fences): read-only on the first report, unavailable at the threshold.
+func TestFailureReportsEscalateMetaPartition(t *testing.T) {
+	e := newEnv(t, 3, 3, Config{ReplicaCount: 3, FailureThreshold: 3})
+	view := e.createVolume("vol1", 1, 1)
+	mp := view.MetaPartitions[0]
+
+	report := func() {
+		t.Helper()
+		var resp proto.ReportFailureResp
+		if err := e.nw.Call("master0", uint8(proto.OpMasterReportFailure),
+			&proto.ReportFailureReq{PartitionID: mp.PartitionID, Addr: mp.Members[1], IsMeta: true}, &resp); err != nil {
 			t.Fatal(err)
 		}
 	}
 	report()
 	var v proto.GetVolumeResp
 	e.nw.Call("master0", uint8(proto.OpMasterGetVolume), &proto.GetVolumeReq{Name: "vol1"}, &v)
-	if v.View.DataPartitions[0].Status != proto.PartitionReadOnly {
-		t.Fatalf("after 1 failure: %v", v.View.DataPartitions[0].Status)
+	if v.View.MetaPartitions[0].Status != proto.PartitionReadOnly {
+		t.Fatalf("after 1 failure: %v", v.View.MetaPartitions[0].Status)
 	}
 	report()
 	report()
 	e.nw.Call("master0", uint8(proto.OpMasterGetVolume), &proto.GetVolumeReq{Name: "vol1"}, &v)
-	if v.View.DataPartitions[0].Status != proto.PartitionUnavailable {
-		t.Fatalf("after 3 failures: %v", v.View.DataPartitions[0].Status)
+	if v.View.MetaPartitions[0].Status != proto.PartitionUnavailable {
+		t.Fatalf("after 3 failures: %v", v.View.MetaPartitions[0].Status)
 	}
 }
 

@@ -20,6 +20,9 @@ type clusterState struct {
 	Volumes     map[string]*volumeState
 	NextID      uint64 // next partition id
 	NextRaftSet int    // round-robin raft-set assignment cursor
+	// Version counts applied commands; derived soft-state caches (the
+	// heartbeat path's partition-epoch index) key their freshness on it.
+	Version uint64
 }
 
 // volumeState is a volume's partition membership.
@@ -49,6 +52,13 @@ const (
 	cmdAddDataPartition
 	cmdCutMetaPartition
 	cmdSetPartitionStatus
+	// cmdReconfigureDataPartition replaces a data partition's replication
+	// set (leader failover, replica detach/re-attach) under a bumped
+	// ReplicaEpoch - the PacificA-style reconfiguration record.
+	cmdReconfigureDataPartition
+	// cmdSetNodeActive flips a node's liveness flag (heartbeat timeout /
+	// return), keeping placement away from dead nodes deterministically.
+	cmdSetNodeActive
 )
 
 // command is the Raft log payload for master mutations.
@@ -67,6 +77,14 @@ type command struct {
 	End         uint64
 	Status      proto.PartitionStatus
 	IsMeta      bool
+
+	// Reconfiguration payload (cmdReconfigureDataPartition) and node
+	// liveness payload (cmdSetNodeActive).
+	Members      []string
+	Detached     []string
+	ReplicaEpoch uint64
+	Addr         string
+	Active       bool
 }
 
 func init() {
@@ -88,6 +106,7 @@ func decodeCommand(data []byte) (*command, error) {
 
 // apply mutates state with one committed command. Must be deterministic.
 func (s *clusterState) apply(c *command, raftSetSize int) (any, error) {
+	s.Version++ // every command invalidates derived caches, even on error
 	switch c.Kind {
 	case cmdRegisterNode:
 		if existing, ok := s.Nodes[c.Node.Addr]; ok {
@@ -188,6 +207,42 @@ func (s *clusterState) apply(c *command, raftSetSize int) (any, error) {
 		}
 		return nil, fmt.Errorf("master: partition %d: %w", c.PartitionID, util.ErrNotFound)
 
+	case cmdReconfigureDataPartition:
+		v, ok := s.Volumes[c.VolumeName]
+		if !ok {
+			return nil, fmt.Errorf("master: volume %q: %w", c.VolumeName, util.ErrNotFound)
+		}
+		for i := range v.DataPartitions {
+			dp := &v.DataPartitions[i]
+			if dp.PartitionID != c.PartitionID {
+				continue
+			}
+			if c.ReplicaEpoch <= dp.ReplicaEpoch {
+				// Stale or duplicate proposal (two triggers raced - e.g. a
+				// failure report and the liveness scan); first writer wins.
+				return nil, fmt.Errorf("master: partition %d already at epoch %d: %w",
+					c.PartitionID, dp.ReplicaEpoch, util.ErrStaleEpoch)
+			}
+			dp.Members = append([]string(nil), c.Members...)
+			dp.Detached = append([]string(nil), c.Detached...)
+			dp.ReplicaEpoch = c.ReplicaEpoch
+			dp.Status = c.Status
+			if len(dp.Members) > 0 {
+				dp.LeaderAddr = dp.Members[0]
+			}
+			v.Epoch++
+			return *dp, nil
+		}
+		return nil, fmt.Errorf("master: data partition %d: %w", c.PartitionID, util.ErrNotFound)
+
+	case cmdSetNodeActive:
+		n, ok := s.Nodes[c.Addr]
+		if !ok {
+			return nil, fmt.Errorf("master: node %q: %w", c.Addr, util.ErrNotFound)
+		}
+		n.Active = c.Active
+		return nil, nil
+
 	default:
 		return nil, fmt.Errorf("master: unknown command %d: %w", c.Kind, util.ErrInvalidArgument)
 	}
@@ -223,6 +278,17 @@ type softState struct {
 	partStats map[uint64]proto.PartitionReport
 	// failures counts failure reports per partition (Section 2.3.3).
 	failures map[uint64]int
+	// detachedAt records when a replica was detached from a partition
+	// (partition id -> addr -> time); re-attachment requires a heartbeat
+	// NEWER than this mark, so the heartbeat that was already in flight
+	// when the failure was declared cannot instantly undo the detach.
+	detachedAt map[uint64]map[string]time.Time
+	// pushing gates one in-flight reconfiguration re-push per partition.
+	pushing map[uint64]bool
+	// epochIdx caches partition id -> recorded ReplicaEpoch for the
+	// heartbeat path, rebuilt only when the state Version moves.
+	epochIdx    map[uint64]uint64
+	epochIdxVer uint64
 }
 
 func newSoftState() *softState {
@@ -231,7 +297,27 @@ func newSoftState() *softState {
 		lastHeartbeat: make(map[string]time.Time),
 		partStats:     make(map[uint64]proto.PartitionReport),
 		failures:      make(map[uint64]int),
+		detachedAt:    make(map[uint64]map[string]time.Time),
+		pushing:       make(map[uint64]bool),
+		epochIdx:      make(map[uint64]uint64),
+		epochIdxVer:   ^uint64(0), // force the first build
 	}
+}
+
+// dpEpochsLocked returns the partition->epoch index, rebuilding it only
+// when the replicated state changed. Caller holds the master mutex.
+func dpEpochsLocked(state *clusterState, soft *softState) map[uint64]uint64 {
+	if soft.epochIdxVer == state.Version {
+		return soft.epochIdx
+	}
+	idx := make(map[uint64]uint64)
+	for _, v := range state.Volumes {
+		for _, dp := range v.DataPartitions {
+			idx[dp.PartitionID] = dp.ReplicaEpoch
+		}
+	}
+	soft.epochIdx, soft.epochIdxVer = idx, state.Version
+	return idx
 }
 
 // pickNodes selects `count` nodes of the wanted kind with the lowest

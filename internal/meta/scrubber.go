@@ -162,6 +162,14 @@ func (s *Scrubber) releaseContent(rec ScrubRecord) bool {
 		var resp proto.Packet
 		if err := s.nw.Call(leader, uint8(proto.OpDataMarkDelete), pkt, &resp); err != nil ||
 			resp.ResultCode != proto.ResultOK {
+			// Drop the cached leader: after a master-driven failover the
+			// entry may name the deposed (dead) node, and keeping it would
+			// fail every subsequent delete on the partition until some
+			// other path refreshed it. The next pass re-learns the current
+			// leader from the view.
+			s.mu.Lock()
+			delete(s.leaders, ek.PartitionID)
+			s.mu.Unlock()
 			ok = false
 		}
 	}

@@ -68,6 +68,24 @@ const (
 	// lets a follower enforce the committed clamp on its own reads instead
 	// of trusting its local watermark.
 	OpDataCommitted
+
+	// Failover orchestration (append-only, like everything above).
+	//
+	// OpAdminUpdateDataPartition is the master -> datanode reconfiguration
+	// task: adopt a new Members order under a bumped ReplicaEpoch. A node
+	// that becomes leader through it re-runs the quiesce-gated alignment
+	// pass before accepting writes.
+	OpAdminUpdateDataPartition
+	// OpAdminRecoverPartition tasks a partition's leader with a targeted
+	// Recover (Section 2.2.5) - how the master reacts to a follower's
+	// re-registration instead of waiting for the leader's own next pass.
+	OpAdminRecoverPartition
+	// OpDataTruncate is a leader -> follower alignment hop discarding a
+	// follower's divergent uncommitted tail (or a whole extent the new
+	// leader does not know). Only possible after a promotion: the old
+	// leader may have forwarded frames some followers applied and the
+	// promoted one never saw.
+	OpDataTruncate
 )
 
 func (o Op) String() string {
@@ -140,6 +158,12 @@ func (o Op) String() string {
 		return "DataPing"
 	case OpDataCommitted:
 		return "DataCommitted"
+	case OpAdminUpdateDataPartition:
+		return "AdminUpdateDataPartition"
+	case OpAdminRecoverPartition:
+		return "AdminRecoverPartition"
+	case OpDataTruncate:
+		return "DataTruncate"
 	default:
 		return "Op(unknown)"
 	}
@@ -379,6 +403,10 @@ type PartitionReport struct {
 	MaxInodeID  uint64
 	IsLeader    bool
 	Status      PartitionStatus
+	// ReplicaEpoch is the epoch this replica holds (data partitions only;
+	// zero on meta reports). The master compares it against its record and
+	// re-pushes the reconfiguration to members that missed an update.
+	ReplicaEpoch uint64
 }
 
 type HeartbeatResp struct{}
@@ -440,6 +468,12 @@ type ExtentSummary struct {
 
 type ExtentInfoResp struct {
 	Extents []ExtentSummary
+	// ReplicaEpoch is the replying replica's config epoch. A restarted
+	// leader only ADOPTS committed offsets from same-epoch followers: a
+	// follower at a newer epoch belongs to a configuration that may have
+	// committed different bytes than this replica stores (the replier is
+	// telling the asker it has been deposed).
+	ReplicaEpoch uint64
 }
 
 // CreateDataPartitionReq instructs a data node to host a new partition.
@@ -448,6 +482,39 @@ type CreateDataPartitionReq struct {
 	Volume      string
 	Capacity    uint64
 	Members     []string
+	// ReplicaEpoch seeds the partition's fencing epoch (zero means 1, for
+	// pre-epoch callers and persisted metadata written before failover).
+	ReplicaEpoch uint64
 }
 
 type CreateDataPartitionResp struct{}
+
+// UpdateDataPartitionReq is the master -> datanode reconfiguration task:
+// adopt Members as the new replication order under ReplicaEpoch. Nodes
+// ignore updates whose epoch is not newer than what they hold, so replays
+// and reordered deliveries are harmless. Volume and Capacity ride along so
+// a member that LOST the partition (wiped disk between detach and
+// re-attach) can re-create it empty and be refilled by the leader's
+// alignment pass instead of wedging the reconfiguration.
+type UpdateDataPartitionReq struct {
+	PartitionID  uint64
+	Volume       string
+	Capacity     uint64
+	Members      []string
+	ReplicaEpoch uint64
+}
+
+type UpdateDataPartitionResp struct {
+	// ReplicaEpoch echoes the epoch the node holds after the update.
+	ReplicaEpoch uint64
+}
+
+// RecoverPartitionReq tasks the partition's current leader with one
+// Section 2.2.5 recovery pass (align followers, re-advance committed).
+type RecoverPartitionReq struct {
+	PartitionID uint64
+}
+
+type RecoverPartitionResp struct {
+	Shipped uint64 // bytes shipped to lagging followers
+}

@@ -17,16 +17,17 @@ const PacketMagic uint8 = 0xCF
 // followers in array order (primary-backup) or proposes through Raft
 // (overwrite).
 //
-// Header layout (big endian), 58 bytes:
+// Header layout (big endian), 66 bytes:
 //
 //	magic(1) op(1) resultCode(1) followerCnt(1)
 //	reqID(8) partitionID(8) extentID(8) extentOffset(8)
-//	size(4) crc(4) fileOffset(8) committed(6)
+//	size(4) crc(4) fileOffset(8) committed(6) epoch(8)
 //
 // followed by followerCnt length-prefixed follower addresses, then size
-// bytes of payload. The trailing 6 bytes were reserved until the committed
+// bytes of payload. The 6 committed bytes were reserved until the committed
 // offset started riding replication hops; 48 bits bound it at 256 TB per
-// extent, far above any extent size.
+// extent, far above any extent size. The epoch slot was appended when
+// master-driven failover introduced the replica-epoch fence.
 type Packet struct {
 	Op           Op
 	ResultCode   uint8
@@ -39,6 +40,14 @@ type Packet struct {
 	// leader->follower hops (and OpDataCommitted frames) so followers can
 	// enforce the Section 2.2.5 clamp. Zero elsewhere.
 	Committed uint64
+	// Epoch is the sender's replica epoch for the partition: clients stamp
+	// it from their cached view on write-path requests, leaders stamp it on
+	// replication hops. A receiver holding a NEWER epoch rejects the frame
+	// with ResultErrStaleEpoch - that rejection by followers is what fences
+	// a deposed leader out of committing (no all-replica ack can assemble
+	// for a stale-epoch hop). Zero means "unfenced" (reads, Raft traffic,
+	// legacy callers) and is always accepted.
+	Epoch     uint64
 	CRC       uint32
 	Followers []string // replication order tail; empty on follower hops
 	Data      []byte
@@ -57,12 +66,16 @@ const (
 	// abort. Clients discard the pooled session on sight and replay the
 	// uncommitted tail elsewhere.
 	ResultErrAborted
+	// ResultErrStaleEpoch rejects a frame whose replica epoch does not
+	// match the partition's current one (the failover fence). Retriable:
+	// clients refresh the view, re-dial the current leader, and replay.
+	ResultErrStaleEpoch
 )
 
 // maxCommitted is the largest committed offset the 48-bit header slot holds.
 const maxCommitted = 1<<48 - 1
 
-const packetHeaderSize = 58
+const packetHeaderSize = 66
 
 // NewPacket builds a request packet and stamps the payload CRC.
 func NewPacket(op Op, reqID, partitionID, extentID uint64, data []byte) *Packet {
@@ -101,6 +114,7 @@ func (p *Packet) WriteTo(w io.Writer) (int64, error) {
 	binary.BigEndian.PutUint64(hdr[44:], p.FileOffset)
 	binary.BigEndian.PutUint16(hdr[52:], uint16(p.Committed>>32))
 	binary.BigEndian.PutUint32(hdr[54:], uint32(p.Committed))
+	binary.BigEndian.PutUint64(hdr[58:], p.Epoch)
 	var total int64
 	n, err := w.Write(hdr)
 	total += int64(n)
@@ -150,6 +164,7 @@ func (p *Packet) ReadFrom(r io.Reader) (int64, error) {
 	p.FileOffset = binary.BigEndian.Uint64(hdr[44:])
 	p.Committed = uint64(binary.BigEndian.Uint16(hdr[52:]))<<32 |
 		uint64(binary.BigEndian.Uint32(hdr[54:]))
+	p.Epoch = binary.BigEndian.Uint64(hdr[58:])
 	p.Followers = nil
 	for i := 0; i < followerCnt; i++ {
 		var lbuf [2]byte

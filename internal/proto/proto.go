@@ -125,6 +125,16 @@ type DataPartitionInfo struct {
 	Used        uint64
 	Capacity    uint64
 	ExtentCount uint64
+	// ReplicaEpoch is the fencing version of the Members array (PacificA's
+	// configuration version): the master bumps it on every reconfiguration
+	// (leader failover, replica detach/re-attach), write-path requests and
+	// replication hops carry it, and a replica holding a newer epoch
+	// rejects stale-epoch frames. Starts at 1.
+	ReplicaEpoch uint64
+	// Detached lists replicas the master removed from the replication set
+	// after failures; they re-attach (with realignment) when they
+	// heartbeat again. Informational for clients.
+	Detached []string
 }
 
 // PartitionStatus is the lifecycle state the resource manager tracks per
@@ -234,6 +244,8 @@ func RegisterGob() {
 		&HeartbeatReq{}, &HeartbeatResp{},
 		&CreateMetaPartitionReq{}, &CreateMetaPartitionResp{},
 		&CreateDataPartitionReq{}, &CreateDataPartitionResp{},
+		&UpdateDataPartitionReq{}, &UpdateDataPartitionResp{},
+		&RecoverPartitionReq{}, &RecoverPartitionResp{},
 		&ReportFailureReq{}, &ReportFailureResp{},
 		&ClusterStatsReq{}, &ClusterStatsResp{},
 		&ExtentInfoReq{}, &ExtentInfoResp{},

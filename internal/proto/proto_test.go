@@ -12,6 +12,7 @@ func TestPacketRoundTrip(t *testing.T) {
 	in.ExtentOffset = 4096
 	in.FileOffset = 1 << 20
 	in.Committed = 1<<40 + 12345 // exercises both halves of the 48-bit slot
+	in.Epoch = 1<<33 + 7         // the failover-fence slot appended to the header
 	in.Followers = []string{"node-b:17310", "node-c:17310"}
 
 	var buf bytes.Buffer

@@ -446,6 +446,34 @@ func (s *ExtentStore) PunchHole(id uint64, off, length uint64) error {
 	return nil
 }
 
+// Truncate discards the extent's tail beyond size, moving the watermark
+// back. Failure recovery uses it to drop a replica's DIVERGENT uncommitted
+// tail after a leader promotion (Section 2.2.5): the promoted leader's
+// watermark defines the truth, and a follower that applied forwards the new
+// leader never saw must shed them before appends can continue
+// deterministically. Truncating at or above the watermark is a no-op.
+func (s *ExtentStore) Truncate(id uint64, size uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return util.ErrClosed
+	}
+	f, m, err := s.get(id)
+	if err != nil {
+		return err
+	}
+	if size >= m.size {
+		return nil // nothing beyond size to discard
+	}
+	if err := f.Truncate(int64(size)); err != nil {
+		return fmt.Errorf("storage: truncate extent %d: %w", id, err)
+	}
+	m.size = size
+	m.holed = util.MinU64(m.holed, size)
+	m.crcDirty = true
+	return nil
+}
+
 // Delete removes a whole extent (large-file delete, Section 2.2.3: "the
 // extents of the file can be removed directly from the disk").
 func (s *ExtentStore) Delete(id uint64) error {

@@ -409,3 +409,39 @@ func BenchmarkAppend128K(b *testing.B) {
 		}
 	}
 }
+
+func TestTruncateDiscardsTail(t *testing.T) {
+	s := openStore(t, Options{})
+	id := s.NextID()
+	if err := s.Create(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Append(id, []byte("keep-these|drop-these")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Truncate(id, 10); err != nil {
+		t.Fatal(err)
+	}
+	info, err := s.Info(id)
+	if err != nil || info.Size != 10 {
+		t.Fatalf("size after truncate = %d, %v", info.Size, err)
+	}
+	if got, err := s.ReadAt(id, 0, 10); err != nil || string(got) != "keep-these" {
+		t.Fatalf("surviving bytes = %q, %v", got, err)
+	}
+	// The watermark moved back: the next replicated append lands AT the
+	// truncation point deterministically (the promotion-alignment use).
+	if err := s.AppendAt(id, 10, []byte("!new")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := s.ReadAt(id, 0, 14); string(got) != "keep-these!new" {
+		t.Fatalf("post-truncate append = %q", got)
+	}
+	// At-or-above the watermark is a no-op, and unknown extents error.
+	if err := s.Truncate(id, 100); err != nil {
+		t.Fatalf("no-op truncate: %v", err)
+	}
+	if err := s.Truncate(999, 0); !errors.Is(err, util.ErrNotFound) {
+		t.Fatalf("truncate of unknown extent: %v", err)
+	}
+}

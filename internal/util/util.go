@@ -60,6 +60,10 @@ var (
 	ErrInvalidArgument = errors.New("invalid argument")
 	ErrOutOfRange      = errors.New("offset out of range")
 	ErrBusy            = errors.New("busy; retry later")
+	// ErrStaleEpoch marks a request or replication hop carrying a replica
+	// epoch older than the partition's current one (the failover fence).
+	// Retriable: the holder refreshes its view and re-dials the new leader.
+	ErrStaleEpoch = errors.New("stale replica epoch")
 )
 
 // CRC computes the IEEE CRC-32 checksum of data. Extent stores cache this
