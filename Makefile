@@ -39,6 +39,8 @@ fmt-check:
 fmt:
 	gofmt -w .
 
-# One iteration of every paper-evaluation benchmark (see EXPERIMENTS.md).
+# One iteration of every paper-evaluation benchmark (see EXPERIMENTS.md),
+# including the fio read patterns (BenchmarkReadPipeline_FIOPatterns runs
+# the same experiment `cfs-bench readpipe` prints at larger scales).
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .

@@ -462,3 +462,28 @@ func BenchmarkSmallFileSessions(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkReadPipeline_FIOPatterns regenerates the streamed-read
+// experiment: the fio SeqRead/RandRead patterns over unary Calls vs
+// pipelined read sessions with readahead and follower offload, with the
+// per-block allocation volume recorded per row (see EXPERIMENTS.md and
+// BENCH_read.json).
+func BenchmarkReadPipeline_FIOPatterns(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		table, nums, err := bench.RunReadPipeline(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + table.Render())
+		}
+		b.ReportMetric(nums["SeqRead unary"], "MB/s-seq-unary")
+		b.ReportMetric(nums["SeqRead streamed(default)"], "MB/s-seq-streamed")
+		if nums["SeqRead unary"] > 0 {
+			b.ReportMetric(nums["SeqRead streamed(default)"]/nums["SeqRead unary"], "speedup-seq")
+		}
+		b.ReportMetric(nums["SeqRead streamed(default)-kb"], "allocKB/op-streamed")
+		b.ReportMetric(nums["SeqRead unary-kb"], "allocKB/op-unary")
+	}
+}

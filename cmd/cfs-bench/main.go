@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	cfs-bench [-scale quick|paper] [table3|fig6|fig7|fig8|fig9|fig10|pipeline|smallfile|heartbeat|all]
+//	cfs-bench [-scale quick|paper] [table3|fig6|fig7|fig8|fig9|fig10|pipeline|smallfile|readpipe|heartbeat|all]
 package main
 
 import (
@@ -53,6 +53,10 @@ func main() {
 		}},
 		{"smallfile", func(s bench.Scale) (*bench.Table, error) {
 			t, _, err := bench.RunSmallFileSessions(s)
+			return t, err
+		}},
+		{"readpipe", func(s bench.Scale) (*bench.Table, error) {
+			t, _, err := bench.RunReadPipeline(s)
 			return t, err
 		}},
 		{"heartbeat", func(s bench.Scale) (*bench.Table, error) {

@@ -247,3 +247,54 @@ func TestAdaptiveWindowFindsKnee(t *testing.T) {
 			nums["adaptive"], nums["stop-and-wait"])
 	}
 }
+
+// TestReadPipelineSpeedup is the read-path acceptance check, the twin of
+// TestWritePipelineSpeedup: at the Memory transport's modeled propagation
+// delay, streamed sequential reads with window >= 4 (and the adaptive
+// controller) must sustain at least 2x the unary per-block baseline,
+// random reads must not regress under the hybrid routing, and the pooled
+// chunk buffers must cut the per-block allocation volume.
+func TestReadPipelineSpeedup(t *testing.T) {
+	s := tiny()
+	// Same reasoning as the write test: at sub-millisecond latency CPU
+	// contention compresses the ratios; at 1ms the protocol dominates.
+	// The race detector multiplies per-op CPU cost, so it gets a wider
+	// latency floor for the same reason.
+	s.Latency = time.Millisecond
+	if raceEnabled {
+		s.Latency = 3 * time.Millisecond
+	}
+	_, nums, err := RunReadPipeline(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := nums["SeqRead unary"]
+	if base <= 0 {
+		t.Fatalf("baseline MB/s = %v", base)
+	}
+	for _, label := range []string{"SeqRead window=8", "SeqRead adaptive(start=2)", "SeqRead streamed(default)"} {
+		if nums[label] < 2*base {
+			t.Fatalf("%s = %.1f MB/s, want >= 2x unary (%.1f)", label, nums[label], base)
+		}
+	}
+	// The pinned sweep must be monotone enough that bigger windows are
+	// never slower than window=1 (the no-overlap honest data point).
+	if nums["SeqRead window=8"] < nums["SeqRead window=1"] {
+		t.Fatalf("window=8 (%.1f) slower than window=1 (%.1f)",
+			nums["SeqRead window=8"], nums["SeqRead window=1"])
+	}
+	// Hybrid routing: random 4 KB reads keep the one-round-trip unary
+	// path, so the default config must not regress them (0.7x absorbs
+	// timing noise; the pre-hybrid streamed path sat at ~0.5x).
+	if nums["RandRead hybrid"] < 0.7*nums["RandRead unary"] {
+		t.Fatalf("RandRead hybrid = %.1f MB/s regressed vs unary %.1f",
+			nums["RandRead hybrid"], nums["RandRead unary"])
+	}
+	// Buffer reuse: the unary path allocates the full 128 KB payload per
+	// block on both ends; the streamed path reads into pooled chunks, so
+	// its allocation volume per block must be a fraction of the baseline.
+	if streamed, unary := nums["SeqRead window=8-kb"], nums["SeqRead unary-kb"]; streamed > unary/2 {
+		t.Fatalf("streamed read allocates %.0f KB/op vs unary %.0f KB/op - chunk pooling is not engaging",
+			streamed, unary)
+	}
+}

@@ -57,6 +57,17 @@ type Config struct {
 	// stop-and-wait path even when the transport supports packet streams
 	// (the pipelining ablation baseline).
 	DisablePipeline bool
+	// ReadWindow is the STARTING number of read requests a streaming
+	// reader keeps in flight ahead of the consumer (the readahead window;
+	// fixed there when DisableAdaptiveWindow is set). Default 4; window 1
+	// degenerates to one-request-at-a-time over a pinned stream.
+	ReadWindow int
+	// MaxReadWindow caps the adaptive readahead window. Default 32.
+	MaxReadWindow int
+	// DisableReadPipeline forces reads onto the per-block unary Call path
+	// even when the transport supports packet streams (the read-pipelining
+	// ablation baseline; writes keep streaming).
+	DisableReadPipeline bool
 	// DisableSessionPool gives every writer (and every small file) its own
 	// dedicated replication session instead of multiplexing per-partition
 	// pooled streams - the session-reuse ablation baseline, and the
@@ -103,6 +114,12 @@ func (c Config) withDefaults(volume string) Config {
 	}
 	if c.MaxWriteWindow == 0 {
 		c.MaxWriteWindow = util.DefaultMaxWriteWindow
+	}
+	if c.ReadWindow == 0 {
+		c.ReadWindow = util.DefaultReadWindow
+	}
+	if c.MaxReadWindow == 0 {
+		c.MaxReadWindow = util.DefaultMaxReadWindow
 	}
 	if c.AckDeadline == 0 {
 		c.AckDeadline = 15 * time.Second

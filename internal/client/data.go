@@ -20,9 +20,10 @@ import (
 // packets, and remembers the most recently identified leader per partition
 // so reads rarely probe more than one replica (Section 2.4).
 type DataClient struct {
-	nw   transport.Network
-	cfg  Config
-	pool *sessionPool // replication sessions, one per partition leader
+	nw       transport.Network
+	cfg      Config
+	pool     *sessionPool // replication sessions, one per partition leader
+	readPool *readPool    // read sessions, one per (replica, epoch)
 	// refresh re-pulls the volume view from the master (wired by Mount).
 	// Stale-epoch retry loops call it so a failover observed mid-write
 	// resolves to the new leader without waiting for the background
@@ -32,9 +33,28 @@ type DataClient struct {
 	mu     sync.Mutex
 	view   []proto.DataPartitionInfo
 	leader map[uint64]string
-	rnd    *util.Rand
-	reqID  atomic.Uint64
+	// readFrom caches the last replica that successfully served a read,
+	// per partition - kept SEPARATE from the leader cache so follower-
+	// served reads cannot poison the overwrite path's leader ordering,
+	// while ProbeCount stays at 1 on healthy clusters.
+	readFrom map[uint64]string
+	rnd      *util.Rand
+	reqID    atomic.Uint64
+	// readRR rotates streamed-read runs across a partition's followers
+	// (committed-clamped follower offload).
+	readRR atomic.Uint64
+	// overwrote records extents this client has overwritten. Overwrites
+	// replicate through Raft (Figure 5), whose follower apply is
+	// asynchronous - a follower can serve pre-overwrite bytes with no
+	// fence the committed clamp could catch. Streamed reads of these
+	// extents therefore pin to the leader (reads-after-overwrite were
+	// leader-first before offload existed, too). Overwrites are rare by
+	// design (Section 2.2.4), so the set stays tiny.
+	overwrote map[overwriteID]struct{}
 }
+
+// overwriteID names one extent for the overwrite-pinning set.
+type overwriteID struct{ pid, extent uint64 }
 
 // refreshView best-effort re-pulls the volume view when the hook is wired.
 func (d *DataClient) refreshView() {
@@ -45,17 +65,23 @@ func (d *DataClient) refreshView() {
 
 func newDataClient(nw transport.Network, cfg Config) *DataClient {
 	d := &DataClient{
-		nw:     nw,
-		cfg:    cfg,
-		leader: make(map[uint64]string),
-		rnd:    util.NewRand(cfg.Seed ^ 0xD47A),
+		nw:        nw,
+		cfg:       cfg,
+		leader:    make(map[uint64]string),
+		readFrom:  make(map[uint64]string),
+		overwrote: make(map[overwriteID]struct{}),
+		rnd:       util.NewRand(cfg.Seed ^ 0xD47A),
 	}
 	d.pool = newSessionPool(d)
+	d.readPool = newReadPool(d)
 	return d
 }
 
-// close retires every pooled replication session (Client.Close path).
-func (d *DataClient) close() { d.pool.close() }
+// close retires every pooled session (Client.Close path).
+func (d *DataClient) close() {
+	d.pool.close()
+	d.readPool.close()
+}
 
 func (d *DataClient) setView(dps []proto.DataPartitionInfo) {
 	sorted := append([]proto.DataPartitionInfo(nil), dps...)
@@ -244,14 +270,25 @@ func (d *DataClient) Overwrite(ek proto.ExtentKey, extentOff uint64, data []byte
 	if err != nil {
 		return err
 	}
+	// Pin future streamed reads of this extent to the leader BEFORE the
+	// proposal: even a failed overwrite may have applied on a quorum, and
+	// follower Raft apply is asynchronous either way.
+	d.mu.Lock()
+	d.overwrote[overwriteID{ek.PartitionID, ek.ExtentID}] = struct{}{}
+	d.mu.Unlock()
 	pkt := proto.NewPacket(proto.OpDataOverwrite, d.reqID.Add(1), ek.PartitionID, ek.ExtentID, data)
 	pkt.ExtentOffset = extentOff
 	var lastErr error
+	// Member order is built ONCE per call, not per attempt: the cached
+	// leader cannot change between rounds of this loop (only this client
+	// writes the cache), and rebuilding it per attempt re-took the client
+	// mutex on every retry round for the same answer.
+	order := d.memberOrder(dp)
 	// Retry rounds cover Raft elections in flight: the leader may not
 	// exist for a few tens of milliseconds after a partition is created
 	// or fails over (Section 2.1.3's retry-until-limit client behavior).
 	for attempt := 0; attempt <= d.cfg.MaxRetries; attempt++ {
-		for _, addr := range d.memberOrder(dp) {
+		for _, addr := range order {
 			var resp proto.Packet
 			err := d.nw.Call(addr, uint8(proto.OpDataOverwrite), pkt, &resp)
 			if err != nil {
@@ -277,9 +314,11 @@ func (d *DataClient) Overwrite(ek proto.ExtentKey, extentOff uint64, data []byte
 		dp.PartitionID, util.ErrRetryLimit, lastErr)
 }
 
-// Read fetches [extentOff, extentOff+length) of an extent, trying the
-// cached leader first, then the replicas in order (Section 2.4: caching
-// the last identified leader minimizes retries).
+// Read fetches [extentOff, extentOff+length) of an extent over the unary
+// Call path, trying the last replica that served a read first, then the
+// cached leader, then the replicas in order (Section 2.4: caching the
+// last identified server minimizes retries). The order is built once per
+// call; the streamed read path (reader.go) supersedes this for scans.
 func (d *DataClient) Read(ek proto.ExtentKey, extentOff uint64, length uint32) ([]byte, error) {
 	dp, err := d.partitionInfo(ek.PartitionID)
 	if err != nil {
@@ -288,7 +327,7 @@ func (d *DataClient) Read(ek proto.ExtentKey, extentOff uint64, length uint32) (
 	lenBuf := make([]byte, 4)
 	binary.BigEndian.PutUint32(lenBuf, length)
 	var lastErr error
-	for _, addr := range d.memberOrder(dp) {
+	for _, addr := range d.readOrder(dp, ek.ExtentID) {
 		pkt := proto.NewPacket(proto.OpDataRead, d.reqID.Add(1), ek.PartitionID, ek.ExtentID, lenBuf)
 		pkt.ExtentOffset = extentOff
 		var resp proto.Packet
@@ -306,7 +345,7 @@ func (d *DataClient) Read(ek proto.ExtentKey, extentOff uint64, length uint32) (
 			lastErr = fmt.Errorf("client: read dp %d: %w", ek.PartitionID, util.ErrCRCMismatch)
 			continue
 		}
-		d.cacheLeader(dp.PartitionID, addr)
+		d.cacheReadReplica(dp.PartitionID, addr)
 		return resp.Data, nil
 	}
 	return nil, fmt.Errorf("client: read dp %d failed on all replicas: %w (last: %v)",
@@ -367,12 +406,82 @@ func (d *DataClient) cacheLeader(pid uint64, addr string) {
 	d.mu.Unlock()
 }
 
-// ProbeCount reports how many replicas a read would try before finding the
-// leader right now (ablation instrumentation for the leader cache).
+// cacheReadReplica remembers the replica that last served a read for pid,
+// without touching the leader cache the overwrite path orders by.
+func (d *DataClient) cacheReadReplica(pid uint64, addr string) {
+	if d.cfg.DisableLeaderCache {
+		return
+	}
+	d.mu.Lock()
+	d.readFrom[pid] = addr
+	d.mu.Unlock()
+}
+
+// readOrder is the unary read path's attempt order, built once per call:
+// the last replica that served a read, then the cached leader, then the
+// view's member order. Extents this client has overwritten skip the
+// read-replica cache and go leader-first (the cached Raft leader, then
+// the member order) - follower Raft apply is asynchronous, so a cached
+// follower could serve pre-overwrite bytes the committed clamp cannot
+// catch. That matches the pre-offload behavior, where Overwrite's
+// leader caching reordered subsequent reads onto the leader.
+func (d *DataClient) readOrder(dp proto.DataPartitionInfo, extent uint64) []string {
+	if d.cfg.DisableLeaderCache {
+		return dp.Members
+	}
+	d.mu.Lock()
+	first := d.readFrom[dp.PartitionID]
+	second := d.leader[dp.PartitionID]
+	if _, pinned := d.overwrote[overwriteID{dp.PartitionID, extent}]; pinned {
+		first, second = second, ""
+	}
+	d.mu.Unlock()
+	if first == "" && second == "" {
+		return dp.Members
+	}
+	out := make([]string, 0, len(dp.Members)+1)
+	if first != "" {
+		out = append(out, first)
+	}
+	if second != "" && second != first {
+		out = append(out, second)
+	}
+	for _, a := range dp.Members {
+		if a != first && a != second {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// offloadOrder is the streamed read path's attempt order: the followers
+// rotated round-robin per run - spreading scan load off the leader - with
+// the leader LAST, as the fallback for a follower whose gossiped
+// committed offset still trails the range (or which is down or hung).
+func (d *DataClient) offloadOrder(dp proto.DataPartitionInfo, extent uint64) []string {
+	d.mu.Lock()
+	_, pinned := d.overwrote[overwriteID{dp.PartitionID, extent}]
+	d.mu.Unlock()
+	if pinned || len(dp.Members) <= 1 {
+		// Overwritten extents read leader-only: follower Raft apply is
+		// asynchronous and the committed clamp cannot see it.
+		return dp.Members[:util.Min(1, len(dp.Members))]
+	}
+	followers := dp.Members[1:]
+	start := int((d.readRR.Add(1) - 1) % uint64(len(followers)))
+	out := make([]string, 0, len(dp.Members))
+	for i := range followers {
+		out = append(out, followers[(start+i)%len(followers)])
+	}
+	return append(out, dp.Members[0])
+}
+
+// ProbeCount reports how many replicas a read would try before finding a
+// server right now (ablation instrumentation for the replica caches).
 func (d *DataClient) ProbeCount(pid uint64) int {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if d.leader[pid] != "" {
+	if d.readFrom[pid] != "" || d.leader[pid] != "" {
 		return 1
 	}
 	for _, dp := range d.view {

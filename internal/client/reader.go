@@ -1,0 +1,301 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"cfs/internal/proto"
+	"cfs/internal/transport"
+	"cfs/internal/util"
+)
+
+// ExtentReader streams extent reads through pooled read sessions
+// (OpDataReadStream) with a sliding readahead window - the read-side twin
+// of ExtentWriter.
+//
+// ReadAt serves one extent range. When consecutive calls continue a
+// sequential run (same extent, next offset - the fio SeqRead shape), the
+// reader keeps up to window read requests in flight AHEAD of the caller,
+// bounded by the contiguous extent span the caller declares known, so the
+// per-block propagation delay is paid once per window instead of once per
+// block. Fetched-but-unconsumed chunks are retained across ReadAt calls
+// (the cross-call readahead buffer); callers must Invalidate on writes
+// and overwrites for read-your-writes. The window is adaptive by default,
+// reusing the write path's windowed-min-RTT controller (writer.go):
+// Config.ReadWindow is the starting point, MaxReadWindow the cap, and
+// DisableAdaptiveWindow pins it.
+//
+// Replica choice is committed-clamped follower offload: the reader
+// round-robins runs across the partition's followers and falls back
+// replica by replica - ending at the leader - when one is unreachable,
+// hung (the session watchdog converts that into an error), or refuses the
+// range because its gossiped committed offset still trails it (the
+// Section 2.2.5 clamp). A stale-epoch reject retires the session, re-pulls
+// the view, and retries against the reconfigured partition.
+//
+// An ExtentReader is not safe for concurrent use; core.File serializes
+// access under its own mutex.
+type ExtentReader struct {
+	d   *DataClient
+	win winController
+
+	// Current sequential run.
+	pid     uint64
+	extent  uint64
+	epoch   uint64
+	sess    *readSession
+	cands   []string // replica attempt order for this run; leader last
+	candIdx int
+
+	reqs     []*readReq // issued requests in extent-offset order
+	headOff  uint64     // bytes of reqs[0] already consumed
+	consumed uint64     // next extent offset the caller will receive
+	nextOff  uint64     // prefetch frontier
+	limit    uint64     // contiguous known end; never request past it
+	seqRun   bool       // a continuation was observed; prefetch ahead
+}
+
+// ReadPipelined reports whether the streaming read path is available: the
+// transport must support duplex packet streams and the ablation switch
+// must be off.
+func (d *DataClient) ReadPipelined() bool {
+	if d.cfg.DisableReadPipeline {
+		return false
+	}
+	_, ok := d.nw.(transport.PacketStreamNetwork)
+	return ok
+}
+
+// NewExtentReader returns a streaming reader over the client's pooled
+// read sessions. Callers keep one per file for cross-call readahead.
+func (d *DataClient) NewExtentReader() *ExtentReader {
+	window := d.cfg.ReadWindow
+	if window < 1 {
+		window = 1
+	}
+	max := d.cfg.MaxReadWindow
+	if max < window {
+		max = window
+	}
+	return &ExtentReader{
+		d:   d,
+		win: winController{cur: window, max: max, adaptive: !d.cfg.DisableAdaptiveWindow},
+	}
+}
+
+// Window returns the reader's current readahead window size (adaptive
+// sizing makes this a moving target; ablations read it).
+func (r *ExtentReader) Window() int { return r.win.cur }
+
+// ReadAt fills p from [extentOff, extentOff+len(p)) of the extent ek names.
+// known is the end of the contiguous byte span the caller knows exists in
+// that extent (from its extent keys); the reader prefetches toward it on
+// sequential runs but never requests past it. Returns the bytes read; on
+// error the prefix read so far is valid.
+func (r *ExtentReader) ReadAt(ek proto.ExtentKey, extentOff uint64, p []byte, known uint64) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	end := extentOff + uint64(len(p))
+	if known < end {
+		known = end
+	}
+	read := 0
+	stales := 0
+	for read < len(p) {
+		cur := extentOff + uint64(read)
+		if r.pid != ek.PartitionID || r.extent != ek.ExtentID || r.consumed != cur {
+			r.beginRun(ek, cur)
+		}
+		if known > r.limit {
+			r.limit = known
+		}
+		err := r.ensureSession()
+		if err == nil {
+			err = r.fill(end)
+		}
+		if err == nil {
+			var n int
+			n, err = r.consume(p[read:])
+			read += n
+			if err == nil {
+				continue
+			}
+		}
+		// One replica's attempt failed: drop the run's buffers (their
+		// session is dead or their replica refused) and decide what the
+		// retry targets.
+		r.dropBuffers()
+		r.nextOff = r.consumed
+		r.sess = nil
+		if errors.Is(err, util.ErrStale) {
+			// The view moved (epoch bump, session retirement): re-pull it
+			// and rebuild the candidate order against the fresh epoch.
+			stales++
+			if stales > r.d.cfg.MaxRetries {
+				return read, err
+			}
+			r.d.refreshView()
+			r.cands, r.candIdx = nil, 0
+			continue
+		}
+		r.candIdx++
+		if r.cands != nil && r.candIdx < len(r.cands) {
+			continue // fall back to the next replica (the leader is last)
+		}
+		return read, err
+	}
+	// The next contiguous ReadAt continues this run; prefetch ahead of it.
+	r.seqRun = true
+	return len(p), nil
+}
+
+// beginRun resets the reader onto a new (extent, offset) position. The
+// replica candidate order is re-picked lazily so every run round-robins
+// across followers.
+func (r *ExtentReader) beginRun(ek proto.ExtentKey, off uint64) {
+	r.dropBuffers()
+	r.pid, r.extent = ek.PartitionID, ek.ExtentID
+	r.consumed, r.nextOff = off, off
+	r.limit = 0
+	r.seqRun = false
+	r.sess = nil
+	r.cands, r.candIdx = nil, 0
+}
+
+// ensureSession binds the run to a pooled read session on the current
+// candidate replica, resolving the partition's epoch from the view.
+func (r *ExtentReader) ensureSession() error {
+	if r.sess != nil && r.sess.healthy() {
+		return nil
+	}
+	dp, err := r.d.partitionInfo(r.pid)
+	if err != nil {
+		return err
+	}
+	r.epoch = dp.ReplicaEpoch
+	if r.cands == nil {
+		r.cands = r.d.offloadOrder(dp, r.extent)
+		r.candIdx = 0
+	}
+	if r.candIdx >= len(r.cands) {
+		return fmt.Errorf("client: read dp %d: no replica left to try: %w", r.pid, util.ErrNoAvailableNode)
+	}
+	s, err := r.d.readPool.get(readKey{addr: r.cands[r.candIdx], epoch: dp.ReplicaEpoch})
+	if err != nil {
+		return err
+	}
+	r.sess = s
+	return nil
+}
+
+// fill tops the in-flight window up: at least through needEnd, and on a
+// sequential run up to a full window ahead of the consumer, clamped at
+// the known-contiguous limit.
+func (r *ExtentReader) fill(needEnd uint64) error {
+	packet := uint64(r.d.cfg.PacketSize)
+	target := needEnd
+	if r.seqRun {
+		if ahead := r.consumed + uint64(r.win.cur)*packet; ahead > target {
+			target = ahead
+		}
+	}
+	if target > r.limit {
+		target = r.limit
+	}
+	// Sequential runs issue full packets clamped only at the known limit
+	// (over-fetching ahead of the consumer is the point of readahead); a
+	// run not yet known to be sequential fetches exactly the caller's
+	// range, so a one-off streamed read never over-reads the replica.
+	bound := r.limit
+	if !r.seqRun {
+		bound = target
+	}
+	for r.nextOff < target && len(r.reqs) < r.win.cur {
+		span := util.MinU64(packet, bound-r.nextOff)
+		req, err := r.sess.read(r.pid, r.extent, r.nextOff, uint32(span), r.epoch, len(r.reqs))
+		if err != nil {
+			return err
+		}
+		r.reqs = append(r.reqs, req)
+		r.nextOff += span
+	}
+	return nil
+}
+
+// consume copies bytes from the window head into p, blocking until the
+// head request completes (the session's reply deadline bounds the wait).
+func (r *ExtentReader) consume(p []byte) (int, error) {
+	if len(r.reqs) == 0 {
+		return 0, fmt.Errorf("client: read dp %d: empty readahead window: %w", r.pid, util.ErrInvalidArgument)
+	}
+	req := r.reqs[0]
+	<-req.done
+	if req.err != nil {
+		return 0, req.err
+	}
+	if !req.observed {
+		// One controller sample per request, stamped at completion time so
+		// buffered consumption does not inflate the RTT estimate. The
+		// service gap scales the intra-request chunk spacing up to a
+		// per-request service time (single-chunk requests carry no gap
+		// information and contribute only their RTT).
+		req.observed = true
+		var service time.Duration
+		if req.gapN > 0 {
+			service = time.Duration(req.gapSum / float64(req.gapN) * float64(len(req.chunks)) * float64(time.Second))
+		}
+		r.win.observeRead(req.doneAt.Sub(req.sentAt), service, req.qdepth)
+	}
+	n := 0
+	skip := r.headOff
+	for _, c := range req.chunks {
+		if skip >= uint64(len(c)) {
+			skip -= uint64(len(c))
+			continue
+		}
+		m := copy(p[n:], c[skip:])
+		n += m
+		skip = 0
+		if n == len(p) {
+			break
+		}
+	}
+	r.headOff += uint64(n)
+	r.consumed += uint64(n)
+	if r.headOff >= uint64(req.length) {
+		r.reqs = r.reqs[1:]
+		r.headOff = 0
+		recycleChunks(req) // fully consumed; hand the buffers back
+	}
+	return n, nil
+}
+
+// dropBuffers abandons every outstanding request and releases retained
+// chunks (session-side recycling handles the in-flight ones).
+func (r *ExtentReader) dropBuffers() {
+	if r.sess != nil {
+		for _, req := range r.reqs {
+			r.sess.abandon(req)
+		}
+	}
+	r.reqs = nil
+	r.headOff = 0
+}
+
+// Invalidate discards the readahead state (buffered and in-flight chunks
+// alike). core.File calls it on every write and overwrite so a later read
+// observes the new bytes, not a stale prefetch (read-your-writes).
+func (r *ExtentReader) Invalidate() {
+	r.dropBuffers()
+	r.pid, r.extent = 0, 0
+	r.consumed, r.nextOff, r.limit = 0, 0, 0
+	r.seqRun = false
+	r.sess = nil
+	r.cands, r.candIdx = nil, 0
+}
+
+// Close releases the reader's buffers. Pooled sessions stay open for
+// other readers and idle-retire on their own.
+func (r *ExtentReader) Close() { r.Invalidate() }

@@ -1,0 +1,315 @@
+package client
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"cfs/internal/datanode"
+	"cfs/internal/master"
+	"cfs/internal/meta"
+	"cfs/internal/proto"
+	"cfs/internal/raftstore"
+	"cfs/internal/transport"
+)
+
+// startReadCluster is startCluster plus the datanode handles, which the
+// read-path tests need to observe replica epochs and served-read counts.
+func startReadCluster(t *testing.T, nw *transport.Memory) []*datanode.DataNode {
+	t.Helper()
+	m, err := master.Start(nw, master.Config{
+		Addr: "master", ReplicaCount: 3, DisableBackground: true,
+		Raft: raftstore.Config{FlushInterval: time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+	if !m.WaitLeader(5 * time.Second) {
+		t.Fatal("no master leader")
+	}
+	var dns []*datanode.DataNode
+	for i := 0; i < 3; i++ {
+		mn, err := meta.Start(nw, meta.Config{
+			Addr: fmt.Sprintf("mn%d", i), MasterAddr: "master", DisableHeartbeat: true,
+			Raft: raftstore.Config{FlushInterval: time.Millisecond},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(mn.Close)
+		dn, err := datanode.Start(nw, datanode.Config{
+			Addr: fmt.Sprintf("dn%d", i), MasterAddr: "master",
+			Dir: t.TempDir(), DisableHeartbeat: true,
+			Raft: raftstore.Config{FlushInterval: time.Millisecond},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(dn.Close)
+		dns = append(dns, dn)
+	}
+	var resp proto.CreateVolumeResp
+	if err := nw.Call("master", uint8(proto.OpMasterCreateVolume), &proto.CreateVolumeReq{
+		Name: "readvol", MetaPartitionCount: 1, DataPartitionCount: 1,
+	}, &resp); err != nil {
+		t.Fatal(err)
+	}
+	return dns
+}
+
+// nodeByAddr maps a member address back to its handle (dn0, dn1, ...).
+func nodeByAddr(t *testing.T, dns []*datanode.DataNode, addr string) *datanode.DataNode {
+	t.Helper()
+	for _, dn := range dns {
+		if dn.Addr() == addr {
+			return dn
+		}
+	}
+	t.Fatalf("no datanode at %s", addr)
+	return nil
+}
+
+// writeCommitted streams payload into a fresh extent of dp and waits
+// until EVERY member's learned committed offset covers it, so follower
+// reads below are deterministic (gossip is async).
+func writeCommitted(t *testing.T, c *Client, dns []*datanode.DataNode, dp proto.DataPartitionInfo, payload []byte) proto.ExtentKey {
+	t.Helper()
+	w, err := c.Data.NewExtentWriter(dp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if _, err := w.Write(0, payload); err != nil {
+		t.Fatal(err)
+	}
+	keys, _, err := w.Drain()
+	if err != nil || len(keys) == 0 {
+		t.Fatalf("drain = %d keys, %v", len(keys), err)
+	}
+	first := keys[0]
+	end := keys[len(keys)-1].ExtentOffset + uint64(keys[len(keys)-1].Size)
+	deadline := time.Now().Add(5 * time.Second)
+	for _, member := range dp.Members {
+		p := nodeByAddr(t, dns, member).Partition(dp.PartitionID)
+		for p.CommittedOf(first.ExtentID) < end {
+			if time.Now().After(deadline) {
+				t.Fatalf("%s never learned committed offset %d", member, end)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	// The writer produced one key per packet; the reader test reads the
+	// whole contiguous span through the first key's extent.
+	first.Size = uint32(end - first.ExtentOffset)
+	return first
+}
+
+// TestStreamReadFollowerOffload: streamed reads of a healthy partition are
+// served entirely by followers - the leader's read counter does not move -
+// because the committed clamp makes follower serving safe (Section 2.2.5).
+func TestStreamReadFollowerOffload(t *testing.T) {
+	nw := transport.NewMemory()
+	dns := startReadCluster(t, nw)
+	c, err := Mount(nw, "master", "readvol", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	dp, err := c.Data.PickWritable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("offload!"), 64*1024) // 512 KB, 4 packets
+	ek := writeCommitted(t, c, dns, dp, payload)
+
+	leader := nodeByAddr(t, dns, dp.Members[0])
+	before := leader.ReadsServed()
+	r := c.Data.NewExtentReader()
+	defer r.Close()
+	buf := make([]byte, len(payload))
+	for off := 0; off < len(payload); off += 128 * 1024 {
+		n, err := r.ReadAt(ek, ek.ExtentOffset+uint64(off), buf[off:off+128*1024], ek.ExtentOffset+uint64(len(payload)))
+		if err != nil || n != 128*1024 {
+			t.Fatalf("streamed read at %d = %d, %v", off, n, err)
+		}
+	}
+	if !bytes.Equal(buf, payload) {
+		t.Fatal("streamed read content mismatch")
+	}
+	if after := leader.ReadsServed(); after != before {
+		t.Fatalf("leader served %d read requests during a healthy-follower scan, want 0", after-before)
+	}
+	served := uint64(0)
+	for _, member := range dp.Members[1:] {
+		served += nodeByAddr(t, dns, member).ReadsServed()
+	}
+	if served == 0 {
+		t.Fatal("no follower served any streamed read")
+	}
+}
+
+// TestStreamReadWatchdogFailsOverHungReplica: a replica that accepts a
+// read session but never answers (Memory.Freeze, the half-open case) must
+// not wedge the reader - the session watchdog trips the reply deadline
+// and the reader fails over to another replica within deadline-order time.
+func TestStreamReadWatchdogFailsOverHungReplica(t *testing.T) {
+	nw := transport.NewMemory()
+	dns := startReadCluster(t, nw)
+	c, err := Mount(nw, "master", "readvol", Config{
+		AckDeadline:       200 * time.Millisecond,
+		KeepaliveInterval: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	dp, err := c.Data.PickWritable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("hangfree"), 8*1024) // 64 KB
+	ek := writeCommitted(t, c, dns, dp, payload)
+
+	// The first offload run targets the first follower; freeze it so its
+	// session dials fine but every request stalls forever.
+	frozen := dp.Members[1]
+	nw.Freeze(frozen)
+	defer nw.Heal(frozen)
+
+	r := c.Data.NewExtentReader()
+	defer r.Close()
+	buf := make([]byte, len(payload))
+	start := time.Now()
+	n, err := r.ReadAt(ek, ek.ExtentOffset, buf, ek.ExtentOffset+uint64(len(payload)))
+	took := time.Since(start)
+	if err != nil || n != len(payload) {
+		t.Fatalf("read against a hung follower = %d, %v", n, err)
+	}
+	if !bytes.Equal(buf, payload) {
+		t.Fatal("failed-over read content mismatch")
+	}
+	if took > 5*time.Second {
+		t.Fatalf("failover took %v, want deadline-order time", took)
+	}
+	if hung := nodeByAddr(t, dns, frozen); hung.ReadsServed() != 0 {
+		t.Fatalf("frozen follower reportedly served %d reads", hung.ReadsServed())
+	}
+}
+
+// TestStreamReadRetriesAfterEpochBump is the mid-stream failover
+// regression: a reconfiguration bumps the partition's replica epoch while
+// the client still reads on the old view. The data node rejects the stale
+// frames retriably, the reader refreshes the view, re-dials at the new
+// epoch, and the read completes - no error surfaces to the caller.
+func TestStreamReadRetriesAfterEpochBump(t *testing.T) {
+	nw := transport.NewMemory()
+	dns := startReadCluster(t, nw)
+	c, err := Mount(nw, "master", "readvol", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	dp, err := c.Data.PickWritable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("epochtwo"), 8*1024) // 64 KB
+	ek := writeCommitted(t, c, dns, dp, payload)
+
+	// Detach one follower through the master: the survivors adopt a
+	// bumped ReplicaEpoch while the client's cached view stays at the old
+	// one. Cut the detached node off so the reader cannot dodge the fence
+	// by reading from a replica the reconfiguration left behind.
+	detached := dp.Members[1]
+	if err := nw.Call("master", uint8(proto.OpMasterReportFailure),
+		&proto.ReportFailureReq{PartitionID: dp.PartitionID, Addr: detached}, nil); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for _, member := range dp.Members {
+		if member == detached {
+			continue
+		}
+		p := nodeByAddr(t, dns, member).Partition(dp.PartitionID)
+		for p.Epoch() == dp.ReplicaEpoch {
+			if time.Now().After(deadline) {
+				t.Fatalf("%s never adopted the bumped epoch", member)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	nw.Partition(detached)
+	defer nw.Heal(detached)
+
+	if got, _ := c.Data.partitionInfo(dp.PartitionID); got.ReplicaEpoch != dp.ReplicaEpoch {
+		t.Fatalf("view refreshed early: epoch %d", got.ReplicaEpoch)
+	}
+	r := c.Data.NewExtentReader()
+	defer r.Close()
+	buf := make([]byte, len(payload))
+	n, err := r.ReadAt(ek, ek.ExtentOffset, buf, ek.ExtentOffset+uint64(len(payload)))
+	if err != nil || n != len(payload) {
+		t.Fatalf("read across the epoch bump = %d, %v", n, err)
+	}
+	if !bytes.Equal(buf, payload) {
+		t.Fatal("read content mismatch after the epoch bump")
+	}
+	// The success must have come THROUGH the stale-retry path: the view
+	// the client now holds is the reconfigured one.
+	if got, _ := c.Data.partitionInfo(dp.PartitionID); got.ReplicaEpoch <= dp.ReplicaEpoch {
+		t.Fatalf("view still at epoch %d; the reader never refreshed", got.ReplicaEpoch)
+	}
+}
+
+// TestOffloadOrderShape: followers come first (rotated per run), the
+// leader is always last, and extents the client overwrote pin to the
+// leader alone.
+func TestOffloadOrderShape(t *testing.T) {
+	d := newDataClient(transport.NewMemory(), Config{}.withDefaults("x"))
+	dp := proto.DataPartitionInfo{PartitionID: 7, Members: []string{"L", "F1", "F2"}}
+	seen := make(map[string]bool)
+	for i := 0; i < 4; i++ {
+		order := d.offloadOrder(dp, 1)
+		if len(order) != 3 || order[2] != "L" {
+			t.Fatalf("offload order = %v, want leader last", order)
+		}
+		seen[order[0]] = true
+	}
+	if !seen["F1"] || !seen["F2"] {
+		t.Fatalf("round-robin never rotated: first candidates seen = %v", seen)
+	}
+	d.mu.Lock()
+	d.overwrote[overwriteID{7, 1}] = struct{}{}
+	d.mu.Unlock()
+	if order := d.offloadOrder(dp, 1); len(order) != 1 || order[0] != "L" {
+		t.Fatalf("overwritten extent order = %v, want leader only", order)
+	}
+	if order := d.offloadOrder(dp, 2); len(order) != 3 {
+		t.Fatalf("sibling extent order = %v, want full offload", order)
+	}
+}
+
+// TestReadOrderPinsOverwrittenExtents: the unary path's attempt order
+// must also honor the overwrite pin - a cached read replica (a follower)
+// could serve pre-overwrite bytes, since follower Raft apply is
+// asynchronous and invisible to the committed clamp.
+func TestReadOrderPinsOverwrittenExtents(t *testing.T) {
+	d := newDataClient(transport.NewMemory(), Config{}.withDefaults("x"))
+	dp := proto.DataPartitionInfo{PartitionID: 7, Members: []string{"L", "F1", "F2"}}
+	d.cacheReadReplica(7, "F2")
+	d.cacheLeader(7, "L")
+	if order := d.readOrder(dp, 1); order[0] != "F2" {
+		t.Fatalf("unpinned read order = %v, want cached replica first", order)
+	}
+	d.mu.Lock()
+	d.overwrote[overwriteID{7, 1}] = struct{}{}
+	d.mu.Unlock()
+	if order := d.readOrder(dp, 1); order[0] != "L" {
+		t.Fatalf("pinned read order = %v, want leader first", order)
+	}
+	if order := d.readOrder(dp, 2); order[0] != "F2" {
+		t.Fatalf("sibling extent read order = %v, want cached replica first", order)
+	}
+}

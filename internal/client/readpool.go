@@ -1,0 +1,483 @@
+package client
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"cfs/internal/proto"
+	"cfs/internal/transport"
+	"cfs/internal/util"
+)
+
+// The read-session pool: the read-side twin of pool.go. A readSession is
+// one pinned OpDataReadStream to a replica, shared by every ExtentReader
+// the client points at that replica; sessions are keyed on
+// (replica address, replica epoch) and kept SEPARATE from the write-
+// session pool, so a large scan's chunk stream can never head-of-line-
+// block write acks (the ROADMAP fairness item, solved for reads).
+//
+// The session pushes read requests without waiting for replies and the
+// server answers strictly in request order, so the in-flight FIFO routes
+// every reply to its owner by sequence alone. Liveness mirrors the write
+// session: a watchdog enforces a reply deadline on the oldest in-flight
+// request (a replica that accepts requests but never answers - the
+// half-open case - fails the session instead of wedging the reader, which
+// then fails over to another replica), pings idle sessions so the
+// server's idle reaper can tell a quiet client from a dead one, and
+// retires sessions nothing has used for a long time.
+//
+// Failure fates are two-tier: a per-request error reply (committed-clamp
+// refusal, unknown extent) fails only that request - the session and
+// later requests are fine, which is what makes follower fallback cheap.
+// Transport errors, the reply deadline, protocol violations, and
+// stale-epoch rejects are session-fatal: every in-flight request fails,
+// the stream closes, and the pool drops the session.
+
+// readKey identifies one pooled read session: the replica it is pinned to
+// and the replica epoch the dialer's view held. An epoch bump (failover,
+// reconfiguration) changes the key, so readers on the fresh view get a
+// fresh session while the stale one idles out.
+type readKey struct {
+	addr  string
+	epoch uint64
+}
+
+// readReq is one in-flight read request (or keepalive) of a session.
+type readReq struct {
+	seq    uint64
+	off    uint64 // requested extent offset
+	length uint32
+	ping   bool
+
+	sentAt time.Time
+	// qdepth is how many requests were already in flight at send time;
+	// low-occupancy samples qualify for the min-RTT filter (writer.go).
+	qdepth int
+
+	// chunks collects the reply payloads in order. The session's recvLoop
+	// owns them until done closes; then ownership transfers to the waiter,
+	// which recycles them into the shared chunk pool after consumption.
+	chunks [][]byte
+	got    uint32
+	err    error
+	doneAt time.Time
+	done   chan struct{}
+	// Chunk-arrival spacing within this request: the server streams a
+	// request's chunks back to back, so their arrival gaps sample the
+	// pipe's per-chunk service time - the producer-clocked signal the
+	// reader's adaptive window sizes itself from (see observeRead).
+	lastChunkAt time.Time
+	gapSum      float64 // seconds
+	gapN        int
+
+	// Guarded by the session mutex: the chunk-buffer ownership handoff for
+	// requests abandoned before completion (reader reset/failover).
+	completed bool
+	discarded bool
+	// observed marks the request as already counted by the reader's
+	// adaptive-window controller (reader-side state; single-threaded).
+	observed bool
+}
+
+// readSession is one pinned read stream to a replica.
+type readSession struct {
+	d    *DataClient
+	pool *readPool
+	key  readKey
+	st   transport.PacketStream
+
+	// sendMu serializes senders so the FIFO order is the wire order (the
+	// server replies in wire order). Deliberately not mu: a send blocked
+	// on a wedged peer must not stop the watchdog from tripping the
+	// deadline and closing the stream underneath it.
+	sendMu sync.Mutex
+
+	mu           sync.Mutex
+	seq          uint64
+	pending      []*readReq
+	err          error // first fatal error; sticky
+	lastSend     time.Time
+	lastProgress time.Time
+	lastUsed     time.Time // last reader request (pings excluded)
+
+	stopc    chan struct{}
+	stopOnce sync.Once
+	recvDone chan struct{}
+}
+
+// dialReadSession opens a read session to addr and starts its reply
+// dispatcher and liveness watchdog.
+func (d *DataClient) dialReadSession(pool *readPool, key readKey) (*readSession, error) {
+	snw, ok := d.nw.(transport.PacketStreamNetwork)
+	if !ok {
+		return nil, fmt.Errorf("client: transport has no packet streams: %w", util.ErrInvalidArgument)
+	}
+	st, err := snw.DialStream(key.addr, uint8(proto.OpDataReadStream))
+	if err != nil {
+		return nil, err
+	}
+	now := time.Now()
+	s := &readSession{
+		d: d, pool: pool, key: key, st: st,
+		lastSend: now, lastProgress: now, lastUsed: now,
+		stopc: make(chan struct{}), recvDone: make(chan struct{}),
+	}
+	go s.recvLoop()
+	go s.runWatchdog()
+	return s, nil
+}
+
+// read registers one request in the FIFO and writes it to the stream. The
+// returned request completes (done closes) when its final chunk or error
+// reply arrives, or when the session fails.
+func (s *readSession) read(pid, extentID, off uint64, length uint32, epoch uint64, qdepth int) (*readReq, error) {
+	s.sendMu.Lock()
+	defer s.sendMu.Unlock()
+	req, pkt := s.registerLocked(&readReq{off: off, length: length, qdepth: qdepth}, func(seq uint64) *proto.Packet {
+		return &proto.Packet{
+			Op:           proto.OpDataRead,
+			ReqID:        seq,
+			PartitionID:  pid,
+			ExtentID:     extentID,
+			ExtentOffset: off,
+			FileOffset:   uint64(length), // requested length rides the slot
+			Epoch:        epoch,
+		}
+	})
+	if req == nil {
+		s.mu.Lock()
+		err := s.err
+		s.mu.Unlock()
+		return nil, err
+	}
+	if err := s.st.Send(pkt); err != nil {
+		err = fmt.Errorf("client: read stream to %s: %v: %w", s.key.addr, err, util.ErrTimeout)
+		s.fail(err)
+		return nil, err
+	}
+	return req, nil
+}
+
+// registerLocked stamps the sequence and appends the request to the FIFO;
+// the caller holds sendMu. Returns nil when the session already failed.
+func (s *readSession) registerLocked(req *readReq, build func(seq uint64) *proto.Packet) (*readReq, *proto.Packet) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return nil, nil
+	}
+	s.seq++
+	req.seq = s.seq
+	req.sentAt = time.Now()
+	req.done = make(chan struct{})
+	if len(s.pending) == 0 {
+		s.lastProgress = req.sentAt // the deadline clock starts at empty->busy
+	}
+	s.pending = append(s.pending, req)
+	s.lastSend = req.sentAt
+	if !req.ping {
+		s.lastUsed = req.sentAt
+	}
+	return req, build(req.seq)
+}
+
+// recvLoop routes each reply to the FIFO head. The server answers strictly
+// in request order, so a reply for anything but the head is a protocol
+// violation and fails the session.
+func (s *readSession) recvLoop() {
+	defer close(s.recvDone)
+	for {
+		f, err := s.st.Recv()
+		if err != nil {
+			// Same timeout mapping as the write session: a stream that dies
+			// is retried exactly like one that hangs.
+			s.fail(fmt.Errorf("client: read stream to %s: %v: %w", s.key.addr, err, util.ErrTimeout))
+			return
+		}
+		now := time.Now()
+		s.mu.Lock()
+		if len(s.pending) == 0 || s.pending[0].seq != f.ReqID {
+			s.mu.Unlock()
+			s.fail(fmt.Errorf("client: read stream to %s: reply for seq %d out of order: %w",
+				s.key.addr, f.ReqID, util.ErrTimeout))
+			return
+		}
+		req := s.pending[0]
+		s.lastProgress = now
+		stale := false
+		fatal := error(nil)
+		switch {
+		case f.ResultCode == proto.ResultErrStaleEpoch:
+			// The partition reconfigured under this session's epoch: this
+			// request fails retriably, and every later frame carries the
+			// same doomed epoch, so the whole session retires.
+			req.err = fmt.Errorf("client: read via %s: %s: %w", s.key.addr, f.Data, util.ErrStale)
+			stale = true
+			s.completeLocked(req, now)
+		case f.ResultCode != proto.ResultOK:
+			if req.ping {
+				// A rejected keepalive means the session is not serviceable.
+				fatal = fmt.Errorf("client: read keepalive to %s rejected: %s: %w", s.key.addr, f.Data, util.ErrTimeout)
+			} else {
+				// Per-request error (committed clamp, unknown extent): the
+				// owner falls back to another replica; the session is fine.
+				req.err = fmt.Errorf("client: read via %s: %s", s.key.addr, f.Data)
+				s.completeLocked(req, now)
+			}
+		case req.ping:
+			s.completeLocked(req, now)
+		case !f.VerifyCRC():
+			fatal = fmt.Errorf("client: read stream to %s: %w", s.key.addr, util.ErrCRCMismatch)
+		default:
+			if !req.lastChunkAt.IsZero() {
+				req.gapSum += now.Sub(req.lastChunkAt).Seconds()
+				req.gapN++
+			}
+			req.lastChunkAt = now
+			req.chunks = append(req.chunks, f.Data)
+			req.got += uint32(len(f.Data))
+			if f.FileOffset == 0 { // the request's final chunk
+				if req.got != req.length {
+					fatal = fmt.Errorf("client: read stream to %s: got %d of %d bytes: %w",
+						s.key.addr, req.got, req.length, util.ErrTimeout)
+				} else {
+					s.completeLocked(req, now)
+				}
+			}
+		}
+		s.mu.Unlock()
+		if fatal != nil {
+			s.fail(fatal)
+			return
+		}
+		if stale {
+			s.fail(fmt.Errorf("client: read session to %s at stale replica epoch: %w", s.key.addr, util.ErrStale))
+			return
+		}
+	}
+}
+
+// completeLocked pops the FIFO head (req) and wakes its waiter; the caller
+// holds s.mu. Chunks of requests nobody waits for anymore go back to the
+// pool here - the only point where both sides' state is visible.
+func (s *readSession) completeLocked(req *readReq, now time.Time) {
+	s.pending = s.pending[1:]
+	req.completed = true
+	req.doneAt = now
+	close(req.done)
+	if req.discarded {
+		recycleChunks(req)
+	}
+}
+
+// abandon releases a request the reader no longer wants (reset, failover):
+// completed requests recycle immediately, in-flight ones are marked so the
+// recvLoop recycles them on completion.
+func (s *readSession) abandon(req *readReq) {
+	s.mu.Lock()
+	if req.completed {
+		recycleChunks(req)
+	} else {
+		req.discarded = true
+	}
+	s.mu.Unlock()
+}
+
+func recycleChunks(req *readReq) {
+	for _, c := range req.chunks {
+		util.PutChunk(c)
+	}
+	req.chunks = nil
+}
+
+// runWatchdog enforces the reply deadline and pings idle sessions -
+// identical policy to the write session's watchdog.
+func (s *readSession) runWatchdog() {
+	ackDeadline := s.d.cfg.AckDeadline
+	keepalive := s.d.cfg.KeepaliveInterval
+	tick := keepalive / 2
+	if d := ackDeadline / 4; d < tick {
+		tick = d
+	}
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopc:
+			return
+		case <-t.C:
+		}
+		now := time.Now()
+		expired, retire, ping := false, false, false
+		s.mu.Lock()
+		if s.err != nil {
+			s.mu.Unlock()
+			return
+		}
+		if len(s.pending) > 0 && now.Sub(s.lastProgress) > ackDeadline {
+			expired = true
+		} else if len(s.pending) == 0 && now.Sub(s.lastUsed) > idleRetireTicks*keepalive {
+			retire = true
+		} else if now.Sub(s.lastSend) > keepalive {
+			ping = true
+		}
+		s.mu.Unlock()
+		if expired {
+			s.fail(fmt.Errorf("client: read stream to %s: no reply within %v (hung replica): %w",
+				s.key.addr, ackDeadline, util.ErrTimeout))
+			return
+		}
+		if retire {
+			// Retirement is retriable staleness, like the write pool: a
+			// dormant reader's next scan transparently re-dials.
+			s.fail(fmt.Errorf("client: read session to %s idle-retired: %w", s.key.addr, util.ErrStale))
+			return
+		}
+		if ping {
+			s.tryPing()
+		}
+	}
+}
+
+// tryPing sends a keepalive without ever blocking the watchdog.
+func (s *readSession) tryPing() {
+	if !s.sendMu.TryLock() {
+		return
+	}
+	defer s.sendMu.Unlock()
+	req, pkt := s.registerLocked(&readReq{ping: true}, func(seq uint64) *proto.Packet {
+		return &proto.Packet{Op: proto.OpDataPing, ReqID: seq}
+	})
+	if req == nil {
+		return
+	}
+	if err := s.st.Send(pkt); err != nil {
+		s.fail(fmt.Errorf("client: read stream to %s: %v: %w", s.key.addr, err, util.ErrTimeout))
+	}
+}
+
+// fail is the single session-fatal path: sticky error, stream closed,
+// session dropped from the pool, every in-flight request completed with
+// the error so waiters unblock.
+func (s *readSession) fail(err error) {
+	s.mu.Lock()
+	if s.err != nil {
+		s.mu.Unlock()
+		return
+	}
+	s.err = err
+	pend := s.pending
+	s.pending = nil
+	now := time.Now()
+	for _, req := range pend {
+		if req.err == nil {
+			req.err = err
+		}
+		req.completed = true
+		req.doneAt = now
+		close(req.done)
+		if req.discarded {
+			recycleChunks(req)
+		}
+	}
+	s.mu.Unlock()
+	s.stopOnce.Do(func() { close(s.stopc) })
+	s.st.Close()
+	if s.pool != nil {
+		s.pool.drop(s)
+	}
+}
+
+func (s *readSession) healthy() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err == nil
+}
+
+// touch refreshes the idle-retire clock on pool handout.
+func (s *readSession) touch() {
+	s.mu.Lock()
+	s.lastUsed = time.Now()
+	s.mu.Unlock()
+}
+
+// close tears the session down on owner-initiated shutdown (pool close).
+func (s *readSession) close() {
+	s.fail(fmt.Errorf("client: read session to %s closed: %w", s.key.addr, util.ErrClosed))
+	<-s.recvDone
+}
+
+// readPool caches one readSession per (replica, epoch).
+type readPool struct {
+	d *DataClient
+
+	mu       sync.Mutex
+	sessions map[readKey]*readSession
+	closed   bool
+}
+
+func newReadPool(d *DataClient) *readPool {
+	return &readPool{d: d, sessions: make(map[readKey]*readSession)}
+}
+
+// get returns the pooled session for key, dialing one if the cache is
+// empty or the cached session failed.
+func (p *readPool) get(key readKey) (*readSession, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, fmt.Errorf("client: read pool: %w", util.ErrClosed)
+	}
+	cached := p.sessions[key]
+	if cached != nil && cached.healthy() {
+		p.mu.Unlock()
+		cached.touch()
+		return cached, nil
+	}
+	delete(p.sessions, key)
+	p.mu.Unlock()
+	s, err := p.d.dialReadSession(p, key)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		s.close()
+		return nil, fmt.Errorf("client: read pool: %w", util.ErrClosed)
+	}
+	if cur := p.sessions[key]; cur != nil && cur.healthy() {
+		p.mu.Unlock()
+		s.close() // lost the dial race; reuse the winner
+		cur.touch()
+		return cur, nil
+	}
+	p.sessions[key] = s
+	p.mu.Unlock()
+	return s, nil
+}
+
+// drop forgets a failed session (called from readSession.fail).
+func (p *readPool) drop(s *readSession) {
+	p.mu.Lock()
+	if p.sessions[s.key] == s {
+		delete(p.sessions, s.key)
+	}
+	p.mu.Unlock()
+}
+
+// close retires every pooled session; called from Client.Close.
+func (p *readPool) close() {
+	p.mu.Lock()
+	p.closed = true
+	sessions := p.sessions
+	p.sessions = make(map[readKey]*readSession)
+	p.mu.Unlock()
+	for _, s := range sessions {
+		s.close()
+	}
+}

@@ -118,6 +118,37 @@ func (w *winController) observe(rtt time.Duration, now time.Time, stillBusy bool
 	if !w.adaptive {
 		return
 	}
+	w.noteRTT(rtt, qdepth)
+	if w.busy && !w.lastAck.IsZero() {
+		// Only gaps between acks of a continuously busy window measure the
+		// pipe's service rate; idle stretches would inflate them.
+		w.noteGap(now.Sub(w.lastAck).Seconds())
+	}
+	w.lastAck, w.busy = now, stillBusy
+	w.step()
+}
+
+// observeRead is the reader-side observation. Request COMPLETIONS cannot
+// feed the gap estimate the way write acks do: the reader issues requests
+// as the consumer drains them, so completion spacing measures the
+// consumer's clock, not the pipe's - at small windows the gap degenerates
+// to the RTT, the BDP target to 1, and window=1 is an absorbing state
+// (one in-flight request produces no busy gaps to relearn from). The
+// producer-clocked signal reads DO have is the spacing of chunk frames
+// INSIDE one request - the server streams them back to back, so their
+// arrival gap is the pipe's per-chunk service time - scaled by the
+// request's chunk count to a per-request service gap.
+func (w *winController) observeRead(rtt time.Duration, serviceGap time.Duration, qdepth int) {
+	if !w.adaptive {
+		return
+	}
+	w.noteRTT(rtt, qdepth)
+	w.noteGap(serviceGap.Seconds())
+	w.step()
+}
+
+// noteRTT folds one round-trip sample into the windowed-min estimate.
+func (w *winController) noteRTT(rtt time.Duration, qdepth int) {
 	r := rtt.Seconds()
 	w.minAge++
 	switch {
@@ -131,17 +162,23 @@ func (w *winController) observe(rtt time.Duration, now time.Time, stillBusy bool
 		// propagation estimate just by aging the minimum out.
 		w.minRTT, w.minAge = r, 0
 	}
-	if w.busy && !w.lastAck.IsZero() {
-		// Only gaps between acks of a continuously busy window measure the
-		// pipe's service rate; idle stretches would inflate them.
-		g := now.Sub(w.lastAck).Seconds()
-		if w.sgap == 0 {
-			w.sgap = g
-		} else {
-			w.sgap += ewmaAlpha * (g - w.sgap)
-		}
+}
+
+// noteGap folds one service-gap sample into the EWMA (non-positive
+// samples carry no information and are dropped).
+func (w *winController) noteGap(g float64) {
+	if g <= 0 {
+		return
 	}
-	w.lastAck, w.busy = now, stillBusy
+	if w.sgap == 0 {
+		w.sgap = g
+	} else {
+		w.sgap += ewmaAlpha * (g - w.sgap)
+	}
+}
+
+// step walks the window one unit toward the current BDP target.
+func (w *winController) step() {
 	if w.sgap <= 0 {
 		return
 	}

@@ -852,3 +852,78 @@ func TestWriteResumesAfterIdleSessionRetire(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestStreamedReadInvalidatedByOverwrite is the readahead read-your-writes
+// regression: a sequential read warms the cross-ReadAt readahead buffer,
+// then an in-place overwrite mutates bytes the buffer already prefetched.
+// The next read must observe the NEW bytes - the write path invalidates
+// the reader - not the stale prefetch.
+func TestStreamedReadInvalidatedByOverwrite(t *testing.T) {
+	e := startEnv(t, MountOptions{})
+	f, err := e.fs.Create("/ryw-read.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte("A"), 512*1024)
+	if _, err := f.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	// Warm the readahead: reading the head prefetches well past it.
+	head := make([]byte, 128*1024)
+	if _, err := f.ReadAt(head, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite a range the prefetch has likely already buffered.
+	patch := bytes.Repeat([]byte("B"), 64*1024)
+	if _, err := f.WriteAt(patch, 200*1024); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if _, err := f.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		want := byte('A')
+		if i >= 200*1024 && i < 264*1024 {
+			want = 'B'
+		}
+		if got[i] != want {
+			t.Fatalf("byte %d = %q, want %q (stale readahead served)", i, got[i], want)
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReadPipelineDisabledFallsBack: the DisableReadPipeline ablation
+// serves every read over the unary Call path with identical results (and
+// without ever dialing a read stream).
+func TestReadPipelineDisabledFallsBack(t *testing.T) {
+	e := startEnv(t, MountOptions{Client: client.Config{DisableReadPipeline: true}})
+	f, err := e.fs.Create("/unary.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte("unary-read!"), 40*1024) // ~440 KB
+	if _, err := f.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	g, err := e.fs.Open("/unary.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if _, err := g.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("unary fallback content mismatch")
+	}
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

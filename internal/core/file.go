@@ -52,8 +52,27 @@ type File struct {
 	w             *client.ExtentWriter
 	committedSize uint64 // all-replica acked watermark backing rollback
 
+	// Streaming read state: a per-file reader holding the cross-ReadAt
+	// readahead buffer, invalidated on every write/overwrite so reads
+	// observe the file's own mutations (read-your-writes). lastReadEnd is
+	// the sequentiality detector feeding the hybrid routing: reads that
+	// continue where the previous one ended (or are block-sized anyway)
+	// stream with readahead, small random reads take the one-round-trip
+	// unary path.
+	r           *client.ExtentReader
+	lastReadEnd uint64
+	// knownEnds memoizes extentKnownEnd per extent between writes: a
+	// streamed writer leaves one key per packet, so a scan would
+	// otherwise re-derive the same contiguous span once per key -
+	// quadratic in the key count. Dropped with the readahead buffer on
+	// every write.
+	knownEnds map[extentRef]uint64
+
 	closed bool
 }
+
+// extentRef names one extent for the per-file caches.
+type extentRef struct{ pid, extent uint64 }
 
 func newFile(fs *FileSystem, p string, ino *proto.Inode) *File {
 	f := &File{
@@ -112,6 +131,15 @@ func (f *File) writeAtLocked(off uint64, p []byte) (int, error) {
 	if off > f.size {
 		return 0, fmt.Errorf("core: write at %d past EOF %d: %w", off, f.size, util.ErrOutOfRange)
 	}
+	// Read-your-writes for the readahead buffer, after validation so a
+	// rejected write does not cost warm read state: an overwrite mutates
+	// extent bytes in place and an append extends spans the reader may
+	// have half-prefetched, so any buffered chunks are stale now - and
+	// so are the memoized contiguous-span ends.
+	if f.r != nil {
+		f.r.Invalidate()
+	}
+	f.knownEnds = nil
 	written := 0
 	// Overwrite the part overlapping existing content in place
 	// (Section 2.7.2). Bytes below the optimistic size may still be in
@@ -401,6 +429,10 @@ func (f *File) readAtLocked(off uint64, p []byte) (int, error) {
 		return 0, io.EOF
 	}
 	want := util.MinU64(uint64(len(p)), f.size-off)
+	// Sequential-run detection for the hybrid read routing: a read that
+	// picks up where the last one ended is a scan worth streaming with
+	// readahead even when its blocks are small.
+	sequential := off > 0 && off == f.lastReadEnd
 	read := uint64(0)
 	for read < want {
 		cur := off + read
@@ -413,18 +445,81 @@ func (f *File) readAtLocked(off uint64, p []byte) (int, error) {
 		}
 		span := util.MinU64(ek.End()-cur, want-read)
 		extOff := ek.ExtentOffset + (cur - ek.FileOffset)
-		data, err := f.fs.c.Data.Read(ek, extOff, uint32(span))
+		n, err := f.readSpanLocked(ek, extOff, p[read:read+span], sequential)
+		read += uint64(n)
 		if err != nil {
+			f.lastReadEnd = off + read
 			return int(read), err
 		}
-		copy(p[read:], data)
-		read += uint64(len(data))
 	}
+	f.lastReadEnd = off + read
 	var err error
 	if int(read) < len(p) {
 		err = io.EOF
 	}
 	return int(read), err
+}
+
+// readSpanLocked fetches one extent-backed span. Sequential runs and
+// block-sized spans stream through the read session (pooled per replica,
+// sliding readahead, committed-clamped follower offload); small random
+// reads keep the unary Call - one round trip beats a stream's
+// request+reply pair when there is no contiguity to prefetch, the same
+// reason OS readahead turns itself off on random access. The unary path
+// is also the fallback when the reader has exhausted its replicas - the
+// belt-and-suspenders that keeps degraded clusters exactly as readable
+// as before the pipeline.
+func (f *File) readSpanLocked(ek proto.ExtentKey, extOff uint64, p []byte, sequential bool) (int, error) {
+	stream := sequential || len(p) >= f.fs.c.Config().PacketSize/2
+	if stream && f.fs.c.Data.ReadPipelined() {
+		if f.r == nil {
+			f.r = f.fs.c.Data.NewExtentReader()
+		}
+		n, err := f.r.ReadAt(ek, extOff, p, f.extentKnownEnd(ek))
+		if err == nil || n > 0 {
+			// Partial progress: the caller's loop re-enters for the rest.
+			return n, nil
+		}
+	}
+	data, err := f.fs.c.Data.Read(ek, extOff, uint32(len(p)))
+	if err != nil {
+		return 0, err
+	}
+	copy(p, data)
+	return len(data), nil
+}
+
+// extentKnownEnd returns the end of the contiguous byte span the file's
+// extent keys prove exists in ek's extent starting from ek itself - the
+// readahead bound: a streamed writer leaves one key per packet on the
+// same extent, so sequential scans prefetch across key boundaries up to
+// this limit (all keyed bytes are all-replica committed by construction).
+// Memoized per extent until the next write: the derivation walks the
+// whole key list, and a scan asks once per covering key.
+func (f *File) extentKnownEnd(ek proto.ExtentKey) uint64 {
+	ref := extentRef{ek.PartitionID, ek.ExtentID}
+	if cached, ok := f.knownEnds[ref]; ok && cached >= ek.ExtentOffset+uint64(ek.Size) {
+		return cached
+	}
+	end := ek.ExtentOffset + uint64(ek.Size)
+	var tails []proto.ExtentKey
+	for _, k := range f.extents {
+		if k.PartitionID == ek.PartitionID && k.ExtentID == ek.ExtentID &&
+			k.ExtentOffset+uint64(k.Size) > end {
+			tails = append(tails, k)
+		}
+	}
+	sort.Slice(tails, func(i, j int) bool { return tails[i].ExtentOffset < tails[j].ExtentOffset })
+	for _, k := range tails {
+		if k.ExtentOffset <= end {
+			end = k.ExtentOffset + uint64(k.Size)
+		}
+	}
+	if f.knownEnds == nil {
+		f.knownEnds = make(map[extentRef]uint64)
+	}
+	f.knownEnds[ref] = end
+	return end
 }
 
 // Seek implements io.Seeker. Seeking settles the in-flight append window
@@ -492,6 +587,10 @@ func (f *File) Close() error {
 	if f.w != nil {
 		f.w.Close()
 		f.w = nil
+	}
+	if f.r != nil {
+		f.r.Close() // releases readahead buffers; pooled sessions stay
+		f.r = nil
 	}
 	serr := f.fsyncLocked()
 	if ferr != nil {

@@ -10,6 +10,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cfs/internal/multiraft"
@@ -72,6 +73,11 @@ type DataNode struct {
 	keepalive   time.Duration
 	idleTimeout time.Duration
 
+	// reads counts read requests served by this node (unary calls and
+	// streamed read-session requests alike) - the observable the follower
+	// read-offload tests and ablations assert on.
+	reads atomic.Uint64
+
 	mu         sync.RWMutex
 	partitions map[uint64]*Partition
 	closed     bool
@@ -80,6 +86,10 @@ type DataNode struct {
 	stopc chan struct{}
 	wg    sync.WaitGroup
 }
+
+// ReadsServed reports how many read requests this node has served (unary
+// and streamed), for offload instrumentation.
+func (d *DataNode) ReadsServed() uint64 { return d.reads.Load() }
 
 // Start creates a DataNode, binds its transport address, registers with
 // the master, and begins heartbeating.
@@ -596,6 +606,7 @@ func (d *DataNode) dispatchPacket(p *Partition, pkt *proto.Packet) (*proto.Packe
 	case proto.OpDataOverwrite:
 		return p.handleOverwrite(pkt)
 	case proto.OpDataRead:
+		d.reads.Add(1)
 		return p.handleRead(pkt)
 	case proto.OpDataMarkDelete:
 		return p.handleMarkDelete(pkt)

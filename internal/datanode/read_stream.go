@@ -1,0 +1,213 @@
+package datanode
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"cfs/internal/proto"
+	"cfs/internal/transport"
+	"cfs/internal/util"
+)
+
+// This file implements the server half of the pipelined read path: a read
+// session (OpDataReadStream), the read-side twin of the write session in
+// stream.go.
+//
+// A client opens one read session per (replica, epoch) and pushes
+// OpDataRead request frames without waiting for replies; the session
+// serves them strictly in arrival order, each as one or more CRC-framed
+// chunk responses (the request's FileOffset is the byte count wanted, a
+// chunk's FileOffset is the bytes remaining after it). Because requests
+// overlap in flight, a sequential scan pays the propagation delay once
+// per window instead of once per block - Figure 4's pipelining argument
+// applied to reads.
+//
+// Any replica serves the stream: every request is clamped at the extent's
+// locally known all-replica committed offset (the Section 2.2.5 invariant,
+// enforced here exactly as in the unary handleRead), which is what makes
+// follower read offload safe - a follower holding a replicated-but-
+// uncommitted tail refuses it and the client falls back to another
+// replica. Error containment is per-request: a clamp refusal, an unknown
+// extent, or a stale client epoch fails only that request's reply; the
+// session and later requests are unaffected. The session dies only with
+// its transport - or with its client: a watchdog closes sessions whose
+// client has been silent past the idle timeout (clients ping idle
+// sessions, so silence means the client is gone, exactly like the write
+// session's rule).
+//
+// Read sessions are deliberately SEPARATE from write sessions: a large
+// scan streams its chunks over its own transport stream, so it can never
+// head-of-line-block the write session's acks (the ROADMAP session-
+// fairness item, solved for reads).
+
+// maxStreamReadLen bounds one read request so a corrupt length cannot make
+// the session buffer an absurd range.
+const maxStreamReadLen = 8 * util.MB
+
+type readSession struct {
+	d  *DataNode
+	cs transport.PacketStream
+
+	mu         sync.Mutex
+	lastClient time.Time // last frame received from the client
+	closed     bool
+
+	stopc chan struct{}
+	wg    sync.WaitGroup
+}
+
+func newReadSession(d *DataNode, cs transport.PacketStream) *readSession {
+	return &readSession{d: d, cs: cs, lastClient: time.Now(), stopc: make(chan struct{})}
+}
+
+// run is the session's serve loop: single-threaded, so replies leave in
+// request order by construction.
+func (s *readSession) run() {
+	s.wg.Add(1)
+	go s.runWatchdog()
+	for {
+		pkt, err := s.cs.Recv()
+		if err != nil {
+			break
+		}
+		s.mu.Lock()
+		s.lastClient = time.Now()
+		s.mu.Unlock()
+		s.serve(pkt)
+	}
+	close(s.stopc)
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.wg.Wait()
+	s.cs.Close()
+}
+
+// runWatchdog reaps sessions whose client went silent: a live client pings
+// at least every keepalive interval even while idle, so a frame gap of
+// idleTimeout means the client is gone and holding the stream (and this
+// goroutine) open would leak both. Closing our end also unblocks a serve
+// loop wedged in Send against a half-open client.
+func (s *readSession) runWatchdog() {
+	defer s.wg.Done()
+	tick := s.d.keepalive / 2
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopc:
+			return
+		case <-t.C:
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return
+		}
+		dead := time.Since(s.lastClient) > s.d.idleTimeout
+		s.mu.Unlock()
+		if dead {
+			s.cs.Close()
+			return
+		}
+	}
+}
+
+// serve answers one request frame. Replies are best-effort: a Send failure
+// means the transport is dead and the serve loop's next Recv ends the
+// session.
+func (s *readSession) serve(pkt *proto.Packet) {
+	switch pkt.Op {
+	case proto.OpDataPing:
+		// Keepalive: prove the session (not just the kernel socket) is
+		// alive. Acked in order like every other request.
+		s.send(&proto.Packet{Op: proto.OpDataPing, ResultCode: proto.ResultOK, ReqID: pkt.ReqID})
+		return
+	case proto.OpDataRead:
+	default:
+		s.sendErr(pkt, proto.ResultErrArg, fmt.Sprintf("op %s not allowed on a read stream", pkt.Op))
+		return
+	}
+	p := s.d.Partition(pkt.PartitionID)
+	if p == nil {
+		s.sendErr(pkt, proto.ResultErrArg, fmt.Sprintf("unknown partition %d", pkt.PartitionID))
+		return
+	}
+	// Counted at the same point as the unary path (dispatchPacket counts
+	// before handleRead): refusals below are served requests too.
+	s.d.reads.Add(1)
+	// Epoch fence, per frame: a client whose cached view predates (or
+	// outruns) a reconfiguration is told to refresh retriably. Unlike the
+	// write path this fences nothing durable - it maps a failover observed
+	// mid-stream onto the client's refresh -> re-dial -> retry path instead
+	// of letting it read from a view the master has moved past.
+	if err := p.checkClientEpoch(pkt); err != nil {
+		s.sendErr(pkt, proto.ResultErrStaleEpoch, err.Error())
+		return
+	}
+	length := pkt.FileOffset // requested byte count rides the FileOffset slot
+	if length > maxStreamReadLen {
+		s.sendErr(pkt, proto.ResultErrArg, fmt.Sprintf("read of %d bytes exceeds the %d stream limit", length, maxStreamReadLen))
+		return
+	}
+	off := pkt.ExtentOffset
+	// Section 2.2.5 clamp, identical to the unary handleRead: EVERY replica
+	// only exposes the offset committed by ALL replicas. A follower that
+	// has stored more than it knows committed refuses the tail and the
+	// client falls back to another replica (ultimately the leader).
+	if end := off + length; end > p.committedOf(pkt.ExtentID) {
+		s.sendErr(pkt, proto.ResultErrIO, fmt.Sprintf(
+			"read [%d,%d) of extent %d beyond committed offset %d: %v",
+			off, end, pkt.ExtentID, p.committedOf(pkt.ExtentID), util.ErrOutOfRange))
+		return
+	}
+	if length == 0 {
+		s.send(&proto.Packet{
+			Op: proto.OpDataRead, ResultCode: proto.ResultOK, ReqID: pkt.ReqID,
+			PartitionID: pkt.PartitionID, ExtentID: pkt.ExtentID, ExtentOffset: off,
+		})
+		return
+	}
+	remaining := length
+	for remaining > 0 {
+		n := util.MinU64(remaining, util.ReadChunkSize)
+		// Pooled chunk buffer, filled in place (no store-side allocation);
+		// ownership transfers to the frame - the consumer recycles it.
+		buf := util.GetChunk(int(n))
+		if err := p.store.ReadInto(pkt.ExtentID, off, buf); err != nil {
+			util.PutChunk(buf)
+			s.sendErr(pkt, proto.ResultErrIO, err.Error())
+			return
+		}
+		remaining -= n
+		s.send(&proto.Packet{
+			Op:           proto.OpDataRead,
+			ResultCode:   proto.ResultOK,
+			ReqID:        pkt.ReqID,
+			PartitionID:  pkt.PartitionID,
+			ExtentID:     pkt.ExtentID,
+			ExtentOffset: off,
+			FileOffset:   remaining, // zero marks the request's final chunk
+			CRC:          util.CRC(buf),
+			Data:         buf,
+		})
+		off += n
+	}
+}
+
+func (s *readSession) send(pkt *proto.Packet) { _ = s.cs.Send(pkt) }
+
+func (s *readSession) sendErr(req *proto.Packet, code uint8, msg string) {
+	s.send(&proto.Packet{
+		Op:          req.Op,
+		ResultCode:  code,
+		ReqID:       req.ReqID,
+		PartitionID: req.PartitionID,
+		ExtentID:    req.ExtentID,
+		Data:        []byte(msg),
+	})
+}

@@ -44,12 +44,18 @@ import (
 // drains - so followers enforce the Section 2.2.5 read clamp themselves.
 
 // handleStream accepts data-path packet streams (wired by Start when the
-// transport supports them).
+// transport supports them) and dispatches on the dialed op: replication
+// write sessions and read sessions ride separate streams so a large scan
+// can never head-of-line-block write acks.
 func (d *DataNode) handleStream(op uint8, cs transport.PacketStream) {
-	if proto.Op(op) != proto.OpDataWriteStream {
-		return // unknown stream service; transport closes the stream
+	switch proto.Op(op) {
+	case proto.OpDataWriteStream:
+		newWriteSession(d, cs).run()
+	case proto.OpDataReadStream:
+		newReadSession(d, cs).run()
+	default:
+		// Unknown stream service; transport closes the stream.
 	}
-	newWriteSession(d, cs).run()
 }
 
 // repEntry is one in-flight packet of a replication session's window.

@@ -86,6 +86,18 @@ const (
 	// leader may have forwarded frames some followers applied and the
 	// promoted one never saw.
 	OpDataTruncate
+
+	// OpDataReadStream opens a pipelined read session (append-only, like
+	// everything above): the read-side twin of OpDataWriteStream. The
+	// client pushes OpDataRead request frames without waiting for replies
+	// (ReqID is the session sequence, FileOffset carries the requested
+	// length) and the data node answers strictly in request order with
+	// chunked, CRC-framed OpDataRead responses - each chunk's FileOffset
+	// holds the bytes remaining after it, so the final chunk of a request
+	// carries zero. Any replica serves the stream, clamped at its known
+	// all-replica committed offset (Section 2.2.5), which is what makes
+	// follower read offload safe.
+	OpDataReadStream
 )
 
 func (o Op) String() string {
@@ -164,6 +176,8 @@ func (o Op) String() string {
 		return "AdminRecoverPartition"
 	case OpDataTruncate:
 		return "DataTruncate"
+	case OpDataReadStream:
+		return "DataReadStream"
 	default:
 		return "Op(unknown)"
 	}

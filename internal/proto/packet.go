@@ -35,7 +35,11 @@ type Packet struct {
 	PartitionID  uint64
 	ExtentID     uint64
 	ExtentOffset uint64
-	FileOffset   uint64
+	// FileOffset is the packet's position inside the file on write-path
+	// frames. Read-session frames (OpDataReadStream) reuse the slot: a
+	// request carries the byte count wanted, a response chunk carries the
+	// bytes remaining after it (zero marks the request's final chunk).
+	FileOffset uint64
 	// Committed piggybacks the extent's all-replica committed offset on
 	// leader->follower hops (and OpDataCommitted frames) so followers can
 	// enforce the Section 2.2.5 clamp. Zero elsewhere.

@@ -327,24 +327,37 @@ func (s *ExtentStore) WriteAt(id uint64, off uint64, data []byte) error {
 // util.ErrOutOfRange: replication guarantees the caller only asks for
 // committed ranges (Section 2.2.5).
 func (s *ExtentStore) ReadAt(id uint64, off uint64, length uint32) ([]byte, error) {
+	buf := make([]byte, length)
+	if err := s.ReadInto(id, off, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// ReadInto reads len(buf) bytes at off of an extent into a caller-provided
+// buffer, so hot read paths (the streamed read session's pooled chunk
+// buffers) avoid a per-block allocation inside the store.
+func (s *ExtentStore) ReadInto(id uint64, off uint64, buf []byte) error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.closed {
-		return nil, util.ErrClosed
+		return util.ErrClosed
 	}
 	f, m, err := s.get(id)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	if off+uint64(length) > m.size {
-		return nil, fmt.Errorf("storage: extent %d: read [%d,%d) beyond size %d: %w",
-			id, off, off+uint64(length), m.size, util.ErrOutOfRange)
+	if off+uint64(len(buf)) > m.size {
+		return fmt.Errorf("storage: extent %d: read [%d,%d) beyond size %d: %w",
+			id, off, off+uint64(len(buf)), m.size, util.ErrOutOfRange)
 	}
-	buf := make([]byte, length)
+	if len(buf) == 0 {
+		return nil
+	}
 	if _, err := f.ReadAt(buf, int64(off)); err != nil {
-		return nil, fmt.Errorf("storage: read extent %d: %w", id, err)
+		return fmt.Errorf("storage: read extent %d: %w", id, err)
 	}
-	return buf, nil
+	return nil
 }
 
 // AppendSmallFile aggregates data into the store's current small-file

@@ -445,3 +445,28 @@ func TestTruncateDiscardsTail(t *testing.T) {
 		t.Fatalf("truncate of unknown extent: %v", err)
 	}
 }
+
+func TestReadIntoBoundsAndContent(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	id := s.NextID()
+	if err := s.Create(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Append(id, []byte("read-into-me")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if err := s.ReadInto(id, 5, buf); err != nil || string(buf) != "into" {
+		t.Fatalf("ReadInto = %q, %v", buf, err)
+	}
+	if err := s.ReadInto(id, 10, make([]byte, 4)); err == nil {
+		t.Fatal("ReadInto past the watermark succeeded")
+	}
+	if err := s.ReadInto(id, 12, nil); err != nil {
+		t.Fatalf("zero-length ReadInto at the watermark: %v", err)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"sync"
 )
 
 // Size constants used throughout the system.
@@ -38,7 +39,59 @@ const (
 	// DefaultMaxWriteWindow caps the adaptive window (window x packet =
 	// 8 MB of accepted-but-uncommitted bytes per writer, worst case).
 	DefaultMaxWriteWindow = 64
+
+	// DefaultReadWindow is the STARTING number of read requests a streaming
+	// reader keeps in flight ahead of the caller (the readahead window);
+	// the adaptive controller then tracks the observed bandwidth-delay
+	// product just like the write window does.
+	DefaultReadWindow = 4
+
+	// DefaultMaxReadWindow caps the adaptive readahead window (window x
+	// packet = 4 MB of prefetched-but-unconsumed bytes per reader, worst
+	// case).
+	DefaultMaxReadWindow = 32
+
+	// ReadChunkSize is the payload size of one streamed-read chunk frame
+	// (a read request larger than this is served as several CRC-framed
+	// chunks). It is also the size class of the shared chunk-buffer pool.
+	ReadChunkSize = 64 * KB
 )
+
+// chunkPool recycles ReadChunkSize payload buffers across the read hot
+// path. Ownership is a strict producer -> consumer handoff: the producer
+// (a data node filling a chunk frame) Gets a buffer, stamps it into a
+// packet, and never touches it again; the final consumer (the client
+// reader, after copying the bytes out) Puts it back. On the in-process
+// Memory transport both ends share the pool, so a sustained streamed read
+// recycles the same few buffers instead of allocating one per chunk; on a
+// socket transport the producer's Gets simply miss (the consumer lives in
+// another process) and degrade to plain allocation. Losing a Put is always
+// safe - the GC is the backstop - but a buffer must never be Put while any
+// reference to it can still be read.
+var chunkPool = sync.Pool{New: func() any {
+	b := make([]byte, ReadChunkSize)
+	return &b
+}}
+
+// GetChunk returns a length-n payload buffer, pooled when n fits the
+// chunk size class.
+func GetChunk(n int) []byte {
+	if n > ReadChunkSize {
+		return make([]byte, n)
+	}
+	return (*(chunkPool.Get().(*[]byte)))[:n]
+}
+
+// PutChunk returns a buffer obtained from GetChunk to the pool. Buffers
+// outside the chunk size class (or sliced foreign memory) are left to the
+// GC.
+func PutChunk(b []byte) {
+	if cap(b) != ReadChunkSize {
+		return
+	}
+	b = b[:ReadChunkSize]
+	chunkPool.Put(&b)
+}
 
 // Error kinds shared across subsystems. Wrap these with %w so callers can
 // test with errors.Is regardless of which node produced the error.
