@@ -6,7 +6,7 @@ GO ?= go
 TEST_TIMEOUT ?= 120s
 RACE_TIMEOUT ?= 300s
 
-.PHONY: all build test vet fmt-check fmt bench race verify check
+.PHONY: all build test vet fmt-check fmt bench bench-smoke race verify check
 
 all: verify
 
@@ -44,3 +44,11 @@ fmt:
 # the same experiment `cfs-bench readpipe` prints at larger scales).
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .
+
+# One-iteration perf floors: re-runs the TCP-loopback read/write
+# pipelines at quick scale and asserts the speedup floors recorded in the
+# BENCH_*.json acceptance blocks. Wall-clock numbers on a shared box are
+# noisy, so CI runs this as a NON-BLOCKING step - a failure flags a
+# possible perf regression without gating the merge.
+bench-smoke:
+	CFS_BENCH_SMOKE=1 $(GO) test -run TestBenchSmokeFloors -count=1 -v -timeout $(TEST_TIMEOUT) ./internal/bench/

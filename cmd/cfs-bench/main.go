@@ -4,7 +4,11 @@
 //
 // Usage:
 //
-//	cfs-bench [-scale quick|paper] [table3|fig6|fig7|fig8|fig9|fig10|pipeline|smallfile|readpipe|heartbeat|all]
+//	cfs-bench [-scale quick|paper] [-transport memory|tcp] [table3|fig6|fig7|fig8|fig9|fig10|pipeline|smallfile|readpipe|heartbeat|all]
+//
+// -transport applies to the pipeline, readpipe and smallfile experiments:
+// "memory" (default) runs the cluster on the in-process network with
+// emulated latency, "tcp" on real loopback sockets.
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 
 func main() {
 	scaleName := flag.String("scale", "quick", "experiment scale: quick or paper")
+	transportName := flag.String("transport", "memory", "cluster transport for pipeline/readpipe/smallfile: memory or tcp")
 	flag.Parse()
 
 	var scale bench.Scale
@@ -28,6 +33,13 @@ func main() {
 		scale = bench.Paper()
 	default:
 		fmt.Fprintf(os.Stderr, "unknown scale %q (want quick or paper)\n", *scaleName)
+		os.Exit(2)
+	}
+	switch *transportName {
+	case "memory", "tcp":
+		scale.Transport = *transportName
+	default:
+		fmt.Fprintf(os.Stderr, "unknown transport %q (want memory or tcp)\n", *transportName)
 		os.Exit(2)
 	}
 

@@ -20,6 +20,11 @@ type Scale struct {
 	Latency     time.Duration // emulated network latency per call
 	TreeDepth   int
 	TreeFanout  int
+	// Transport picks the wire the cluster runs on: "" or "memory" for
+	// the in-process network (emulated latency applies), "tcp" for real
+	// loopback sockets (latency emulation is ignored - the kernel path IS
+	// the cost being measured).
+	Transport string
 }
 
 // Quick returns the CI-sized scale.

@@ -83,6 +83,7 @@ func measureWriteThroughput(s Scale, total int, cfg client.Config) (float64, err
 		DataPartitions: 4,
 		NetworkLatency: s.Latency,
 		Client:         cfg,
+		Transport:      s.Transport,
 	})
 	if err != nil {
 		return 0, err

@@ -99,6 +99,7 @@ func measureReadThroughput(s Scale, total int, random bool, cfg client.Config) (
 		DataPartitions: 4,
 		NetworkLatency: s.Latency,
 		Client:         cfg,
+		Transport:      s.Transport,
 	})
 	if err != nil {
 		return 0, 0, 0, err

@@ -54,11 +54,12 @@ func RunSmallFileSessions(s Scale) (*Table, SmallFileNumbers, error) {
 			DataPartitions: 2,
 			NetworkLatency: s.Latency,
 			Client:         m.cfg,
+			Transport:      s.Transport,
 		})
 		if err != nil {
 			return nil, nil, fmt.Errorf("%s: %w", m.label, err)
 		}
-		c, err := client.Mount(f.nw, "master", "bench", m.cfg)
+		c, err := client.Mount(f.nw, f.masterAddr, "bench", m.cfg)
 		if err != nil {
 			f.Close()
 			return nil, nil, fmt.Errorf("%s: %w", m.label, err)
@@ -72,7 +73,7 @@ func RunSmallFileSessions(s Scale) (*Table, SmallFileNumbers, error) {
 			}
 		}
 		elapsed := time.Since(start)
-		dials := f.Network().Dials()
+		dials := f.StreamDials()
 		c.Close()
 		f.Close()
 		fps := float64(files) / elapsed.Seconds()

@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// benchAcceptance is the machine-readable slice of the BENCH_*.json
+// files this smoke test re-checks: the frozen pre-PR TCP-loopback
+// baselines and the speedup floor the optimized wire path must hold
+// over them.
+type benchAcceptance struct {
+	TCPLoopback struct {
+		PrePrMbps  map[string]float64 `json:"pre_pr_mbps"`
+		Acceptance struct {
+			Row        string  `json:"row"`
+			MinSpeedup float64 `json:"min_speedup_vs_pre_pr"`
+		} `json:"acceptance"`
+	} `json:"tcp_loopback"`
+}
+
+func loadBenchAcceptance(t *testing.T, path string) benchAcceptance {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a benchAcceptance
+	if err := json.Unmarshal(raw, &a); err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+	if a.TCPLoopback.Acceptance.Row == "" || a.TCPLoopback.Acceptance.MinSpeedup <= 0 {
+		t.Fatalf("%s: no tcp_loopback acceptance block", path)
+	}
+	return a
+}
+
+// TestBenchSmokeFloors re-runs the TCP-loopback read and write pipelines
+// once at quick scale and asserts the speedup floors recorded in
+// BENCH_read.json / BENCH_write.json against their frozen pre-PR
+// baselines. The baselines are machine-specific wall numbers, so this is
+// NOT a tier-1 test: it runs only under CFS_BENCH_SMOKE=1 (`make
+// bench-smoke`), wired as a non-blocking CI step that flags perf
+// regressions without gating merges on a noisy shared box.
+func TestBenchSmokeFloors(t *testing.T) {
+	if os.Getenv("CFS_BENCH_SMOKE") == "" {
+		t.Skip("set CFS_BENCH_SMOKE=1 (or run `make bench-smoke`) to exercise the perf floors")
+	}
+	s := Quick()
+	s.Transport = "tcp"
+
+	read := loadBenchAcceptance(t, "../../BENCH_read.json")
+	checkFloor(t, "readpipe", read, func() (float64, error) {
+		_, nums, err := RunReadPipeline(s)
+		return nums[read.TCPLoopback.Acceptance.Row], err
+	})
+
+	write := loadBenchAcceptance(t, "../../BENCH_write.json")
+	checkFloor(t, "pipeline", write, func() (float64, error) {
+		_, nums, err := RunWritePipeline(s)
+		return nums[write.TCPLoopback.Acceptance.Row], err
+	})
+}
+
+// checkFloor measures the acceptance row and compares it against the
+// frozen pre-PR baseline. A single 1x iteration on a shared machine is
+// noisy, so a shot under the floor earns a re-measure (up to three
+// shots) and the best one counts - a real regression fails them all.
+func checkFloor(t *testing.T, which string, a benchAcceptance, measure func() (float64, error)) {
+	t.Helper()
+	row := a.TCPLoopback.Acceptance.Row
+	base := a.TCPLoopback.PrePrMbps[row]
+	if base <= 0 {
+		t.Fatalf("%s: no pre-PR baseline for row %q", which, row)
+	}
+	floor := a.TCPLoopback.Acceptance.MinSpeedup
+	var measured float64
+	for shot := 0; shot < 3; shot++ {
+		got, err := measure()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got <= 0 {
+			t.Fatalf("%s: row %q not measured", which, row)
+		}
+		if got > measured {
+			measured = got
+		}
+		if measured/base >= floor {
+			break
+		}
+	}
+	if speedup := measured / base; speedup < floor {
+		t.Errorf("%s %q = %.1f MB/s, %.2fx over the pre-PR baseline (%.1f MB/s), want >= %.2fx",
+			which, row, measured, speedup, base, floor)
+	} else {
+		t.Logf("%s %q = %.1f MB/s, %.2fx over the pre-PR baseline (%.1f MB/s), floor %.2fx",
+			which, row, measured, speedup, base, floor)
+	}
+}

@@ -8,6 +8,7 @@ package bench
 
 import (
 	"fmt"
+	"net"
 	"os"
 	"sync"
 	"time"
@@ -120,25 +121,60 @@ type CFSOptions struct {
 	NetworkLatency time.Duration
 	Client         client.Config
 	Dir            string // temp dir for extent stores; default os.MkdirTemp
+	// Transport selects the wire: "" or "memory" boots the cluster on the
+	// in-process network, "tcp" on real loopback sockets. TCP clusters
+	// ignore NetworkLatency (the kernel loopback path is the latency) and
+	// have no fault injection.
+	Transport string
 }
 
 // CFSFactory is a running CFS cluster plus volume.
 type CFSFactory struct {
-	nw      *transport.Memory
-	m       *master.Master
-	metas   []*meta.MetaNode
-	datas   []*datanode.DataNode
-	clients []*core.FileSystem
-	opts    CFSOptions
-	dir     string
-	ownDir  bool
+	nw         transport.Network
+	mem        *transport.Memory // nil on TCP clusters
+	tcp        *transport.TCP    // nil on memory clusters
+	masterAddr string
+	m          *master.Master
+	metas      []*meta.MetaNode
+	datas      []*datanode.DataNode
+	clients    []*core.FileSystem
+	opts       CFSOptions
+	dir        string
+	ownDir     bool
 }
 
 // Name implements Factory.
 func (f *CFSFactory) Name() string { return "CFS" }
 
-// Network exposes the underlying memory transport (ablations count calls).
-func (f *CFSFactory) Network() *transport.Memory { return f.nw }
+// Network exposes the underlying memory transport (ablations count calls
+// and inject faults); nil when the cluster runs on TCP.
+func (f *CFSFactory) Network() *transport.Memory { return f.mem }
+
+// StreamDials counts packet-stream dials on either transport (the
+// session-pool ablation's currency).
+func (f *CFSFactory) StreamDials() uint64 {
+	if f.mem != nil {
+		return f.mem.Dials()
+	}
+	return f.tcp.Dials()
+}
+
+// allocAddrs reserves n distinct loopback addresses by binding and
+// immediately closing ephemeral-port listeners. The window between close
+// and the node's own Listen is racy in principle, but the kernel does not
+// hand the port back out while other ephemeral ports remain.
+func allocAddrs(n int) ([]string, error) {
+	addrs := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		addrs = append(addrs, ln.Addr().String())
+		ln.Close()
+	}
+	return addrs, nil
+}
 
 // Master exposes the resource manager (ablations drive CheckOnce).
 func (f *CFSFactory) Master() *master.Master { return f.m }
@@ -170,11 +206,37 @@ func SetupCFS(opts CFSOptions) (*CFSFactory, error) {
 		}
 		ownDir = true
 	}
-	nw := transport.NewMemory()
-	f := &CFSFactory{nw: nw, opts: opts, dir: dir, ownDir: ownDir}
+	f := &CFSFactory{opts: opts, dir: dir, ownDir: ownDir}
+	masterAddr := "master"
+	metaAddr := func(i int) string { return fmt.Sprintf("mn%d", i) }
+	dataAddr := func(i int) string { return fmt.Sprintf("dn%d", i) }
+	switch opts.Transport {
+	case "", "memory":
+		f.mem = transport.NewMemory()
+		f.nw = f.mem
+	case "tcp":
+		// Real loopback sockets: every node needs a routable address
+		// before it starts (the address doubles as the node's identity in
+		// the master's tables), so reserve ephemeral ports up front.
+		addrs, err := allocAddrs(1 + opts.MetaNodes + opts.DataNodes)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		masterAddr = addrs[0]
+		metaAddr = func(i int) string { return addrs[1+i] }
+		dataAddr = func(i int) string { return addrs[1+opts.MetaNodes+i] }
+		f.tcp = transport.NewTCP()
+		f.nw = f.tcp
+	default:
+		f.Close()
+		return nil, fmt.Errorf("bench: unknown transport %q", opts.Transport)
+	}
+	f.masterAddr = masterAddr
+	nw := f.nw
 	fastRaft := raftstore.Config{FlushInterval: 500 * time.Microsecond}
 	m, err := master.Start(nw, master.Config{
-		Addr:              "master",
+		Addr:              masterAddr,
 		ReplicaCount:      util.Min(3, opts.MetaNodes),
 		DisableBackground: true,
 		Raft:              fastRaft,
@@ -190,8 +252,8 @@ func SetupCFS(opts CFSOptions) (*CFSFactory, error) {
 	}
 	for i := 0; i < opts.MetaNodes; i++ {
 		mn, err := meta.Start(nw, meta.Config{
-			Addr:             fmt.Sprintf("mn%d", i),
-			MasterAddr:       "master",
+			Addr:             metaAddr(i),
+			MasterAddr:       masterAddr,
 			DisableHeartbeat: true,
 			Raft:             fastRaft,
 		})
@@ -203,8 +265,8 @@ func SetupCFS(opts CFSOptions) (*CFSFactory, error) {
 	}
 	for i := 0; i < opts.DataNodes; i++ {
 		dn, err := datanode.Start(nw, datanode.Config{
-			Addr:             fmt.Sprintf("dn%d", i),
-			MasterAddr:       "master",
+			Addr:             dataAddr(i),
+			MasterAddr:       masterAddr,
 			Dir:              fmt.Sprintf("%s/dn%d", dir, i),
 			DisableHeartbeat: true,
 			ExtentSize:       opts.ExtentSize,
@@ -217,7 +279,7 @@ func SetupCFS(opts CFSOptions) (*CFSFactory, error) {
 		f.datas = append(f.datas, dn)
 	}
 	var resp proto.CreateVolumeResp
-	if err := nw.Call("master", uint8(proto.OpMasterCreateVolume), &proto.CreateVolumeReq{
+	if err := nw.Call(masterAddr, uint8(proto.OpMasterCreateVolume), &proto.CreateVolumeReq{
 		Name:               "bench",
 		MetaPartitionCount: opts.MetaPartitions,
 		DataPartitionCount: opts.DataPartitions,
@@ -225,16 +287,25 @@ func SetupCFS(opts CFSOptions) (*CFSFactory, error) {
 		f.Close()
 		return nil, err
 	}
-	// Latency applies after setup so provisioning stays fast.
-	if opts.NetworkLatency > 0 {
-		nw.SetLatency(opts.NetworkLatency)
+	// Latency applies after setup so provisioning stays fast; TCP runs at
+	// whatever the loopback path costs.
+	if opts.NetworkLatency > 0 && f.mem != nil {
+		f.mem.SetLatency(opts.NetworkLatency)
 	}
 	return f, nil
 }
 
 // NewClient implements Factory: a fresh mount with its own caches.
 func (f *CFSFactory) NewClient() (System, error) {
-	fs, err := core.Mount(f.nw, "master", "bench", core.MountOptions{Client: f.opts.Client})
+	cl := f.opts.Client
+	if cl.MaxRetries == 0 {
+		// Bench clients mount milliseconds after the cluster is carved;
+		// under load a meta partition's first election can outlast the
+		// product default's backoff budget, so give provisioning races a
+		// wider window than a steady-state client would need.
+		cl.MaxRetries = 10
+	}
+	fs, err := core.Mount(f.nw, f.masterAddr, "bench", core.MountOptions{Client: cl})
 	if err != nil {
 		return nil, err
 	}
@@ -244,8 +315,8 @@ func (f *CFSFactory) NewClient() (System, error) {
 
 // Close implements Factory.
 func (f *CFSFactory) Close() {
-	if f.nw != nil {
-		f.nw.SetLatency(0)
+	if f.mem != nil {
+		f.mem.SetLatency(0)
 	}
 	for _, fs := range f.clients {
 		fs.Unmount()

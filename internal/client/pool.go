@@ -211,29 +211,35 @@ func (s *repSession) recvLoop() {
 		}
 		s.mu.Unlock()
 		if e == nil {
+			ack.Release()
 			continue // stray ack on a failing session; noise
 		}
 		if e.owner != nil {
 			e.owner.handleAck(e.sp, ack, now)
 		}
-		if ack.ResultCode == proto.ResultErrAborted {
+		// Acks carry at most a short error text; capture what the fates
+		// below need and release the frame (handleAck copied its share).
+		code := ack.ResultCode
+		msg := string(ack.Data)
+		ack.Release()
+		if code == proto.ResultErrAborted {
 			// The server aborted the whole session; its remaining acks are
 			// all rejections, so fail fast and let writers replay.
-			s.fail(fmt.Errorf("client: dp %d session aborted by server: %s: %w", s.pid, ack.Data, util.ErrTimeout))
+			s.fail(fmt.Errorf("client: dp %d session aborted by server: %s: %w", s.pid, msg, util.ErrTimeout))
 			return
 		}
-		if ack.ResultCode == proto.ResultErrStaleEpoch {
+		if code == proto.ResultErrStaleEpoch {
 			// The partition reconfigured underneath this session (leader
 			// failover or replica change): every future frame earns the
 			// same reject, so retire now. ErrStale sends writers through
 			// the refresh -> re-dial -> replay path.
-			s.fail(fmt.Errorf("client: dp %d session at stale replica epoch: %s: %w", s.pid, ack.Data, util.ErrStale))
+			s.fail(fmt.Errorf("client: dp %d session at stale replica epoch: %s: %w", s.pid, msg, util.ErrStale))
 			return
 		}
-		if e.owner == nil && ack.ResultCode != proto.ResultOK {
+		if e.owner == nil && code != proto.ResultOK {
 			// A rejected keepalive means the session is not serviceable
 			// (wrong leader, dead partition): stop pooling it.
-			s.fail(fmt.Errorf("client: dp %d keepalive rejected: %s: %w", s.pid, ack.Data, util.ErrTimeout))
+			s.fail(fmt.Errorf("client: dp %d keepalive rejected: %s: %w", s.pid, msg, util.ErrTimeout))
 			return
 		}
 	}

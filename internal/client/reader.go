@@ -54,6 +54,22 @@ type ExtentReader struct {
 	nextOff  uint64     // prefetch frontier
 	limit    uint64     // contiguous known end; never request past it
 	seqRun   bool       // a continuation was observed; prefetch ahead
+
+	// Next-run prefetch (cross-extent readahead): once the current
+	// extent's frontier hits its limit, spare window slots prefetch the
+	// hinted continuation extent, and the run is promoted wholesale when
+	// the caller's scan rolls onto it - the readahead window straddles
+	// the extent boundary instead of draining and refilling cold.
+	nextEK      proto.ExtentKey
+	nextStart   uint64 // first extent offset of the continuation run
+	nextKnown   uint64 // contiguous known end within the next extent
+	nextValid   bool
+	nextSess    *readSession
+	nextEpoch   uint64
+	nextCands   []string
+	nextCandIdx int
+	nextReqs    []*readReq
+	nextFront   uint64 // prefetch frontier within the next extent
 }
 
 // ReadPipelined reports whether the streaming read path is available: the
@@ -106,7 +122,9 @@ func (r *ExtentReader) ReadAt(ek proto.ExtentKey, extentOff uint64, p []byte, kn
 	for read < len(p) {
 		cur := extentOff + uint64(read)
 		if r.pid != ek.PartitionID || r.extent != ek.ExtentID || r.consumed != cur {
-			r.beginRun(ek, cur)
+			if !r.promoteNext(ek, cur) {
+				r.beginRun(ek, cur)
+			}
 		}
 		if known > r.limit {
 			r.limit = known
@@ -179,6 +197,18 @@ func (r *ExtentReader) ensureSession() error {
 		r.cands = r.d.offloadOrder(dp, r.extent)
 		r.candIdx = 0
 	}
+	// Refusal horizons: skip candidates a fresh clamp note says still
+	// trail the run's next packet - they would just refuse it again. The
+	// last candidate (the leader) always serves committed bytes and is
+	// never skipped.
+	need := r.consumed + uint64(r.d.cfg.PacketSize)
+	if r.limit > 0 && need > r.limit {
+		need = r.limit
+	}
+	for r.candIdx < len(r.cands)-1 &&
+		r.d.readPool.clampedBelow(r.cands[r.candIdx], r.pid, r.extent, need) {
+		r.candIdx++
+	}
 	if r.candIdx >= len(r.cands) {
 		return fmt.Errorf("client: read dp %d: no replica left to try: %w", r.pid, util.ErrNoAvailableNode)
 	}
@@ -221,7 +251,133 @@ func (r *ExtentReader) fill(needEnd uint64) error {
 		r.reqs = append(r.reqs, req)
 		r.nextOff += span
 	}
+	// Current extent fully requested: spend leftover window slots on the
+	// hinted continuation extent.
+	if r.seqRun && r.nextValid && r.nextOff >= r.limit {
+		r.fillNext()
+	}
 	return nil
+}
+
+// fillNext prefetches the hinted next-extent run into spare window slots.
+// Best-effort by design: any failure just drops the hint and the extent
+// roll re-fetches through the normal (cold) path.
+func (r *ExtentReader) fillNext() {
+	if r.nextFront >= r.nextKnown {
+		return
+	}
+	if r.nextSess == nil || !r.nextSess.healthy() {
+		if !r.bindNextSession() {
+			r.dropNext()
+			return
+		}
+	}
+	packet := uint64(r.d.cfg.PacketSize)
+	for r.nextFront < r.nextKnown && len(r.reqs)+len(r.nextReqs) < r.win.cur {
+		span := util.MinU64(packet, r.nextKnown-r.nextFront)
+		req, err := r.nextSess.read(r.nextEK.PartitionID, r.nextEK.ExtentID,
+			r.nextFront, uint32(span), r.nextEpoch, len(r.reqs)+len(r.nextReqs))
+		if err != nil {
+			r.dropNext()
+			return
+		}
+		r.nextReqs = append(r.nextReqs, req)
+		r.nextFront += span
+	}
+}
+
+// bindNextSession resolves the continuation extent's partition and binds
+// a session on its first non-trailing offload candidate.
+func (r *ExtentReader) bindNextSession() bool {
+	dp, err := r.d.partitionInfo(r.nextEK.PartitionID)
+	if err != nil {
+		return false
+	}
+	r.nextEpoch = dp.ReplicaEpoch
+	if r.nextCands == nil {
+		r.nextCands = r.d.offloadOrder(dp, r.nextEK.ExtentID)
+		r.nextCandIdx = 0
+	}
+	need := r.nextStart + uint64(r.d.cfg.PacketSize)
+	if need > r.nextKnown {
+		need = r.nextKnown
+	}
+	for r.nextCandIdx < len(r.nextCands)-1 &&
+		r.d.readPool.clampedBelow(r.nextCands[r.nextCandIdx], r.nextEK.PartitionID, r.nextEK.ExtentID, need) {
+		r.nextCandIdx++
+	}
+	if r.nextCandIdx >= len(r.nextCands) {
+		return false
+	}
+	s, err := r.d.readPool.get(readKey{addr: r.nextCands[r.nextCandIdx], epoch: dp.ReplicaEpoch})
+	if err != nil {
+		return false
+	}
+	r.nextSess = s
+	return true
+}
+
+// promoteNext adopts the prefetched continuation run when the caller's
+// scan rolls onto exactly where it begins: the sequential run, its
+// adaptive window, and any in-flight prefetch survive the extent
+// boundary.
+func (r *ExtentReader) promoteNext(ek proto.ExtentKey, off uint64) bool {
+	if !r.nextValid || r.nextSess == nil ||
+		ek.PartitionID != r.nextEK.PartitionID || ek.ExtentID != r.nextEK.ExtentID ||
+		off != r.nextStart {
+		return false
+	}
+	wasSeq := r.seqRun
+	r.dropBuffers() // the old extent's leftovers (normally already drained)
+	r.pid, r.extent = ek.PartitionID, ek.ExtentID
+	r.epoch = r.nextEpoch
+	r.sess = r.nextSess
+	r.cands, r.candIdx = r.nextCands, r.nextCandIdx
+	r.reqs = r.nextReqs
+	r.headOff = 0
+	r.consumed = off
+	r.nextOff = r.nextFront
+	r.limit = r.nextKnown
+	r.seqRun = wasSeq
+	r.nextReqs = nil
+	r.nextSess = nil
+	r.nextValid = false
+	r.nextCands, r.nextCandIdx = nil, 0
+	return true
+}
+
+// SetNextHint tells the reader where the file continues once the current
+// extent's known span is exhausted: nek's extent, starting at extent
+// offset start, contiguously known through known. core.File re-derives
+// the hint from its extent keys after each streamed read.
+func (r *ExtentReader) SetNextHint(nek proto.ExtentKey, start, known uint64) {
+	if r.nextValid && nek.PartitionID == r.nextEK.PartitionID &&
+		nek.ExtentID == r.nextEK.ExtentID && start == r.nextStart {
+		if known > r.nextKnown {
+			r.nextKnown = known // the continuation grew; prefetch further
+		}
+		return
+	}
+	r.dropNext()
+	r.nextEK = nek
+	r.nextStart, r.nextFront, r.nextKnown = start, start, known
+	r.nextValid = true
+}
+
+// ClearNextHint drops the continuation hint (no next extent is known).
+func (r *ExtentReader) ClearNextHint() { r.dropNext() }
+
+// dropNext abandons the next-run prefetch state.
+func (r *ExtentReader) dropNext() {
+	if r.nextSess != nil {
+		for _, req := range r.nextReqs {
+			r.nextSess.abandon(req)
+		}
+	}
+	r.nextReqs = nil
+	r.nextSess = nil
+	r.nextValid = false
+	r.nextCands, r.nextCandIdx = nil, 0
 }
 
 // consume copies bytes from the window head into p, blocking until the
@@ -289,6 +445,7 @@ func (r *ExtentReader) dropBuffers() {
 // observes the new bytes, not a stale prefetch (read-your-writes).
 func (r *ExtentReader) Invalidate() {
 	r.dropBuffers()
+	r.dropNext()
 	r.pid, r.extent = 0, 0
 	r.consumed, r.nextOff, r.limit = 0, 0, 0
 	r.seqRun = false

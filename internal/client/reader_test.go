@@ -3,6 +3,7 @@ package client
 import (
 	"bytes"
 	"fmt"
+	"net"
 	"testing"
 	"time"
 
@@ -12,14 +13,89 @@ import (
 	"cfs/internal/proto"
 	"cfs/internal/raftstore"
 	"cfs/internal/transport"
+	"cfs/internal/util"
 )
+
+// testFabric is the network surface the client-side regression tests
+// drive; Memory and TCP both satisfy it.
+type testFabric interface {
+	transport.PacketStreamNetwork
+	Freeze(addr string)
+	Heal(addr string)
+}
+
+// allocLoopbackAddrs reserves n distinct loopback addresses by binding
+// ephemeral listeners and immediately closing them.
+func allocLoopbackAddrs(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		ln.Close()
+	}
+	return addrs
+}
+
+// assertChunkBalance registers a cleanup verifying every pooled chunk
+// taken during the test came back to the pool. Call it BEFORE starting a
+// cluster so the check runs after teardown (cleanups are LIFO); the
+// short poll absorbs goroutines still draining on close.
+func assertChunkBalance(t *testing.T) {
+	t.Helper()
+	gets0, puts0 := util.ChunkStats()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(2 * time.Second)
+		for {
+			gets, puts := util.ChunkStats()
+			if gets-gets0 == puts-puts0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Errorf("chunk pool leak: %d taken, %d returned", gets-gets0, puts-puts0)
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	})
+}
 
 // startReadCluster is startCluster plus the datanode handles, which the
 // read-path tests need to observe replica epochs and served-read counts.
 func startReadCluster(t *testing.T, nw *transport.Memory) []*datanode.DataNode {
 	t.Helper()
+	return bootReadCluster(t, nw, "master", func(role string, i int) string {
+		return fmt.Sprintf("%s%d", role, i)
+	})
+}
+
+// startReadClusterOn boots the same cluster on the chosen fabric; "tcp"
+// binds real loopback sockets so the regression runs the framed wire
+// path end to end. Returns the fabric and master address to Mount with.
+func startReadClusterOn(t *testing.T, fabric string) (testFabric, string, []*datanode.DataNode) {
+	t.Helper()
+	if fabric == "tcp" {
+		addrs := allocLoopbackAddrs(t, 7)
+		nw := transport.NewTCP()
+		next := 1
+		dns := bootReadCluster(t, nw, addrs[0], func(role string, i int) string {
+			a := addrs[next]
+			next++
+			return a
+		})
+		return nw, addrs[0], dns
+	}
+	nw := transport.NewMemory()
+	return nw, "master", startReadCluster(t, nw)
+}
+
+func bootReadCluster(t *testing.T, nw transport.Network, masterAddr string, name func(role string, i int) string) []*datanode.DataNode {
+	t.Helper()
 	m, err := master.Start(nw, master.Config{
-		Addr: "master", ReplicaCount: 3, DisableBackground: true,
+		Addr: masterAddr, ReplicaCount: 3, DisableBackground: true,
 		Raft: raftstore.Config{FlushInterval: time.Millisecond},
 	})
 	if err != nil {
@@ -32,7 +108,7 @@ func startReadCluster(t *testing.T, nw *transport.Memory) []*datanode.DataNode {
 	var dns []*datanode.DataNode
 	for i := 0; i < 3; i++ {
 		mn, err := meta.Start(nw, meta.Config{
-			Addr: fmt.Sprintf("mn%d", i), MasterAddr: "master", DisableHeartbeat: true,
+			Addr: name("mn", i), MasterAddr: masterAddr, DisableHeartbeat: true,
 			Raft: raftstore.Config{FlushInterval: time.Millisecond},
 		})
 		if err != nil {
@@ -40,7 +116,7 @@ func startReadCluster(t *testing.T, nw *transport.Memory) []*datanode.DataNode {
 		}
 		t.Cleanup(mn.Close)
 		dn, err := datanode.Start(nw, datanode.Config{
-			Addr: fmt.Sprintf("dn%d", i), MasterAddr: "master",
+			Addr: name("dn", i), MasterAddr: masterAddr,
 			Dir: t.TempDir(), DisableHeartbeat: true,
 			Raft: raftstore.Config{FlushInterval: time.Millisecond},
 		})
@@ -51,7 +127,7 @@ func startReadCluster(t *testing.T, nw *transport.Memory) []*datanode.DataNode {
 		dns = append(dns, dn)
 	}
 	var resp proto.CreateVolumeResp
-	if err := nw.Call("master", uint8(proto.OpMasterCreateVolume), &proto.CreateVolumeReq{
+	if err := nw.Call(masterAddr, uint8(proto.OpMasterCreateVolume), &proto.CreateVolumeReq{
 		Name: "readvol", MetaPartitionCount: 1, DataPartitionCount: 1,
 	}, &resp); err != nil {
 		t.Fatal(err)
@@ -110,6 +186,7 @@ func writeCommitted(t *testing.T, c *Client, dns []*datanode.DataNode, dp proto.
 // served entirely by followers - the leader's read counter does not move -
 // because the committed clamp makes follower serving safe (Section 2.2.5).
 func TestStreamReadFollowerOffload(t *testing.T) {
+	assertChunkBalance(t)
 	nw := transport.NewMemory()
 	dns := startReadCluster(t, nw)
 	c, err := Mount(nw, "master", "readvol", Config{})
@@ -155,9 +232,15 @@ func TestStreamReadFollowerOffload(t *testing.T) {
 // not wedge the reader - the session watchdog trips the reply deadline
 // and the reader fails over to another replica within deadline-order time.
 func TestStreamReadWatchdogFailsOverHungReplica(t *testing.T) {
-	nw := transport.NewMemory()
-	dns := startReadCluster(t, nw)
-	c, err := Mount(nw, "master", "readvol", Config{
+	for _, fabric := range []string{"memory", "tcp"} {
+		t.Run(fabric, func(t *testing.T) { testWatchdogFailover(t, fabric) })
+	}
+}
+
+func testWatchdogFailover(t *testing.T, fabric string) {
+	assertChunkBalance(t)
+	nw, masterAddr, dns := startReadClusterOn(t, fabric)
+	c, err := Mount(nw, masterAddr, "readvol", Config{
 		AckDeadline:       200 * time.Millisecond,
 		KeepaliveInterval: 50 * time.Millisecond,
 	})
@@ -204,6 +287,7 @@ func TestStreamReadWatchdogFailsOverHungReplica(t *testing.T) {
 // frames retriably, the reader refreshes the view, re-dials at the new
 // epoch, and the read completes - no error surfaces to the caller.
 func TestStreamReadRetriesAfterEpochBump(t *testing.T) {
+	assertChunkBalance(t)
 	nw := transport.NewMemory()
 	dns := startReadCluster(t, nw)
 	c, err := Mount(nw, "master", "readvol", Config{})

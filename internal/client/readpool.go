@@ -199,6 +199,7 @@ func (s *readSession) recvLoop() {
 		s.mu.Lock()
 		if len(s.pending) == 0 || s.pending[0].seq != f.ReqID {
 			s.mu.Unlock()
+			f.Release()
 			s.fail(fmt.Errorf("client: read stream to %s: reply for seq %d out of order: %w",
 				s.key.addr, f.ReqID, util.ErrTimeout))
 			return
@@ -215,12 +216,22 @@ func (s *readSession) recvLoop() {
 			req.err = fmt.Errorf("client: read via %s: %s: %w", s.key.addr, f.Data, util.ErrStale)
 			stale = true
 			s.completeLocked(req, now)
+		case f.ResultCode == proto.ResultErrClamped && !req.ping:
+			// Committed-clamp refusal: per-request like any refusal, but
+			// the reply carries the replica's committed horizon - remember
+			// it so hot-tail reads stop offloading to this trailing
+			// follower until it catches up (or the note expires).
+			if s.pool != nil {
+				s.pool.noteClamp(s.key.addr, f.PartitionID, f.ExtentID, f.Committed)
+			}
+			req.err = fmt.Errorf("client: read via %s: %s", s.key.addr, f.Data)
+			s.completeLocked(req, now)
 		case f.ResultCode != proto.ResultOK:
 			if req.ping {
 				// A rejected keepalive means the session is not serviceable.
 				fatal = fmt.Errorf("client: read keepalive to %s rejected: %s: %w", s.key.addr, f.Data, util.ErrTimeout)
 			} else {
-				// Per-request error (committed clamp, unknown extent): the
+				// Per-request error (unknown extent, store error): the
 				// owner falls back to another replica; the session is fine.
 				req.err = fmt.Errorf("client: read via %s: %s", s.key.addr, f.Data)
 				s.completeLocked(req, now)
@@ -235,8 +246,10 @@ func (s *readSession) recvLoop() {
 				req.gapN++
 			}
 			req.lastChunkAt = now
-			req.chunks = append(req.chunks, f.Data)
-			req.got += uint32(len(f.Data))
+			// Detach the payload from the frame: the chunk list owns the
+			// buffer from here (recycleChunks returns it to the pool).
+			req.chunks = append(req.chunks, f.TakeData())
+			req.got += uint32(len(req.chunks[len(req.chunks)-1]))
 			if f.FileOffset == 0 { // the request's final chunk
 				if req.got != req.length {
 					fatal = fmt.Errorf("client: read stream to %s: got %d of %d bytes: %w",
@@ -247,6 +260,9 @@ func (s *readSession) recvLoop() {
 			}
 		}
 		s.mu.Unlock()
+		// Chunk payloads were detached above; anything left on the frame
+		// (error text, ping acks) was copied into errors and is done with.
+		f.Release()
 		if fatal != nil {
 			s.fail(fatal)
 			return
@@ -411,17 +427,77 @@ func (s *readSession) close() {
 	<-s.recvDone
 }
 
-// readPool caches one readSession per (replica, epoch).
+// readPool caches one readSession per (replica, epoch) and remembers
+// which replicas recently refused which ranges (the clamp horizons).
 type readPool struct {
 	d *DataClient
 
 	mu       sync.Mutex
 	sessions map[readKey]*readSession
+	horizons map[clampKey]clampHorizon
 	closed   bool
 }
 
+// clampKey names the scope of one committed-clamp refusal: a replica's
+// view of one extent.
+type clampKey struct {
+	addr   string
+	pid    uint64
+	extent uint64
+}
+
+// clampHorizon is what the refusal taught us: the replica's committed
+// offset at refusal time. Offsets at or below it are still servable
+// there; the tail beyond it is not, until the follower catches up.
+type clampHorizon struct {
+	committed uint64
+	at        time.Time
+}
+
+// clampTTL bounds how long a refusal horizon steers replica choice.
+// Gossip re-advances a healthy follower's committed offset within a
+// round trip or two, so a stale note must expire quickly or a caught-up
+// follower would keep losing hot-tail reads it can now serve.
+const clampTTL = 250 * time.Millisecond
+
 func newReadPool(d *DataClient) *readPool {
-	return &readPool{d: d, sessions: make(map[readKey]*readSession)}
+	return &readPool{
+		d:        d,
+		sessions: make(map[readKey]*readSession),
+		horizons: make(map[clampKey]clampHorizon),
+	}
+}
+
+// noteClamp records a committed-clamp refusal from addr. Monotonic per
+// key within the TTL: a refusal can only raise the known horizon (a
+// reordered stale reply must not shrink what we know the replica holds).
+func (p *readPool) noteClamp(addr string, pid, extent, committed uint64) {
+	k := clampKey{addr: addr, pid: pid, extent: extent}
+	now := time.Now()
+	p.mu.Lock()
+	if cur, ok := p.horizons[k]; !ok || now.Sub(cur.at) > clampTTL || committed >= cur.committed {
+		p.horizons[k] = clampHorizon{committed: committed, at: now}
+	}
+	// Opportunistic expiry keeps the map bounded by the working set.
+	if len(p.horizons) > 1024 {
+		for k, h := range p.horizons {
+			if now.Sub(h.at) > clampTTL {
+				delete(p.horizons, k)
+			}
+		}
+	}
+	p.mu.Unlock()
+}
+
+// clampedBelow reports whether a fresh refusal horizon says addr cannot
+// serve extent bytes up to end. False on expiry: the replica gets probed
+// again and either serves the range or refreshes the note.
+func (p *readPool) clampedBelow(addr string, pid, extent, end uint64) bool {
+	k := clampKey{addr: addr, pid: pid, extent: extent}
+	p.mu.Lock()
+	h, ok := p.horizons[k]
+	p.mu.Unlock()
+	return ok && time.Since(h.at) <= clampTTL && h.committed < end
 }
 
 // get returns the pooled session for key, dialing one if the cache is

@@ -56,6 +56,7 @@ type ExtentWriter struct {
 type streamPkt struct {
 	fileOff uint64
 	data    []byte
+	crc     uint32 // payload CRC, computed once at enqueue
 	create  bool
 	small   bool
 	sentAt  time.Time // stamped by the session; feeds the RTT estimate
@@ -332,7 +333,7 @@ func (w *ExtentWriter) Write(fileOff uint64, data []byte) (int, error) {
 		}
 		end := util.Min(written+packet, len(data))
 		chunk := append([]byte(nil), data[written:end]...)
-		sp := &streamPkt{fileOff: fileOff + uint64(written), data: chunk}
+		sp := &streamPkt{fileOff: fileOff + uint64(written), data: chunk, crc: util.CRC(chunk)}
 		w.register(sp)
 		// The chunk counts as accepted from registration on: even if the
 		// send below fails, sp sits in the window and Drain surfaces it
@@ -347,7 +348,7 @@ func (w *ExtentWriter) Write(fileOff uint64, data []byte) (int, error) {
 				ExtentID:    w.extentID(),
 				FileOffset:  sp.fileOff,
 				Epoch:       w.dp.ReplicaEpoch,
-				CRC:         util.CRC(chunk),
+				CRC:         sp.crc,
 				Data:        chunk,
 			}
 		}); err != nil {
@@ -364,7 +365,7 @@ func (w *ExtentWriter) WriteSmall(fileOff uint64, data []byte) error {
 		return err
 	}
 	chunk := append([]byte(nil), data...)
-	sp := &streamPkt{fileOff: fileOff, data: chunk, small: true}
+	sp := &streamPkt{fileOff: fileOff, data: chunk, crc: util.CRC(chunk), small: true}
 	w.register(sp)
 	return w.send(sp, func(seq uint64) *proto.Packet {
 		return &proto.Packet{
@@ -373,7 +374,7 @@ func (w *ExtentWriter) WriteSmall(fileOff uint64, data []byte) error {
 			PartitionID: w.dp.PartitionID,
 			FileOffset:  fileOff,
 			Epoch:       w.dp.ReplicaEpoch,
-			CRC:         util.CRC(chunk),
+			CRC:         sp.crc,
 			Data:        chunk,
 		}
 	})
@@ -523,7 +524,7 @@ func (w *ExtentWriter) handleAck(sp *streamPkt, ack *proto.Packet, now time.Time
 			ExtentOffset: ack.ExtentOffset,
 			FileOffset:   sp.fileOff,
 			Size:         uint32(len(sp.data)),
-			CRC:          util.CRC(sp.data),
+			CRC:          sp.crc, // computed once at enqueue; no re-scan per ack
 		})
 		w.win.observe(now.Sub(sp.sentAt), now, len(w.pending) > 0, sp.qdepth)
 	}

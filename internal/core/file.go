@@ -475,7 +475,13 @@ func (f *File) readSpanLocked(ek proto.ExtentKey, extOff uint64, p []byte, seque
 		if f.r == nil {
 			f.r = f.fs.c.Data.NewExtentReader()
 		}
-		n, err := f.r.ReadAt(ek, extOff, p, f.extentKnownEnd(ek))
+		known := f.extentKnownEnd(ek)
+		n, err := f.r.ReadAt(ek, extOff, p, known)
+		// Point the reader at the file's next extent run AFTER the read:
+		// when the scan later rolls onto it, the promoted run is adopted
+		// first and only then is the hint re-derived for the extent after
+		// that - so the readahead window straddles every extent boundary.
+		f.setNextHintLocked(ek, known)
 		if err == nil || n > 0 {
 			// Partial progress: the caller's loop re-enters for the rest.
 			return n, nil
@@ -487,6 +493,22 @@ func (f *File) readSpanLocked(ek proto.ExtentKey, extOff uint64, p []byte, seque
 	}
 	copy(p, data)
 	return len(data), nil
+}
+
+// setNextHintLocked derives where the file continues after ek's known
+// contiguous span and hands it to the streaming reader as its
+// cross-extent readahead target. Cleared when nothing follows (EOF, a
+// hole) or when the span continues on the same extent (ordinary
+// same-extent readahead covers that).
+func (f *File) setNextHintLocked(ek proto.ExtentKey, known uint64) {
+	nextFileOff := ek.FileOffset + (known - ek.ExtentOffset)
+	nek, ok := f.keyCovering(nextFileOff)
+	if !ok || (nek.PartitionID == ek.PartitionID && nek.ExtentID == ek.ExtentID) {
+		f.r.ClearNextHint()
+		return
+	}
+	start := nek.ExtentOffset + (nextFileOff - nek.FileOffset)
+	f.r.SetNextHint(nek, start, f.extentKnownEnd(nek))
 }
 
 // extentKnownEnd returns the end of the contiguous byte span the file's

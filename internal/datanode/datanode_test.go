@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"net"
 	"testing"
 	"time"
 
@@ -14,12 +15,60 @@ import (
 	"cfs/internal/util"
 )
 
+// testNet is the fabric surface the cluster tests drive. Both the
+// in-process Memory network and the real TCP loopback transport satisfy
+// it, so key regressions can run over either fabric.
+type testNet interface {
+	transport.PacketStreamNetwork
+	Freeze(addr string)
+	Heal(addr string)
+}
+
+// allocLoopbackAddrs reserves n distinct loopback addresses by binding
+// ephemeral listeners and immediately closing them.
+func allocLoopbackAddrs(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		ln.Close()
+	}
+	return addrs
+}
+
+// assertChunkBalance registers a cleanup verifying every pooled chunk
+// taken during the test came back to the pool. Call it BEFORE starting a
+// cluster so the check runs after node teardown (cleanups are LIFO); the
+// short poll absorbs sender goroutines still draining on close.
+func assertChunkBalance(t *testing.T) {
+	t.Helper()
+	gets0, puts0 := util.ChunkStats()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(2 * time.Second)
+		for {
+			gets, puts := util.ChunkStats()
+			if gets-gets0 == puts-puts0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Errorf("chunk pool leak: %d taken, %d returned", gets-gets0, puts-puts0)
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	})
+}
+
 // fakeMaster accepts register/heartbeat/failure-report calls.
 type fakeMaster struct {
 	failures chan proto.ReportFailureReq
 }
 
-func startFakeMaster(t *testing.T, nw *transport.Memory, addr string) *fakeMaster {
+func startFakeMaster(t *testing.T, nw transport.Network, addr string) *fakeMaster {
 	t.Helper()
 	fm := &fakeMaster{failures: make(chan proto.ReportFailureReq, 16)}
 	ln, err := nw.Listen(addr, func(op uint8, req any) (any, error) {
@@ -47,10 +96,21 @@ func startFakeMaster(t *testing.T, nw *transport.Memory, addr string) *fakeMaste
 }
 
 type testCluster struct {
-	nw    *transport.Memory
+	nw    testNet
 	fm    *fakeMaster
 	nodes []*DataNode
 	addrs []string
+}
+
+// cut fully partitions addr off the fabric. Only the Memory network can
+// model a symmetric partition; tests that need it stay Memory-only.
+func (tc *testCluster) cut(t *testing.T, addr string) {
+	t.Helper()
+	m, ok := tc.nw.(*transport.Memory)
+	if !ok {
+		t.Fatal("cut: symmetric partition requires the Memory fabric")
+	}
+	m.Partition(addr)
 }
 
 func startCluster(t *testing.T, n int) *testCluster {
@@ -60,15 +120,39 @@ func startCluster(t *testing.T, n int) *testCluster {
 // startClusterCfg starts n data nodes, letting mod tweak each node's
 // config (liveness deadlines, directories) before it boots.
 func startClusterCfg(t *testing.T, n int, mod func(i int, cfg *Config)) *testCluster {
+	return startClusterOn(t, n, "memory", mod)
+}
+
+// startClusterOn boots an n-node cluster on the chosen fabric: "memory"
+// runs on in-process addresses, "tcp" binds real loopback sockets so the
+// same regression exercises the framed wire path.
+func startClusterOn(t *testing.T, n int, fabric string, mod func(i int, cfg *Config)) *testCluster {
 	t.Helper()
-	nw := transport.NewMemory()
+	var (
+		nw     testNet
+		addrAt func(i int) string // i == -1 addresses the fake master
+	)
+	switch fabric {
+	case "tcp":
+		addrs := allocLoopbackAddrs(t, n+1)
+		nw = transport.NewTCP()
+		addrAt = func(i int) string { return addrs[i+1] }
+	default:
+		nw = transport.NewMemory()
+		addrAt = func(i int) string {
+			if i < 0 {
+				return "master"
+			}
+			return fmt.Sprintf("dn%d", i)
+		}
+	}
 	tc := &testCluster{nw: nw}
-	tc.fm = startFakeMaster(t, nw, "master")
+	tc.fm = startFakeMaster(t, nw, addrAt(-1))
 	for i := 0; i < n; i++ {
-		addr := fmt.Sprintf("dn%d", i)
+		addr := addrAt(i)
 		cfg := Config{
 			Addr:             addr,
-			MasterAddr:       "master",
+			MasterAddr:       addrAt(-1),
 			Dir:              t.TempDir(),
 			DisableHeartbeat: true,
 			Raft: raftstore.Config{
@@ -378,7 +462,7 @@ func TestFollowerFailureReportedAndWriteFails(t *testing.T) {
 	eid := tc.createExtent(t, 100)
 	tc.append(t, 100, eid, []byte("before"))
 
-	tc.nw.Partition(tc.addrs[2])
+	tc.cut(t, tc.addrs[2])
 	pkt := proto.NewPacket(proto.OpDataAppend, 40, 100, eid, []byte("after"))
 	var resp proto.Packet
 	if err := tc.nw.Call(tc.leaderAddr(), uint8(proto.OpDataAppend), pkt, &resp); err != nil {
@@ -402,7 +486,7 @@ func TestAlignReplicasCatchesUpLaggingFollower(t *testing.T) {
 
 	// Partition follower 2; writes now fail but leader + follower 1 hold
 	// more data than follower 2 (stale tail allowed, never served).
-	tc.nw.Partition(tc.addrs[2])
+	tc.cut(t, tc.addrs[2])
 	pkt := proto.NewPacket(proto.OpDataAppend, 50, 100, eid, []byte("tail"))
 	var resp proto.Packet
 	tc.nw.Call(tc.leaderAddr(), uint8(proto.OpDataAppend), pkt, &resp)

@@ -448,7 +448,10 @@ func (p *Partition) applyFollowerHop(pkt *proto.Packet) error {
 		if pkt.FileOffset == smallFileMarker {
 			err = p.store.SmallFileAt(pkt.ExtentID, pkt.ExtentOffset, pkt.Data)
 		} else {
-			err = p.store.AppendAt(pkt.ExtentID, pkt.ExtentOffset, pkt.Data)
+			// Every route here (unary handleAppend, stream followerPacket)
+			// ran VerifyCRC on ingest, so the store can fold the verified
+			// sum instead of re-scanning the payload.
+			err = p.store.AppendAtSum(pkt.ExtentID, pkt.ExtentOffset, pkt.Data, pkt.CRC)
 		}
 		if err == nil {
 			p.advanceCommitted(pkt.ExtentID, pkt.Committed)
@@ -513,6 +516,9 @@ func appendHopPacket(partitionID uint64, pkt *proto.Packet, extentID, off uint64
 	if small {
 		fwd.FileOffset = smallFileMarker
 	}
+	// The hop aliases pkt.Data; if the payload came off the buffer pool the
+	// hop co-owns it (no-op for unpooled unary packets).
+	fwd.SharePool(pkt)
 	return fwd
 }
 
@@ -552,10 +558,10 @@ func (p *Partition) leaderAppend(pkt *proto.Packet) (*proto.Packet, error) {
 	small := pkt.ExtentID == 0
 	if small {
 		// Small file: aggregate into the shared extent (Section 2.2.3).
-		extentID, off, err = p.store.AppendSmallFile(pkt.Data)
+		extentID, off, err = p.store.AppendSmallFileSum(pkt.Data, pkt.CRC)
 	} else {
 		extentID = pkt.ExtentID
-		off, err = p.store.Append(extentID, pkt.Data)
+		off, err = p.store.AppendSum(extentID, pkt.Data, pkt.CRC)
 	}
 	if err != nil {
 		return pkt.ErrResponse(proto.ResultErrIO, err.Error()), nil

@@ -45,6 +45,16 @@ import (
 // the session buffer an absurd range.
 const maxStreamReadLen = 8 * util.MB
 
+// readaheadFrames is the depth of the session's reply queue, in frames.
+// The producer (store reads) runs ahead of the sender (wire writes) by up
+// to this many chunk frames, so disk latency and wire latency overlap:
+// while chunk k is being written to the socket, chunks k+1..k+4 are
+// already read and CRC-stamped. 4 x 64 KB = 256 KB of server-side
+// readahead per session, and because requests are served from a single
+// FIFO the window rolls across extent boundaries for free - the client's
+// next-extent requests pipeline behind the current extent's tail chunks.
+const readaheadFrames = 4
+
 type readSession struct {
 	d  *DataNode
 	cs transport.PacketStream
@@ -53,19 +63,38 @@ type readSession struct {
 	lastClient time.Time // last frame received from the client
 	closed     bool
 
+	reqc  chan *proto.Packet // recv loop -> producer (request FIFO)
+	sendc chan *proto.Packet // producer -> sender (readahead window)
+
 	stopc chan struct{}
 	wg    sync.WaitGroup
 }
 
 func newReadSession(d *DataNode, cs transport.PacketStream) *readSession {
-	return &readSession{d: d, cs: cs, lastClient: time.Now(), stopc: make(chan struct{})}
+	return &readSession{
+		d: d, cs: cs, lastClient: time.Now(),
+		reqc:  make(chan *proto.Packet, 32),
+		sendc: make(chan *proto.Packet, readaheadFrames),
+		stopc: make(chan struct{}),
+	}
 }
 
-// run is the session's serve loop: single-threaded, so replies leave in
-// request order by construction.
+// run receives request frames and feeds the producer. Three goroutines
+// form a pipeline - recv -> produce (store reads) -> send (wire writes) -
+// each stage strictly FIFO, so replies leave in request order by
+// construction while store and wire latencies overlap.
+//
+// Teardown is a cascade with no circular wait: the transport dying (or
+// the watchdog closing it) errors Recv, closing reqc ends the producer,
+// closing sendc ends the sender; a sender wedged against a half-open
+// client is unblocked by the same watchdog Close, after which its
+// remaining Sends fail fast (Send releases each frame's payload either
+// way, so drained frames cannot leak pool buffers).
 func (s *readSession) run() {
-	s.wg.Add(1)
+	s.wg.Add(3)
 	go s.runWatchdog()
+	go s.runProducer()
+	go s.runSender()
 	for {
 		pkt, err := s.cs.Recv()
 		if err != nil {
@@ -74,14 +103,36 @@ func (s *readSession) run() {
 		s.mu.Lock()
 		s.lastClient = time.Now()
 		s.mu.Unlock()
-		s.serve(pkt)
+		s.reqc <- pkt
 	}
+	close(s.reqc)
 	close(s.stopc)
 	s.mu.Lock()
 	s.closed = true
 	s.mu.Unlock()
 	s.wg.Wait()
 	s.cs.Close()
+}
+
+// runProducer serves queued requests in order, pushing reply frames into
+// the bounded readahead window.
+func (s *readSession) runProducer() {
+	defer s.wg.Done()
+	defer close(s.sendc)
+	for pkt := range s.reqc {
+		s.serve(pkt)
+		pkt.Release() // requests carry no payload today; releasing is future-proof
+	}
+}
+
+// runSender writes reply frames to the wire in FIFO order. Send consumes
+// each frame's payload reference, success or failure, so no extra
+// bookkeeping is needed here.
+func (s *readSession) runSender() {
+	defer s.wg.Done()
+	for pkt := range s.sendc {
+		_ = s.cs.Send(pkt)
+	}
 }
 
 // runWatchdog reaps sessions whose client went silent: a live client pings
@@ -160,9 +211,22 @@ func (s *readSession) serve(pkt *proto.Packet) {
 	// has stored more than it knows committed refuses the tail and the
 	// client falls back to another replica (ultimately the leader).
 	if end := off + length; end > p.committedOf(pkt.ExtentID) {
-		s.sendErr(pkt, proto.ResultErrIO, fmt.Sprintf(
-			"read [%d,%d) of extent %d beyond committed offset %d: %v",
-			off, end, pkt.ExtentID, p.committedOf(pkt.ExtentID), util.ErrOutOfRange))
+		committed := p.committedOf(pkt.ExtentID)
+		// The refusal carries this replica's committed horizon so the
+		// client can stop offloading hot-tail reads here until the
+		// follower catches up, instead of bouncing off the same clamp on
+		// every retry.
+		s.send(&proto.Packet{
+			Op:          pkt.Op,
+			ResultCode:  proto.ResultErrClamped,
+			ReqID:       pkt.ReqID,
+			PartitionID: pkt.PartitionID,
+			ExtentID:    pkt.ExtentID,
+			Committed:   committed,
+			Data: []byte(fmt.Sprintf(
+				"read [%d,%d) of extent %d beyond committed offset %d: %v",
+				off, end, pkt.ExtentID, committed, util.ErrOutOfRange)),
+		})
 		return
 	}
 	if length == 0 {
@@ -184,7 +248,7 @@ func (s *readSession) serve(pkt *proto.Packet) {
 			return
 		}
 		remaining -= n
-		s.send(&proto.Packet{
+		frame := &proto.Packet{
 			Op:           proto.OpDataRead,
 			ResultCode:   proto.ResultOK,
 			ReqID:        pkt.ReqID,
@@ -194,12 +258,16 @@ func (s *readSession) serve(pkt *proto.Packet) {
 			FileOffset:   remaining, // zero marks the request's final chunk
 			CRC:          util.CRC(buf),
 			Data:         buf,
-		})
+		}
+		frame.MarkPooled() // the frame owns buf; Send (or the receiver) releases it
+		s.send(frame)
 		off += n
 	}
 }
 
-func (s *readSession) send(pkt *proto.Packet) { _ = s.cs.Send(pkt) }
+// send queues one reply frame behind the readahead window; blocking here
+// is wire backpressure, which is what paces the producer's store reads.
+func (s *readSession) send(pkt *proto.Packet) { s.sendc <- pkt }
 
 func (s *readSession) sendErr(req *proto.Packet, code uint8, msg string) {
 	s.send(&proto.Packet{

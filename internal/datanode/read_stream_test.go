@@ -43,12 +43,17 @@ func streamRead(t *testing.T, st transport.PacketStream, seq, pid, eid, off, len
 			t.Fatalf("reply seq = %d, want %d", f.ReqID, seq)
 		}
 		if f.ResultCode != proto.ResultOK {
-			return nil, f.ResultCode, string(f.Data)
+			msg := string(f.Data)
+			f.Release()
+			return nil, f.ResultCode, msg
 		}
 		if !f.VerifyCRC() {
 			t.Fatalf("chunk at %d failed CRC", f.ExtentOffset)
 		}
+		// Received frames arrive holding one pool reference; the copy into
+		// out is this consumer's last use of the payload.
 		out = append(out, f.Data...)
+		f.Release()
 		if f.FileOffset == 0 {
 			if uint64(len(out)) != length {
 				t.Fatalf("final chunk closed the request at %d of %d bytes", len(out), length)
@@ -62,6 +67,7 @@ func streamRead(t *testing.T, st transport.PacketStream, seq, pid, eid, off, len
 // back as multiple CRC-framed chunks whose remaining-bytes countdown
 // self-delimits the request, pipelined with a second request behind it.
 func TestReadStreamChunkFraming(t *testing.T) {
+	assertChunkBalance(t)
 	tc := startCluster(t, 3)
 	tc.createPartition(t, 100)
 	eid := tc.createExtent(t, 100)
@@ -98,6 +104,7 @@ func TestReadStreamChunkFraming(t *testing.T) {
 		}
 		chunks++
 		first = append(first, f.Data...)
+		f.Release()
 		if f.FileOffset == 0 {
 			break
 		}
@@ -115,6 +122,7 @@ func TestReadStreamChunkFraming(t *testing.T) {
 	if f.ReqID != 2 || f.ResultCode != proto.ResultOK || string(f.Data) != string(payload[8:24]) {
 		t.Fatalf("second pipelined request reply = %+v", f)
 	}
+	f.Release()
 }
 
 // TestFollowerStreamReadNeverExceedsCommitted is the streaming twin of
@@ -123,7 +131,14 @@ func TestReadStreamChunkFraming(t *testing.T) {
 // replica may be missing those bytes (Section 2.2.5). Recovery realigns
 // and the same session then serves the promoted tail.
 func TestFollowerStreamReadNeverExceedsCommitted(t *testing.T) {
-	tc := startClusterCfg(t, 3, func(i int, cfg *Config) {
+	for _, fabric := range []string{"memory", "tcp"} {
+		t.Run(fabric, func(t *testing.T) { testFollowerStreamClamp(t, fabric) })
+	}
+}
+
+func testFollowerStreamClamp(t *testing.T, fabric string) {
+	assertChunkBalance(t)
+	tc := startClusterOn(t, 3, fabric, func(i int, cfg *Config) {
 		cfg.AckDeadline = 150 * time.Millisecond
 		cfg.KeepaliveInterval = 50 * time.Millisecond
 	})
@@ -136,6 +151,8 @@ func TestFollowerStreamReadNeverExceedsCommitted(t *testing.T) {
 	}
 	if ack, err := st.Recv(); err != nil || ack.ResultCode != proto.ResultOK {
 		t.Fatalf("baseline ack = %+v, %v", ack, err)
+	} else {
+		ack.Release()
 	}
 	// Wait for the drain gossip to teach follower 1 the baseline.
 	if data := tc.readEventually(t, tc.addrs[1], 100, eid, 0, 6); string(data) != "commit" {
@@ -151,6 +168,8 @@ func TestFollowerStreamReadNeverExceedsCommitted(t *testing.T) {
 	}
 	if ack, err := st.Recv(); err != nil || ack.ResultCode == proto.ResultOK {
 		t.Fatalf("stranded append ack = %+v, %v", ack, err)
+	} else {
+		ack.Release()
 	}
 	f1 := tc.nodes[1].Partition(100)
 	deadline := time.Now().Add(5 * time.Second)
@@ -206,7 +225,14 @@ func TestFollowerStreamReadNeverExceedsCommitted(t *testing.T) {
 // signal), and requests at the current epoch keep working on the same
 // session - the server half of the mid-stream failover mapping.
 func TestReadStreamStaleEpochRejected(t *testing.T) {
-	tc := startCluster(t, 3)
+	for _, fabric := range []string{"memory", "tcp"} {
+		t.Run(fabric, func(t *testing.T) { testReadStreamStaleEpoch(t, fabric) })
+	}
+}
+
+func testReadStreamStaleEpoch(t *testing.T, fabric string) {
+	assertChunkBalance(t)
+	tc := startClusterOn(t, 3, fabric, nil)
 	tc.createPartition(t, 100)
 	eid := tc.createExtent(t, 100)
 	tc.append(t, 100, eid, []byte("epoch-fenced"))
@@ -226,19 +252,24 @@ func TestReadStreamStaleEpochRejected(t *testing.T) {
 		}
 		return f
 	}
-	if f := send(1, 1); f.ResultCode != proto.ResultOK {
+	f := send(1, 1)
+	if f.ResultCode != proto.ResultOK {
 		t.Fatalf("current-epoch read rejected: %s", f.Data)
 	}
+	f.Release()
 	// The master reconfigures the partition under a bumped epoch.
 	p := tc.nodes[0].Partition(100)
 	if _, _, applied := p.applyReconfig(tc.addrs, 2); !applied {
 		t.Fatal("reconfig not applied")
 	}
-	f := send(2, 1)
+	f = send(2, 1)
 	if f.ResultCode != proto.ResultErrStaleEpoch {
 		t.Fatalf("stale-epoch read rc = %d (%s), want ResultErrStaleEpoch", f.ResultCode, f.Data)
 	}
-	if f = send(3, 2); f.ResultCode != proto.ResultOK {
+	f.Release()
+	f = send(3, 2)
+	if f.ResultCode != proto.ResultOK {
 		t.Fatalf("fresh-epoch read after the bump rejected: %s", f.Data)
 	}
+	f.Release()
 }

@@ -134,6 +134,10 @@ func (s *writeSession) run() {
 		s.lastClient = time.Now()
 		s.mu.Unlock()
 		s.handle(pkt)
+		// The session's reference: handle applied the payload (and any
+		// forward hop took its own references), so the receive side is
+		// done with the buffer.
+		pkt.Release()
 	}
 	close(s.stopc)
 	s.mu.Lock()
@@ -400,10 +404,13 @@ func (s *writeSession) leaderPacket(p *Partition, pkt *proto.Packet) {
 		var err error
 		extentID := pkt.ExtentID
 		small := extentID == 0
+		// VerifyCRC above already scanned the payload; hand the verified
+		// checksum to the store so it folds it into the extent CRC by
+		// combination instead of re-scanning (CRC once per chunk per node).
 		if small {
-			extentID, off, err = p.store.AppendSmallFile(pkt.Data)
+			extentID, off, err = p.store.AppendSmallFileSum(pkt.Data, pkt.CRC)
 		} else {
-			off, err = p.store.Append(extentID, pkt.Data)
+			off, err = p.store.AppendSum(extentID, pkt.Data, pkt.CRC)
 		}
 		if err != nil {
 			s.enqueueError(pkt, proto.ResultErrIO, err.Error())
@@ -425,6 +432,7 @@ func (s *writeSession) leaderPacket(p *Partition, pkt *proto.Packet) {
 		e.msg = "session aborted: " + s.failMsg
 		s.pending = append(s.pending, e)
 		s.mu.Unlock()
+		fwd.Release() // never forwarded
 		s.commitReady()
 		return
 	}
@@ -439,11 +447,17 @@ func (s *writeSession) leaderPacket(p *Partition, pkt *proto.Packet) {
 		c.lastSend = now
 	}
 	s.mu.Unlock()
+	if len(chains) == 0 {
+		fwd.Release()   // nobody to forward to
+		s.commitReady() // single-replica partition commits immediately
+		return
+	}
+	// One fwd object fans out to every chain and each chain's Send
+	// consumes a reference, so the payload needs len(chains) references
+	// in total; SharePool granted one at build time.
+	fwd.Retain(int32(len(chains) - 1))
 	for _, c := range chains {
 		c.out <- fwd // buffered; blocking here is follower backpressure
-	}
-	if len(chains) == 0 {
-		s.commitReady() // single-replica partition commits immediately
 	}
 }
 
@@ -537,8 +551,11 @@ func (s *writeSession) runSender(c *fwdChain) {
 			}
 			s.followerFailed(c.addr, err)
 			// Keep draining so the receive loop never blocks on a dead
-			// chain's buffer; the session is already aborted.
-			for range c.out {
+			// chain's buffer; the session is already aborted. Each queued
+			// frame still holds the reference this chain's Send would have
+			// consumed.
+			for p := range c.out {
+				p.Release()
 			}
 			return
 		}
@@ -558,7 +575,9 @@ func (s *writeSession) runAckReader(c *fwdChain) {
 			}
 			return
 		}
-		if !s.followerAck(c, ack) {
+		ok := s.followerAck(c, ack)
+		ack.Release() // error text, if any, was copied into the failure message
+		if !ok {
 			return
 		}
 	}

@@ -175,7 +175,7 @@ func TestWriteStreamFollowerFailureAbortsWindow(t *testing.T) {
 		t.Fatalf("baseline ack = %+v, %v", ack, err)
 	}
 
-	tc.nw.Partition(tc.addrs[2])
+	tc.cut(t, tc.addrs[2])
 	const n = 4
 	for seq := uint64(3); seq < 3+n; seq++ {
 		if err := st.Send(streamAppendPkt(seq, 100, eid, []byte("doomed"))); err != nil {
@@ -245,7 +245,7 @@ func TestReadNeverExceedsCommitted(t *testing.T) {
 
 	// Strand a tail on the leader: the append reaches the leader's store
 	// but can never be all-replica committed.
-	tc.nw.Partition(tc.addrs[2])
+	tc.cut(t, tc.addrs[2])
 	if err := st.Send(streamAppendPkt(3, 100, eid, []byte("tail"))); err != nil {
 		t.Fatal(err)
 	}

@@ -434,7 +434,11 @@ func (m *Master) handleCreateVolume(req *proto.CreateVolumeReq) (*proto.CreateVo
 // (the designated leader is first, so retries are rare).
 func (m *Master) callMetaLeader(mp proto.MetaPartitionInfo, op uint8, req, resp any) error {
 	var lastErr error
-	for attempt := 0; attempt < 10; attempt++ {
+	// Partitions provisioned moments ago may still be electing; under
+	// load a fresh raft group can take the better part of a second, so
+	// give the sweep a wide window. An established leader answers the
+	// first probe, so the patience costs nothing on the steady path.
+	for attempt := 0; attempt < 50; attempt++ {
 		for _, addr := range mp.Members {
 			err := m.nw.Call(addr, op, req, resp)
 			if err == nil {
@@ -442,7 +446,7 @@ func (m *Master) callMetaLeader(mp proto.MetaPartitionInfo, op uint8, req, resp 
 			}
 			lastErr = err
 		}
-		time.Sleep(20 * time.Millisecond) // leader may still be electing
+		time.Sleep(20 * time.Millisecond)
 	}
 	return lastErr
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sync/atomic"
 
 	"cfs/internal/util"
 )
@@ -55,6 +56,73 @@ type Packet struct {
 	CRC       uint32
 	Followers []string // replication order tail; empty on follower hops
 	Data      []byte
+
+	// pool, when non-nil, marks Data as a util.GetChunk buffer owned by
+	// this packet (and any packets sharing the payload): the last owner's
+	// Release returns it. It sits behind a pointer so Packet VALUES can
+	// still be struct-copied (the committed-gossip path snapshots one)
+	// without copying an atomic.
+	pool *poolRef
+}
+
+// poolRef counts the owners of one pooled payload chunk.
+type poolRef struct{ refs atomic.Int32 }
+
+// MarkPooled hands ownership of p.Data - which must be a util.GetChunk
+// buffer - to the packet, with a reference count of one. Ownership then
+// moves by the transport contract: Send consumes one reference (on the
+// in-process transport a successful Send transfers it to the receiver
+// with the pointer; everywhere else the transport releases after the
+// bytes leave), and a received packet arrives holding one reference that
+// its consumer must Release or TakeData.
+func (p *Packet) MarkPooled() {
+	r := &poolRef{}
+	r.refs.Store(1)
+	p.pool = r
+}
+
+// SharePool makes p a co-owner of src's pooled payload; p.Data must
+// alias src.Data. Each co-owner releases independently. No-op when src
+// is unpooled.
+func (p *Packet) SharePool(src *Packet) {
+	if src.pool == nil {
+		return
+	}
+	src.pool.refs.Add(1)
+	p.pool = src.pool
+}
+
+// Retain adds n ownership references (a leader fanning one payload out
+// to n follower chains retains n-1 beyond the share).
+func (p *Packet) Retain(n int32) {
+	if p.pool != nil && n > 0 {
+		p.pool.refs.Add(n)
+	}
+}
+
+// Release drops one ownership reference; the last owner returns the
+// chunk to the pool. No-op for unpooled payloads, so consumers can call
+// it unconditionally.
+func (p *Packet) Release() {
+	if p.pool == nil {
+		return
+	}
+	switch n := p.pool.refs.Add(-1); {
+	case n == 0:
+		util.PutChunk(p.Data)
+	case n < 0:
+		panic("proto: packet payload over-released")
+	}
+}
+
+// TakeData transfers payload ownership to the caller, who becomes
+// responsible for util.PutChunk. Only valid on sole-owner packets
+// (receive-path frames); for unpooled payloads it simply detaches Data.
+func (p *Packet) TakeData() []byte {
+	d := p.Data
+	p.Data = nil
+	p.pool = nil
+	return d
 }
 
 // Packet result codes.
@@ -74,6 +142,12 @@ const (
 	// match the partition's current one (the failover fence). Retriable:
 	// clients refresh the view, re-dial the current leader, and replay.
 	ResultErrStaleEpoch
+	// ResultErrClamped rejects a streamed read that reaches past the
+	// replica's committed offset (the Section 2.2.5 clamp). The reply's
+	// Committed field carries the refusing replica's horizon so the
+	// client can remember how far this replica trails and skip it for
+	// hot-tail reads until it catches up.
+	ResultErrClamped
 )
 
 // maxCommitted is the largest committed offset the 48-bit header slot holds.
@@ -93,18 +167,22 @@ func NewPacket(op Op, reqID, partitionID, extentID uint64, data []byte) *Packet 
 	}
 }
 
-// WriteTo serializes the packet to w.
-func (p *Packet) WriteTo(w io.Writer) (int64, error) {
+// AppendHeader appends the packet's wire header - the fixed fields plus
+// the follower list, everything but the payload - to dst and returns the
+// extended slice. Senders that can gather-write use it to frame a packet
+// as header+payload iovecs with no coalescing copy; WriteTo is the
+// single-writer fallback over the same encoding.
+func (p *Packet) AppendHeader(dst []byte) ([]byte, error) {
 	if len(p.Followers) > 255 {
-		return 0, fmt.Errorf("proto: %d followers exceeds packet limit", len(p.Followers))
+		return dst, fmt.Errorf("proto: %d followers exceeds packet limit", len(p.Followers))
 	}
 	if len(p.Data) > int(^uint32(0)) {
-		return 0, fmt.Errorf("proto: payload of %d bytes exceeds packet limit", len(p.Data))
+		return dst, fmt.Errorf("proto: payload of %d bytes exceeds packet limit", len(p.Data))
 	}
 	if p.Committed > maxCommitted {
-		return 0, fmt.Errorf("proto: committed offset %d exceeds the 48-bit header slot", p.Committed)
+		return dst, fmt.Errorf("proto: committed offset %d exceeds the 48-bit header slot", p.Committed)
 	}
-	hdr := make([]byte, packetHeaderSize)
+	var hdr [packetHeaderSize]byte
 	hdr[0] = PacketMagic
 	hdr[1] = uint8(p.Op)
 	hdr[2] = p.ResultCode
@@ -119,25 +197,27 @@ func (p *Packet) WriteTo(w io.Writer) (int64, error) {
 	binary.BigEndian.PutUint16(hdr[52:], uint16(p.Committed>>32))
 	binary.BigEndian.PutUint32(hdr[54:], uint32(p.Committed))
 	binary.BigEndian.PutUint64(hdr[58:], p.Epoch)
+	dst = append(dst, hdr[:]...)
+	for _, f := range p.Followers {
+		var lbuf [2]byte
+		binary.BigEndian.PutUint16(lbuf[:], uint16(len(f)))
+		dst = append(dst, lbuf[:]...)
+		dst = append(dst, f...)
+	}
+	return dst, nil
+}
+
+// WriteTo serializes the packet to w.
+func (p *Packet) WriteTo(w io.Writer) (int64, error) {
+	hdr, err := p.AppendHeader(nil)
+	if err != nil {
+		return 0, err
+	}
 	var total int64
 	n, err := w.Write(hdr)
 	total += int64(n)
 	if err != nil {
 		return total, err
-	}
-	for _, f := range p.Followers {
-		var lbuf [2]byte
-		binary.BigEndian.PutUint16(lbuf[:], uint16(len(f)))
-		n, err = w.Write(lbuf[:])
-		total += int64(n)
-		if err != nil {
-			return total, err
-		}
-		n, err = io.WriteString(w, f)
-		total += int64(n)
-		if err != nil {
-			return total, err
-		}
 	}
 	n, err = w.Write(p.Data)
 	total += int64(n)
@@ -146,9 +226,23 @@ func (p *Packet) WriteTo(w io.Writer) (int64, error) {
 
 // ReadFrom deserializes a packet from r, replacing p's contents.
 func (p *Packet) ReadFrom(r io.Reader) (int64, error) {
-	hdr := make([]byte, packetHeaderSize)
+	return p.readFrom(r, false)
+}
+
+// ReadFromPooled deserializes like ReadFrom but reads the payload
+// directly into a util.GetChunk buffer owned by the packet (reference
+// count one): the consumer must Release or TakeData it. Payloads larger
+// than the pool's chunk class fall back to a plain allocation. Only
+// stream receive loops should use it - their consumers are audited for
+// the release contract; the unary call path keeps GC ownership.
+func (p *Packet) ReadFromPooled(r io.Reader) (int64, error) {
+	return p.readFrom(r, true)
+}
+
+func (p *Packet) readFrom(r io.Reader, pooled bool) (int64, error) {
+	var hdr [packetHeaderSize]byte
 	var total int64
-	n, err := io.ReadFull(r, hdr)
+	n, err := io.ReadFull(r, hdr[:])
 	total += int64(n)
 	if err != nil {
 		return total, err
@@ -186,9 +280,26 @@ func (p *Packet) ReadFrom(r io.Reader) (int64, error) {
 		}
 		p.Followers = append(p.Followers, string(fbuf))
 	}
-	p.Data = make([]byte, size)
+	p.pool = nil
+	if size == 0 {
+		p.Data = nil
+		return total, nil
+	}
+	if pooled && int(size) <= util.ReadChunkSize {
+		p.Data = util.GetChunk(int(size))
+		p.MarkPooled()
+	} else {
+		p.Data = make([]byte, size)
+	}
 	n, err = io.ReadFull(r, p.Data)
 	total += int64(n)
+	if err != nil {
+		// The frame never materialized; the packet must not escape with
+		// a half-filled pooled chunk attached.
+		p.Release()
+		p.Data = nil
+		p.pool = nil
+	}
 	return total, err
 }
 

@@ -241,10 +241,21 @@ func (s *ExtentStore) NextID() uint64 {
 func (s *ExtentStore) Append(id uint64, data []byte) (uint64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.appendLocked(id, data)
+	return s.appendLocked(id, data, 0, false)
 }
 
-func (s *ExtentStore) appendLocked(id uint64, data []byte) (uint64, error) {
+// AppendSum is Append for callers that already hold data's verified
+// CRC-32 (e.g. a data node that just ran VerifyCRC on the wire frame):
+// the store folds sum into the extent's running CRC by combination
+// instead of re-scanning the payload, keeping the hot write path at one
+// checksum pass per chunk per node.
+func (s *ExtentStore) AppendSum(id uint64, data []byte, sum uint32) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.appendLocked(id, data, sum, true)
+}
+
+func (s *ExtentStore) appendLocked(id uint64, data []byte, sum uint32, haveSum bool) (uint64, error) {
 	if s.closed {
 		return 0, util.ErrClosed
 	}
@@ -261,7 +272,11 @@ func (s *ExtentStore) appendLocked(id uint64, data []byte) (uint64, error) {
 	}
 	m.size += uint64(len(data))
 	if !m.crcDirty {
-		m.crc = crc32.Update(m.crc, crc32.IEEETable, data)
+		if haveSum {
+			m.crc = util.CRCCombine(m.crc, sum, int64(len(data)))
+		} else {
+			m.crc = crc32.Update(m.crc, crc32.IEEETable, data)
+		}
 	}
 	return off, nil
 }
@@ -271,6 +286,16 @@ func (s *ExtentStore) appendLocked(id uint64, data []byte) (uint64, error) {
 // A duplicate of an already-applied append (off+len <= watermark) succeeds
 // idempotently.
 func (s *ExtentStore) AppendAt(id uint64, off uint64, data []byte) error {
+	return s.appendAt(id, off, data, 0, false)
+}
+
+// AppendAtSum is AppendAt with a caller-verified payload CRC; see
+// AppendSum.
+func (s *ExtentStore) AppendAtSum(id uint64, off uint64, data []byte, sum uint32) error {
+	return s.appendAt(id, off, data, sum, true)
+}
+
+func (s *ExtentStore) appendAt(id uint64, off uint64, data []byte, sum uint32, haveSum bool) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -295,7 +320,11 @@ func (s *ExtentStore) AppendAt(id uint64, off uint64, data []byte) error {
 	}
 	m.size += uint64(len(data))
 	if !m.crcDirty {
-		m.crc = crc32.Update(m.crc, crc32.IEEETable, data)
+		if haveSum {
+			m.crc = util.CRCCombine(m.crc, sum, int64(len(data)))
+		} else {
+			m.crc = crc32.Update(m.crc, crc32.IEEETable, data)
+		}
 	}
 	return nil
 }
@@ -364,6 +393,16 @@ func (s *ExtentStore) ReadInto(id uint64, off uint64, buf []byte) error {
 // extent, rolling to a fresh one as needed, and returns the (extent id,
 // offset) recorded in the file's metadata (Section 2.2.3).
 func (s *ExtentStore) AppendSmallFile(data []byte) (uint64, uint64, error) {
+	return s.appendSmallFile(data, 0, false)
+}
+
+// AppendSmallFileSum is AppendSmallFile with a caller-verified payload
+// CRC; see AppendSum.
+func (s *ExtentStore) AppendSmallFileSum(data []byte, sum uint32) (uint64, uint64, error) {
+	return s.appendSmallFile(data, sum, true)
+}
+
+func (s *ExtentStore) appendSmallFile(data []byte, sum uint32, haveSum bool) (uint64, uint64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -375,7 +414,7 @@ func (s *ExtentStore) AppendSmallFile(data []byte) (uint64, uint64, error) {
 	}
 	if s.smallExt != 0 {
 		if m := s.metas[s.smallExt]; m != nil && m.size+uint64(len(data)) <= s.extentSize {
-			off, err := s.appendLocked(s.smallExt, data)
+			off, err := s.appendLocked(s.smallExt, data, sum, haveSum)
 			return s.smallExt, off, err
 		}
 	}
@@ -389,7 +428,7 @@ func (s *ExtentStore) AppendSmallFile(data []byte) (uint64, uint64, error) {
 	s.files[id] = f
 	s.metas[id] = &extentMeta{id: id}
 	s.smallExt = id
-	off, err := s.appendLocked(id, data)
+	off, err := s.appendLocked(id, data, sum, haveSum)
 	return id, off, err
 }
 

@@ -257,6 +257,12 @@ type memPacketStream struct {
 
 // Send implements PacketStream. A partitioned sender or receiver fails the
 // send; frames already in flight still deliver (they left the NIC).
+//
+// Send consumes one payload reference, success or failure: on success
+// the reference travels to the receiver with the packet pointer (the
+// in-process network delivers the sender's object), on failure it is
+// released here - so callers of either transport never release after a
+// Send.
 func (s *memPacketStream) Send(pkt *proto.Packet) error {
 	s.net.mu.RLock()
 	cut := (s.self != "" && s.net.partitioned[s.self]) || (s.peer != "" && s.net.partitioned[s.peer])
@@ -264,6 +270,7 @@ func (s *memPacketStream) Send(pkt *proto.Packet) error {
 	s.net.mu.RUnlock()
 	s.net.bumpCalls()
 	if cut {
+		pkt.Release()
 		return fmt.Errorf("transport: %w: stream to %s partitioned", util.ErrTimeout, s.peer)
 	}
 	fr := memFrame{pkt: pkt}
@@ -272,8 +279,25 @@ func (s *memPacketStream) Send(pkt *proto.Packet) error {
 	}
 	select {
 	case s.out.ch <- fr:
-		return nil
+		select {
+		case <-s.out.done:
+			// The direction closed around the enqueue, so the closer's
+			// reclaim sweep may already have run past our frame. Pull one
+			// queued frame back (any frame - the peer is gone, ordering
+			// is moot) so nothing strands in the channel.
+			select {
+			case fr2 := <-s.out.ch:
+				if fr2.pkt != nil {
+					fr2.pkt.Release()
+				}
+			default:
+			}
+			return fmt.Errorf("transport: stream to %s: %w", s.peer, util.ErrClosed)
+		default:
+			return nil
+		}
 	case <-s.out.done:
+		pkt.Release()
 		return fmt.Errorf("transport: stream to %s: %w", s.peer, util.ErrClosed)
 	}
 }
@@ -301,7 +325,12 @@ func (s *memPacketStream) Recv() (*proto.Packet, error) {
 	for s.net.isFrozen(s.self) {
 		select {
 		case <-s.in.done:
-			return nil, io.EOF // closed while frozen; give up the frame
+			// Closed while frozen: the frame is given up, so its payload
+			// reference is released here rather than leaked.
+			if fr.pkt != nil {
+				fr.pkt.Release()
+			}
+			return nil, io.EOF
 		case <-time.After(time.Millisecond):
 		}
 	}
@@ -310,10 +339,21 @@ func (s *memPacketStream) Recv() (*proto.Packet, error) {
 
 // Close implements PacketStream: it ends the outgoing direction (the peer
 // drains in-flight frames, then sees io.EOF) and unblocks local Recvs.
+// Frames still queued toward this end are reclaimed - their payload
+// references belong to the receiver, and this receiver is leaving.
 func (s *memPacketStream) Close() error {
 	s.out.close()
 	s.in.close()
-	return nil
+	for {
+		select {
+		case fr := <-s.in.ch:
+			if fr.pkt != nil {
+				fr.pkt.Release()
+			}
+		default:
+			return nil
+		}
+	}
 }
 
 // Endpoint returns a Network view bound to a node identity: when that

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cfs/internal/proto"
@@ -38,6 +39,8 @@ type TCP struct {
 	mu        sync.Mutex
 	pools     map[string]*connPool
 	listeners map[string]*tcpListener // keyed by bind addr and resolved addr
+	dials     uint64                  // packet-stream dials (session-pool ablations)
+	frozen    map[string]bool         // addrs whose inbound stream frames stall
 }
 
 const (
@@ -60,7 +63,36 @@ const (
 func NewTCP() *TCP {
 	proto.RegisterGob()
 	gob.Register(&RemoteError{})
-	return &TCP{pools: make(map[string]*connPool), listeners: make(map[string]*tcpListener)}
+	return &TCP{
+		pools:     make(map[string]*connPool),
+		listeners: make(map[string]*tcpListener),
+		frozen:    make(map[string]bool),
+	}
+}
+
+// Freeze half-opens addr the way Memory.Freeze does: packet-stream
+// frames arriving AT addr stall in the server-side Recv with no error on
+// either end, so the node looks alive and silent (its unary RPC plane
+// keeps answering). Liveness deadlines, not error paths, must convert
+// this into progress - which is exactly what the failover regression
+// suites assert, now on real sockets too.
+func (t *TCP) Freeze(addr string) {
+	t.mu.Lock()
+	t.frozen[addr] = true
+	t.mu.Unlock()
+}
+
+// Heal unfreezes addr.
+func (t *TCP) Heal(addr string) {
+	t.mu.Lock()
+	delete(t.frozen, addr)
+	t.mu.Unlock()
+}
+
+func (t *TCP) isFrozen(addr string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.frozen[addr]
 }
 
 type tcpListener struct {
@@ -169,6 +201,9 @@ func (t *TCP) ListenStream(addr string, h StreamHandler) error {
 // kernel is - both are needed, since a wedged process keeps answering
 // the latter forever.
 func (t *TCP) DialStream(addr string, op uint8) (PacketStream, error) {
+	t.mu.Lock()
+	t.dials++
+	t.mu.Unlock()
 	conn, err := t.dial(addr)
 	if err != nil {
 		return nil, err
@@ -177,55 +212,98 @@ func (t *TCP) DialStream(addr string, op uint8) (PacketStream, error) {
 		_ = tc.SetKeepAlive(true)
 		_ = tc.SetKeepAlivePeriod(30 * time.Second)
 	}
-	bw := bufio.NewWriterSize(conn, 256*util.KB)
 	hdr := [7]byte{op, kindPacket, statusStreamOpen}
-	if _, err := bw.Write(hdr[:]); err != nil {
+	if _, err := conn.Write(hdr[:]); err != nil {
 		conn.Close()
 		return nil, err
 	}
-	if err := bw.Flush(); err != nil {
-		conn.Close()
-		return nil, err
-	}
-	return &tcpPacketStream{conn: conn, bw: bw, br: bufio.NewReaderSize(conn, 256*util.KB)}, nil
+	return &tcpPacketStream{conn: conn, br: bufio.NewReaderSize(conn, 256*util.KB)}, nil
+}
+
+// Dials returns the number of packet-stream dials so far.
+func (t *TCP) Dials() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dials
 }
 
 // tcpPacketStream is one end of a duplex packet stream pinned to a
 // connection; both the dialing client and the accepting server use it.
+//
+// The send path is zero-copy: the header is encoded into a reused
+// scratch buffer and handed to the kernel TOGETHER with the payload as a
+// two-element iovec (net.Buffers -> writev), so payload bytes go from
+// the packet's buffer to the socket without an intermediate coalescing
+// copy. There is deliberately no bufio.Writer - every Send used to flush
+// anyway (the peer must see each frame immediately), so buffering only
+// added a 256 KB arena and a memcpy per frame.
+//
+// The receive path reads payloads straight into pooled chunk buffers
+// (proto.ReadFromPooled): the packet owns the chunk and its consumer
+// releases it, so a sustained stream recycles a handful of buffers
+// instead of allocating one per frame.
 type tcpPacketStream struct {
-	conn net.Conn
+	conn   net.Conn
+	frozen func() bool // fault injection; nil on dialed (client) ends
+	closed atomic.Bool
 
 	sendMu sync.Mutex
-	bw     *bufio.Writer
+	hdrBuf []byte    // header scratch, reused across sends
+	vecs   [2][]byte // iovec scratch, reused across sends
 
 	recvMu sync.Mutex
 	br     *bufio.Reader
 }
 
-// Send implements PacketStream. Each packet is flushed immediately so the
-// peer sees it without waiting for the window to fill.
+// Send implements PacketStream. Send consumes one payload reference,
+// success or failure: once the bytes are on the wire (or the write
+// failed) a pooled payload goes straight back to the chunk pool.
 func (s *tcpPacketStream) Send(pkt *proto.Packet) error {
+	defer pkt.Release()
 	s.sendMu.Lock()
 	defer s.sendMu.Unlock()
-	if _, err := pkt.WriteTo(s.bw); err != nil {
+	hdr, err := pkt.AppendHeader(s.hdrBuf[:0])
+	if err != nil {
 		return err
 	}
-	return s.bw.Flush()
+	s.hdrBuf = hdr[:0]
+	if len(pkt.Data) == 0 {
+		_, err = s.conn.Write(hdr)
+		return err
+	}
+	s.vecs[0], s.vecs[1] = hdr, pkt.Data
+	bufs := net.Buffers(s.vecs[:])
+	_, err = bufs.WriteTo(s.conn)
+	s.vecs[0], s.vecs[1] = nil, nil
+	return err
 }
 
-// Recv implements PacketStream.
+// Recv implements PacketStream. The returned packet owns its pooled
+// payload buffer; the consumer must Release (or TakeData) it.
 func (s *tcpPacketStream) Recv() (*proto.Packet, error) {
 	s.recvMu.Lock()
 	defer s.recvMu.Unlock()
 	pkt := &proto.Packet{}
-	if _, err := pkt.ReadFrom(s.br); err != nil {
+	if _, err := pkt.ReadFromPooled(s.br); err != nil {
 		return nil, err
+	}
+	for s.frozen != nil && s.frozen() {
+		// Half-open emulation: hold the frame without error until healed
+		// or the stream is torn down, mirroring Memory.Freeze.
+		if s.closed.Load() {
+			pkt.Release()
+			return nil, io.EOF
+		}
+		time.Sleep(time.Millisecond)
 	}
 	return pkt, nil
 }
 
 // Close implements PacketStream.
-func (s *tcpPacketStream) Close() error { return s.conn.Close() }
+func (s *tcpPacketStream) Close() error {
+	s.closed.Store(true)
+	return s.conn.Close()
+}
 
 func serveConn(conn net.Conn, h Handler, l *tcpListener) {
 	defer conn.Close()
@@ -241,7 +319,15 @@ func serveConn(conn net.Conn, h Handler, l *tcpListener) {
 			if sh == nil {
 				return // no stream service here; drop the connection
 			}
-			sh(op, &tcpPacketStream{conn: conn, bw: bw, br: br})
+			// The reader hands over AS IS: it may already hold buffered
+			// stream frames that followed the upgrade header. The writer
+			// is empty at this point (every response was flushed) and the
+			// stream writes straight to the socket, so it is dropped.
+			sh(op, &tcpPacketStream{
+				conn:   conn,
+				br:     br,
+				frozen: func() bool { return l.t.isFrozen(l.addr) },
+			})
 			return
 		}
 		req, err := decodeBody(kind, body)
@@ -393,15 +479,16 @@ func (p *connPool) put(c net.Conn) {
 }
 
 func callOnConn(conn net.Conn, op uint8, req, resp any) error {
-	bw := bufio.NewWriterSize(conn, 256*util.KB)
-	if err := writeFrame(bw, op, statusRequest, req); err != nil {
+	// One coalesced buffer, one write syscall, no per-call bufio arenas
+	// (the old path allocated two 256 KB buffers per unary call).
+	frame, err := buildFrame(op, statusRequest, req)
+	if err != nil {
 		return err
 	}
-	if err := bw.Flush(); err != nil {
+	if _, err := conn.Write(frame); err != nil {
 		return err
 	}
-	br := bufio.NewReaderSize(conn, 256*util.KB)
-	_, kind, status, body, err := readFrame(br)
+	_, kind, status, body, err := readFrame(conn)
 	if err != nil {
 		return err
 	}
@@ -422,31 +509,41 @@ func callOnConn(conn net.Conn, op uint8, req, resp any) error {
 // ---------------------------------------------------------------------------
 // Framing.
 
-func writeFrame(w io.Writer, op, status uint8, body any) error {
-	var kind uint8
-	var payload []byte
+// buildFrame encodes one complete request/response frame (header + body)
+// into a single buffer for a one-shot write.
+func buildFrame(op, status uint8, body any) ([]byte, error) {
+	kind, payload, err := encodeBody(body)
+	if err != nil {
+		return nil, err
+	}
+	frame := make([]byte, 7, 7+len(payload))
+	frame[0], frame[1], frame[2] = op, kind, status
+	binary.BigEndian.PutUint32(frame[3:], uint32(len(payload)))
+	return append(frame, payload...), nil
+}
+
+func encodeBody(body any) (kind uint8, payload []byte, err error) {
 	switch b := body.(type) {
 	case *proto.Packet:
-		kind = kindPacket
-		var err error
 		payload, err = packetBytes(b)
-		if err != nil {
-			return err
-		}
+		return kindPacket, payload, err
 	default:
-		kind = kindGob
-		var err error
 		payload, err = gobEncode(body)
-		if err != nil {
-			return err
-		}
+		return kindGob, payload, err
+	}
+}
+
+func writeFrame(w io.Writer, op, status uint8, body any) error {
+	kind, payload, err := encodeBody(body)
+	if err != nil {
+		return err
 	}
 	hdr := [7]byte{op, kind, status}
 	binary.BigEndian.PutUint32(hdr[3:], uint32(len(payload)))
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
-	_, err := w.Write(payload)
+	_, err = w.Write(payload)
 	return err
 }
 

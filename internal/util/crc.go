@@ -1,0 +1,123 @@
+package util
+
+import "sync"
+
+// CRC combination (the zlib crc32_combine construction): the CRC of a
+// concatenation A||B is computable from CRC(A), CRC(B) and len(B) alone,
+// because appending len(B) bytes advances CRC(A) by a linear operator
+// over GF(2). The extent store uses this to fold a packet's
+// already-verified payload CRC into the extent's running CRC without
+// re-scanning the payload - the "CRC once per chunk per node" invariant
+// of the zero-copy wire path (DESIGN.md Section 5.4).
+//
+// The operator for a given length depends only on the length, and the
+// hot path sees very few distinct lengths (whole pool chunks plus a few
+// tail sizes), so operators are cached: the first append of a given
+// length builds its matrix (~64 matrix squarings), every later one pays
+// a single 32-row matrix-vector product - constant time regardless of
+// payload size.
+
+// gf2MatrixTimes applies the column-major GF(2) matrix to vec.
+func gf2MatrixTimes(mat *[32]uint32, vec uint32) uint32 {
+	var sum uint32
+	for i := 0; vec != 0; vec >>= 1 {
+		if vec&1 != 0 {
+			sum ^= mat[i]
+		}
+		i++
+	}
+	return sum
+}
+
+// gf2MatrixSquare sets square = mat * mat.
+func gf2MatrixSquare(square, mat *[32]uint32) {
+	for n := 0; n < 32; n++ {
+		square[n] = gf2MatrixTimes(mat, mat[n])
+	}
+}
+
+// crcOpForLen builds the operator matrix that advances a finalized
+// CRC-32 (IEEE, reflected) across len2 appended bytes.
+func crcOpForLen(len2 int64) [32]uint32 {
+	var even, odd, acc, tmp [32]uint32
+	// Operator for one zero bit: the reflected polynomial plus shifts.
+	odd[0] = 0xEDB88320
+	row := uint32(1)
+	for n := 1; n < 32; n++ {
+		odd[n] = row
+		row <<= 1
+	}
+	gf2MatrixSquare(&even, &odd) // two bits
+	gf2MatrixSquare(&odd, &even) // four bits
+	for n := 0; n < 32; n++ {    // identity
+		acc[n] = 1 << n
+	}
+	compose := func(op *[32]uint32) {
+		for n := 0; n < 32; n++ {
+			tmp[n] = gf2MatrixTimes(op, acc[n])
+		}
+		acc = tmp
+	}
+	for {
+		gf2MatrixSquare(&even, &odd) // first pass: one byte
+		if len2&1 != 0 {
+			compose(&even)
+		}
+		len2 >>= 1
+		if len2 == 0 {
+			break
+		}
+		gf2MatrixSquare(&odd, &even)
+		if len2&1 != 0 {
+			compose(&odd)
+		}
+		len2 >>= 1
+		if len2 == 0 {
+			break
+		}
+	}
+	return acc
+}
+
+var crcOps struct {
+	sync.RWMutex
+	m map[int64]*[32]uint32
+}
+
+// maxCachedCRCOps bounds the operator cache; workloads see a handful of
+// distinct append lengths, so overflow means something degenerate is
+// happening and computing without caching is the right fallback.
+const maxCachedCRCOps = 1024
+
+func crcOp(len2 int64) *[32]uint32 {
+	crcOps.RLock()
+	op := crcOps.m[len2]
+	crcOps.RUnlock()
+	if op != nil {
+		return op
+	}
+	built := crcOpForLen(len2)
+	crcOps.Lock()
+	if crcOps.m == nil {
+		crcOps.m = make(map[int64]*[32]uint32)
+	}
+	if cached := crcOps.m[len2]; cached != nil {
+		crcOps.Unlock()
+		return cached
+	}
+	if len(crcOps.m) < maxCachedCRCOps {
+		crcOps.m[len2] = &built
+	}
+	crcOps.Unlock()
+	return &built
+}
+
+// CRCCombine returns CRC(A||B) given crc1 = CRC(A), crc2 = CRC(B), and
+// len2 = len(B). Both inputs and the result are finalized CRC-32 values
+// as produced by CRC.
+func CRCCombine(crc1, crc2 uint32, len2 int64) uint32 {
+	if len2 <= 0 {
+		return crc1 ^ crc2 // CRC of empty data is zero
+	}
+	return gf2MatrixTimes(crcOp(len2), crc1) ^ crc2
+}

@@ -10,6 +10,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 )
 
 // Size constants used throughout the system.
@@ -73,12 +74,26 @@ var chunkPool = sync.Pool{New: func() any {
 	return &b
 }}
 
+// chunkGets and chunkPuts count pool-class Get/Put pairs. Their
+// difference is the number of pool buffers currently checked out; tests
+// snapshot it around a workload to assert the hot path leaks nothing
+// (a leaked buffer is recoverable - the GC collects it - but it means a
+// release path is missing and the pool degrades to plain allocation).
+var chunkGets, chunkPuts atomic.Int64
+
+// ChunkStats reports the pool-class chunk buffers handed out and
+// returned so far. gets-puts is the current outstanding count.
+func ChunkStats() (gets, puts int64) {
+	return chunkGets.Load(), chunkPuts.Load()
+}
+
 // GetChunk returns a length-n payload buffer, pooled when n fits the
 // chunk size class.
 func GetChunk(n int) []byte {
 	if n > ReadChunkSize {
 		return make([]byte, n)
 	}
+	chunkGets.Add(1)
 	return (*(chunkPool.Get().(*[]byte)))[:n]
 }
 
@@ -89,6 +104,7 @@ func PutChunk(b []byte) {
 	if cap(b) != ReadChunkSize {
 		return
 	}
+	chunkPuts.Add(1)
 	b = b[:ReadChunkSize]
 	chunkPool.Put(&b)
 }
