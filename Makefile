@@ -6,7 +6,7 @@ GO ?= go
 TEST_TIMEOUT ?= 120s
 RACE_TIMEOUT ?= 300s
 
-.PHONY: all build test vet fmt-check fmt bench bench-smoke race verify check
+.PHONY: all build test vet fmt-check fmt bench bench-smoke race race-reconfig verify check
 
 all: verify
 
@@ -30,6 +30,16 @@ vet:
 # must stay clean.
 race:
 	$(GO) test -race -timeout $(RACE_TIMEOUT) ./...
+
+# The reconfiguration suite by name under the race detector: membership
+# ConfChanges, replacement placement, deposed-leader fencing, read leases
+# and the follower overwrite fence all interleave Raft applies with the
+# master's maintenance scans, which is exactly where a data race would
+# split the "one view" invariant.
+race-reconfig:
+	$(GO) test -race -timeout $(RACE_TIMEOUT) \
+		-run 'ConfChange|RemovedNode|MetaLeaderFailover|Replacement|DeposedMeta|ReadLease|OverwriteFence|OverwriteVersionGossip|HealsOverwrite' \
+		./internal/raft/ ./internal/master/ ./internal/datanode/
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

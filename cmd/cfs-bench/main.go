@@ -4,11 +4,16 @@
 //
 // Usage:
 //
-//	cfs-bench [-scale quick|paper] [-transport memory|tcp] [table3|fig6|fig7|fig8|fig9|fig10|pipeline|smallfile|readpipe|heartbeat|all]
+//	cfs-bench [-scale quick|paper] [-transport memory|tcp] [table3|fig6|fig7|fig8|fig9|fig10|pipeline|smallfile|readpipe|heartbeat|reconfig|all]
 //
-// -transport applies to the pipeline, readpipe and smallfile experiments:
-// "memory" (default) runs the cluster on the in-process network with
-// emulated latency, "tcp" on real loopback sockets.
+// -transport applies to the pipeline, readpipe, smallfile and reconfig
+// experiments: "memory" (default) runs the cluster on the in-process
+// network with emulated latency, "tcp" on real loopback sockets.
+//
+// reconfig measures time-to-full-redundancy after a replica kill: the
+// master detaching the corpse, placing a replacement on a spare node, the
+// leader refilling it, and the Raft configuration re-converging with the
+// partition record (DESIGN.md Section 5.5).
 package main
 
 import (
@@ -77,6 +82,10 @@ func main() {
 				counts = []int{8, 24, 72, 216}
 			}
 			t, _, err := bench.RunHeartbeatScaling(counts, 500*time.Millisecond)
+			return t, err
+		}},
+		{"reconfig", func(s bench.Scale) (*bench.Table, error) {
+			t, _, err := bench.RunReconfig(s)
 			return t, err
 		}},
 	}

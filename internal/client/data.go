@@ -43,18 +43,7 @@ type DataClient struct {
 	// readRR rotates streamed-read runs across a partition's followers
 	// (committed-clamped follower offload).
 	readRR atomic.Uint64
-	// overwrote records extents this client has overwritten. Overwrites
-	// replicate through Raft (Figure 5), whose follower apply is
-	// asynchronous - a follower can serve pre-overwrite bytes with no
-	// fence the committed clamp could catch. Streamed reads of these
-	// extents therefore pin to the leader (reads-after-overwrite were
-	// leader-first before offload existed, too). Overwrites are rare by
-	// design (Section 2.2.4), so the set stays tiny.
-	overwrote map[overwriteID]struct{}
 }
-
-// overwriteID names one extent for the overwrite-pinning set.
-type overwriteID struct{ pid, extent uint64 }
 
 // refreshView best-effort re-pulls the volume view when the hook is wired.
 func (d *DataClient) refreshView() {
@@ -65,12 +54,11 @@ func (d *DataClient) refreshView() {
 
 func newDataClient(nw transport.Network, cfg Config) *DataClient {
 	d := &DataClient{
-		nw:        nw,
-		cfg:       cfg,
-		leader:    make(map[uint64]string),
-		readFrom:  make(map[uint64]string),
-		overwrote: make(map[overwriteID]struct{}),
-		rnd:       util.NewRand(cfg.Seed ^ 0xD47A),
+		nw:       nw,
+		cfg:      cfg,
+		leader:   make(map[uint64]string),
+		readFrom: make(map[uint64]string),
+		rnd:      util.NewRand(cfg.Seed ^ 0xD47A),
 	}
 	d.pool = newSessionPool(d)
 	d.readPool = newReadPool(d)
@@ -270,12 +258,12 @@ func (d *DataClient) Overwrite(ek proto.ExtentKey, extentOff uint64, data []byte
 	if err != nil {
 		return err
 	}
-	// Pin future streamed reads of this extent to the leader BEFORE the
-	// proposal: even a failed overwrite may have applied on a quorum, and
-	// follower Raft apply is asynchronous either way.
-	d.mu.Lock()
-	d.overwrote[overwriteID{ek.PartitionID, ek.ExtentID}] = struct{}{}
-	d.mu.Unlock()
+	// No client-side pinning: replicas fence overwritten extents
+	// themselves. The leader gossips a per-extent overwrite version with
+	// the committed offsets, and a follower whose Raft apply trails what
+	// was announced refuses reads of the extent - so reads of overwritten
+	// extents offload normally once followers catch up, instead of
+	// sticking to the leader for the life of the client.
 	pkt := proto.NewPacket(proto.OpDataOverwrite, d.reqID.Add(1), ek.PartitionID, ek.ExtentID, data)
 	pkt.ExtentOffset = extentOff
 	var lastErr error
@@ -419,12 +407,10 @@ func (d *DataClient) cacheReadReplica(pid uint64, addr string) {
 
 // readOrder is the unary read path's attempt order, built once per call:
 // the last replica that served a read, then the cached leader, then the
-// view's member order. Extents this client has overwritten skip the
-// read-replica cache and go leader-first (the cached Raft leader, then
-// the member order) - follower Raft apply is asynchronous, so a cached
-// follower could serve pre-overwrite bytes the committed clamp cannot
-// catch. That matches the pre-offload behavior, where Overwrite's
-// leader caching reordered subsequent reads onto the leader.
+// view's member order. Overwritten extents need no special order: a
+// replica whose Raft apply trails the leader's announced overwrite
+// version refuses the read itself (the server-side overwrite fence), and
+// the loop falls through to the next candidate.
 func (d *DataClient) readOrder(dp proto.DataPartitionInfo, extent uint64) []string {
 	if d.cfg.DisableLeaderCache {
 		return dp.Members
@@ -432,9 +418,6 @@ func (d *DataClient) readOrder(dp proto.DataPartitionInfo, extent uint64) []stri
 	d.mu.Lock()
 	first := d.readFrom[dp.PartitionID]
 	second := d.leader[dp.PartitionID]
-	if _, pinned := d.overwrote[overwriteID{dp.PartitionID, extent}]; pinned {
-		first, second = second, ""
-	}
 	d.mu.Unlock()
 	if first == "" && second == "" {
 		return dp.Members
@@ -457,14 +440,10 @@ func (d *DataClient) readOrder(dp proto.DataPartitionInfo, extent uint64) []stri
 // offloadOrder is the streamed read path's attempt order: the followers
 // rotated round-robin per run - spreading scan load off the leader - with
 // the leader LAST, as the fallback for a follower whose gossiped
-// committed offset still trails the range (or which is down or hung).
+// committed offset still trails the range, whose overwrite fence is
+// raised, or which is down or hung.
 func (d *DataClient) offloadOrder(dp proto.DataPartitionInfo, extent uint64) []string {
-	d.mu.Lock()
-	_, pinned := d.overwrote[overwriteID{dp.PartitionID, extent}]
-	d.mu.Unlock()
-	if pinned || len(dp.Members) <= 1 {
-		// Overwritten extents read leader-only: follower Raft apply is
-		// asynchronous and the committed clamp cannot see it.
+	if len(dp.Members) <= 1 {
 		return dp.Members[:util.Min(1, len(dp.Members))]
 	}
 	followers := dp.Members[1:]

@@ -157,9 +157,36 @@ func (m *MetaClient) call(mp proto.MetaPartitionInfo, op proto.Op, req, resp any
 			// leader failure, every member legitimately answers
 			// NotLeader until the election completes.
 			time.Sleep(time.Duration(attempt+1) * 25 * time.Millisecond)
+			// A whole round failing can also mean the membership itself
+			// moved under us - the master may have detached a dead
+			// replica or placed a replacement since this view was
+			// fetched. Re-pull the view and retry against the partition's
+			// current members rather than burning the remaining rounds
+			// on a stale address list.
+			if refreshed, ok := m.refreshedPartition(mp.PartitionID); ok {
+				mp = refreshed
+			}
 		}
 	}
 	return fmt.Errorf("client: partition %d: %w (last: %v)", mp.PartitionID, util.ErrRetryLimit, lastErr)
+}
+
+// refreshedPartition re-pulls the volume view and returns the current
+// info for pid, if the master still lists it. Used between failed call
+// rounds so a membership change mid-call (detach, replacement placement)
+// redirects the remaining retries instead of failing them.
+func (m *MetaClient) refreshedPartition(pid uint64) (proto.MetaPartitionInfo, bool) {
+	if err := m.Refresh(); err != nil {
+		return proto.MetaPartitionInfo{}, false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, mp := range m.view {
+		if mp.PartitionID == pid {
+			return mp, true
+		}
+	}
+	return proto.MetaPartitionInfo{}, false
 }
 
 // memberOrder returns the partition's members with the cached leader first.

@@ -347,9 +347,11 @@ func TestStreamReadRetriesAfterEpochBump(t *testing.T) {
 	}
 }
 
-// TestOffloadOrderShape: followers come first (rotated per run), the
-// leader is always last, and extents the client overwrote pin to the
-// leader alone.
+// TestOffloadOrderShape: followers come first (rotated per run) and the
+// leader is always last. Extents the client overwrote get NO special
+// order since the replica-side overwrite fence took over from the old
+// client pin - the server refuses stale extents and the client falls
+// through, so offload resumes as soon as followers catch up.
 func TestOffloadOrderShape(t *testing.T) {
 	d := newDataClient(transport.NewMemory(), Config{}.withDefaults("x"))
 	dp := proto.DataPartitionInfo{PartitionID: 7, Members: []string{"L", "F1", "F2"}}
@@ -364,34 +366,24 @@ func TestOffloadOrderShape(t *testing.T) {
 	if !seen["F1"] || !seen["F2"] {
 		t.Fatalf("round-robin never rotated: first candidates seen = %v", seen)
 	}
-	d.mu.Lock()
-	d.overwrote[overwriteID{7, 1}] = struct{}{}
-	d.mu.Unlock()
-	if order := d.offloadOrder(dp, 1); len(order) != 1 || order[0] != "L" {
-		t.Fatalf("overwritten extent order = %v, want leader only", order)
+	if err := d.Overwrite(proto.ExtentKey{PartitionID: 7, ExtentID: 1}, 0, []byte("x")); err == nil {
+		t.Fatal("overwrite against no servers should fail")
 	}
-	if order := d.offloadOrder(dp, 2); len(order) != 3 {
-		t.Fatalf("sibling extent order = %v, want full offload", order)
+	if order := d.offloadOrder(dp, 1); len(order) != 3 || order[2] != "L" {
+		t.Fatalf("post-overwrite order = %v, want full offload (no client pin)", order)
 	}
 }
 
-// TestReadOrderPinsOverwrittenExtents: the unary path's attempt order
-// must also honor the overwrite pin - a cached read replica (a follower)
-// could serve pre-overwrite bytes, since follower Raft apply is
-// asynchronous and invisible to the committed clamp.
-func TestReadOrderPinsOverwrittenExtents(t *testing.T) {
+// TestReadOrderIgnoresOverwrites: the unary attempt order keeps its cached
+// read replica first even for extents this client overwrote - visibility
+// is the replica-side overwrite fence's job now, not a client pin's.
+func TestReadOrderIgnoresOverwrites(t *testing.T) {
 	d := newDataClient(transport.NewMemory(), Config{}.withDefaults("x"))
 	dp := proto.DataPartitionInfo{PartitionID: 7, Members: []string{"L", "F1", "F2"}}
 	d.cacheReadReplica(7, "F2")
 	d.cacheLeader(7, "L")
 	if order := d.readOrder(dp, 1); order[0] != "F2" {
-		t.Fatalf("unpinned read order = %v, want cached replica first", order)
-	}
-	d.mu.Lock()
-	d.overwrote[overwriteID{7, 1}] = struct{}{}
-	d.mu.Unlock()
-	if order := d.readOrder(dp, 1); order[0] != "L" {
-		t.Fatalf("pinned read order = %v, want leader first", order)
+		t.Fatalf("read order = %v, want cached replica first", order)
 	}
 	if order := d.readOrder(dp, 2); order[0] != "F2" {
 		t.Fatalf("sibling extent read order = %v, want cached replica first", order)

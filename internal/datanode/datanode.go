@@ -15,6 +15,7 @@ import (
 
 	"cfs/internal/multiraft"
 	"cfs/internal/proto"
+	"cfs/internal/raft"
 	"cfs/internal/raftstore"
 	"cfs/internal/storage"
 	"cfs/internal/transport"
@@ -77,6 +78,16 @@ type DataNode struct {
 	// streamed read-session requests alike) - the observable the follower
 	// read-offload tests and ablations assert on.
 	reads atomic.Uint64
+
+	// Read-lease fencing (master-granted): every heartbeat reply renews a
+	// lease of ReadLeaseMillis; a node that misses renewals long enough for
+	// the lease to lapse stops serving reads entirely, so a deposed leader
+	// partitioned from the master cannot serve stale bytes to clients still
+	// holding its address. leaseUntil is the deadline (unixnano);
+	// leaseGranted latches once a lease was EVER granted - nodes running
+	// without a master (unit tests, tools) never fence.
+	leaseUntil   atomic.Int64
+	leaseGranted atomic.Bool
 
 	mu         sync.RWMutex
 	partitions map[uint64]*Partition
@@ -360,13 +371,28 @@ func (d *DataNode) SendHeartbeat() {
 		})
 	}
 	d.mu.RUnlock()
-	_ = d.nw.Call(d.masterAddr, uint8(proto.OpMasterHeartbeat), &proto.HeartbeatReq{
+	var resp proto.HeartbeatResp
+	err := d.nw.Call(d.masterAddr, uint8(proto.OpMasterHeartbeat), &proto.HeartbeatReq{
 		Addr:       d.addr,
 		IsMeta:     false,
 		Used:       used,
 		Total:      d.total,
 		Partitions: reports,
-	}, nil)
+	}, &resp)
+	if err == nil && resp.ReadLeaseMillis > 0 {
+		d.leaseUntil.Store(time.Now().Add(time.Duration(resp.ReadLeaseMillis) * time.Millisecond).UnixNano())
+		d.leaseGranted.Store(true)
+	}
+}
+
+// readLeaseValid reports whether this node may serve reads: either no
+// master has ever granted a lease (lease discipline off) or the last
+// granted lease has not lapsed.
+func (d *DataNode) readLeaseValid() bool {
+	if !d.leaseGranted.Load() {
+		return true
+	}
+	return time.Now().UnixNano() < d.leaseUntil.Load()
 }
 
 // CreatePartition hosts a new partition on this node (invoked by the
@@ -390,16 +416,18 @@ func (d *DataNode) CreatePartition(req *proto.CreateDataPartitionReq) error {
 		epoch = 1 // pre-epoch callers and persisted metadata default to 1
 	}
 	p := &Partition{
-		ID:        req.PartitionID,
-		Volume:    req.Volume,
-		Members:   append([]string(nil), req.Members...),
-		Capacity:  req.Capacity,
-		node:      d,
-		dir:       dir,
-		store:     store,
-		epoch:     epoch,
-		committed: make(map[uint64]uint64),
-		status:    proto.PartitionReadWrite,
+		ID:         req.PartitionID,
+		Volume:     req.Volume,
+		Members:    append([]string(nil), req.Members...),
+		Capacity:   req.Capacity,
+		node:       d,
+		dir:        dir,
+		store:      store,
+		epoch:      epoch,
+		committed:  make(map[uint64]uint64),
+		ovwApplied: make(map[uint64]uint64),
+		ovwSeen:    make(map[uint64]uint64),
+		status:     proto.PartitionReadWrite,
 	}
 	// Persist the assignment and merge back any committed snapshot: a
 	// fresh create writes its identity for the next restart, a reopen
@@ -459,10 +487,134 @@ func (d *DataNode) handleUpdatePartition(req *proto.UpdateDataPartitionReq) (*pr
 		}
 	}
 	held, promoted, applied := p.applyReconfig(req.Members, req.ReplicaEpoch)
+	if applied {
+		// Converge the overwrite Raft group's membership onto the same view
+		// the epoch just fenced: the detached replica must stop counting
+		// toward the Raft quorum (and a replacement must start), or the
+		// PacificA side and the Raft side of the partition disagree about
+		// who the partition IS.
+		d.reconcileRaft(p)
+	}
 	if applied && p.isLeader() {
 		d.runRecoverLoop(p, promoted)
 	}
 	return &proto.UpdateDataPartitionResp{ReplicaEpoch: held}, nil
+}
+
+// reconcileRaft converges the partition's Raft group membership to the
+// master-assigned Members set, in the background. Every member runs the
+// loop after adopting a reconfiguration; only the replica that holds (or
+// wins) Raft leadership proposes, so the ConfChange diff is issued once per
+// delta no matter how many replicas race here. The loop re-reads the
+// desired set every round - a newer reconfiguration simply retargets it.
+func (d *DataNode) reconcileRaft(p *Partition) {
+	if !p.tryBeginReconcile() {
+		return
+	}
+	d.mu.RLock()
+	closed := d.closed
+	if !closed {
+		d.wg.Add(1)
+	}
+	d.mu.RUnlock()
+	if closed {
+		p.endReconcile()
+		return
+	}
+	go func() {
+		defer d.wg.Done()
+		defer p.endReconcile()
+		delay := 10 * time.Millisecond
+		for {
+			select {
+			case <-d.stopc:
+				return
+			default:
+			}
+			desired := p.membersCopy()
+			if !memberOf(desired, d.addr) {
+				return // removed from the set; the survivors own the group now
+			}
+			g := p.raftGroup()
+			if g == nil {
+				// A partition that grew from one replica to many: host its
+				// group now (each member does the same with the same set,
+				// exactly like the original create fan-out).
+				if len(desired) > 1 {
+					if node, err := d.raft.CreateGroup(p.ID, desired, &partitionSM{p: p}); err == nil {
+						p.setRaftGroup(node)
+						g = node
+					}
+				}
+				if g == nil {
+					return
+				}
+			}
+			// Bias the primary-backup leader to win the Raft election too:
+			// with the dead replica detached, Members[0] is the survivor the
+			// master promoted, and one node answering for both roles
+			// minimizes the window where the two leaders differ.
+			if desired[0] == d.addr && !g.IsLeader() {
+				g.Campaign()
+			}
+			if g.IsLeader() {
+				if done := proposeConfDiff(g, desired); done {
+					return
+				}
+			} else if sameMembers(g.Members(), desired) {
+				return // some other replica finished the job
+			}
+			select {
+			case <-d.stopc:
+				return
+			case <-time.After(delay):
+			}
+			if delay < 2*time.Second {
+				delay *= 2
+			}
+		}
+	}()
+}
+
+// proposeConfDiff proposes the next single ConfChange moving the group
+// toward desired, removals first (shrinking quorum past the dead replica is
+// what un-wedges the group). Returns true once the views match.
+func proposeConfDiff(g *multiraft.Group, desired []string) bool {
+	current := g.Members()
+	for _, addr := range current {
+		if !memberOf(desired, addr) {
+			_ = g.ProposeConfChange(raft.ConfChange{Type: raft.ConfRemoveNode, Addr: addr})
+			return false // one at a time; re-check next round
+		}
+	}
+	for _, addr := range desired {
+		if !memberOf(current, addr) {
+			_ = g.ProposeConfChange(raft.ConfChange{Type: raft.ConfAddNode, Addr: addr})
+			return false
+		}
+	}
+	return true
+}
+
+func memberOf(set []string, addr string) bool {
+	for _, a := range set {
+		if a == addr {
+			return true
+		}
+	}
+	return false
+}
+
+func sameMembers(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for _, x := range a {
+		if !memberOf(b, x) {
+			return false
+		}
+	}
+	return true
 }
 
 // runRecoverLoop retries the Section 2.2.5 recovery pass in the background
@@ -607,6 +759,10 @@ func (d *DataNode) dispatchPacket(p *Partition, pkt *proto.Packet) (*proto.Packe
 		return p.handleOverwrite(pkt)
 	case proto.OpDataRead:
 		d.reads.Add(1)
+		if !d.readLeaseValid() {
+			return pkt.ErrResponse(proto.ResultErrLeaseExpired,
+				"read lease lapsed: node has missed master heartbeats"), nil
+		}
 		return p.handleRead(pkt)
 	case proto.OpDataMarkDelete:
 		return p.handleMarkDelete(pkt)

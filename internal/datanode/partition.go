@@ -33,7 +33,11 @@ type Partition struct {
 	node  *DataNode
 	dir   string // partition directory (extent store + lifecycle metadata)
 	store *storage.ExtentStore
-	raft  *multiraft.Group
+	// raft is the overwrite group; set at create for multi-replica
+	// partitions, or later by the reconcile loop when a single-replica
+	// partition grows. Read through raftGroup() (mu-guarded) anywhere that
+	// can race the reconcile goroutine's write.
+	raft *multiraft.Group
 
 	mu sync.Mutex
 	// Members is the replication order; Members[0] is the leader. Mutable
@@ -66,7 +70,19 @@ type Partition struct {
 	// forever (bound sessions always beat the retry timer).
 	recoverWaiters int
 	committed      map[uint64]uint64 // extent id -> all-replica committed offset
-	status         proto.PartitionStatus
+	// Overwrite visibility (Section 2.2.4's Raft path meets follower read
+	// offload): follower Raft apply is asynchronous, so a follower can hold
+	// pre-overwrite bytes below its committed clamp. The leader gossips its
+	// per-extent overwrite version with the committed offsets; a follower
+	// whose locally applied version trails what it has SEEN announced
+	// refuses reads of that extent (clients fall through to the next
+	// replica), so no client needs to pin overwritten extents to the leader.
+	ovwApplied map[uint64]uint64 // extent id -> overwrite version applied locally
+	ovwSeen    map[uint64]uint64 // extent id -> newest version the leader announced
+	// reconciling serializes the background Raft-membership reconcile loop
+	// (at most one per partition; new reconfigurations retarget it).
+	reconciling bool
+	status      proto.PartitionStatus
 	// Recovery quiescence: Recover's promotion of the local watermark to
 	// the committed offset is only sound when NO writer can have in-flight
 	// un-acked bytes for its whole duration (Section 2.2.5). liveSessions
@@ -299,6 +315,112 @@ func (p *Partition) advanceCommitted(extentID, end uint64) {
 	p.mu.Unlock()
 }
 
+// bumpOvw advances an extent's locally applied overwrite version by one
+// (every replica applies the same Raft log, so the counters agree across
+// replicas for the same applied prefix).
+func (p *Partition) bumpOvw(extentID uint64) uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.ovwApplied[extentID]++
+	return p.ovwApplied[extentID]
+}
+
+// ovwAppliedOf returns the extent's locally applied overwrite version.
+func (p *Partition) ovwAppliedOf(extentID uint64) uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.ovwApplied[extentID]
+}
+
+// noteOvwSeen records the newest overwrite version the leader has announced
+// for an extent (monotonic max).
+func (p *Partition) noteOvwSeen(extentID, ver uint64) {
+	if ver == 0 {
+		return
+	}
+	p.mu.Lock()
+	if ver > p.ovwSeen[extentID] {
+		p.ovwSeen[extentID] = ver
+	}
+	p.mu.Unlock()
+}
+
+// adoptOvw marks the extent's local content as reflecting overwrite version
+// ver - the alignment pass just re-shipped the leader's bytes wholesale, so
+// the replica is current by construction even though it never applied the
+// overwrites through Raft.
+func (p *Partition) adoptOvw(extentID, ver uint64) {
+	p.mu.Lock()
+	if ver > p.ovwApplied[extentID] {
+		p.ovwApplied[extentID] = ver
+	}
+	if ver > p.ovwSeen[extentID] {
+		p.ovwSeen[extentID] = ver
+	}
+	p.mu.Unlock()
+}
+
+// ovwCurrent reports whether this replica's content is as new as every
+// overwrite the leader has announced for the extent. Trivially true on the
+// announcing leader itself and on extents never overwritten.
+func (p *Partition) ovwCurrent(extentID uint64) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.ovwApplied[extentID] >= p.ovwSeen[extentID]
+}
+
+// tryBeginReconcile claims the partition's single reconcile-loop slot.
+func (p *Partition) tryBeginReconcile() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.reconciling {
+		return false
+	}
+	p.reconciling = true
+	return true
+}
+
+func (p *Partition) endReconcile() {
+	p.mu.Lock()
+	p.reconciling = false
+	p.mu.Unlock()
+}
+
+// membersCopy returns the current replica set.
+func (p *Partition) membersCopy() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]string(nil), p.Members...)
+}
+
+// raftGroup returns the partition's overwrite Raft group (nil until one is
+// attached), safely against the reconcile loop's late attach.
+func (p *Partition) raftGroup() *multiraft.Group {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.raft
+}
+
+func (p *Partition) setRaftGroup(g *multiraft.Group) {
+	p.mu.Lock()
+	p.raft = g
+	p.mu.Unlock()
+}
+
+// RaftMembers reports the partition's committed Raft configuration, nil
+// while the replica runs without a group. The membership-change invariant
+// says this and the master's Members record converge to the SAME set after
+// every reconfiguration - tests assert on it.
+func (p *Partition) RaftMembers() []string {
+	if g := p.raftGroup(); g != nil {
+		return g.Members()
+	}
+	return nil
+}
+
+// MembersCopy returns the replica's own view of the member set.
+func (p *Partition) MembersCopy() []string { return p.membersCopy() }
+
 // sessionStart claims a live-session slot; refused while a recovery pass
 // holds the partition quiesced or a promotion awaits its alignment pass
 // (the caller rejects the bind retriably).
@@ -459,6 +581,18 @@ func (p *Partition) applyFollowerHop(pkt *proto.Packet) error {
 		return err
 	case proto.OpDataCommitted:
 		p.advanceCommitted(pkt.ExtentID, pkt.Committed)
+		// The frame's FileOffset slot (unused by committed gossip until
+		// now) carries the leader's per-extent overwrite version. An
+		// ExtentOffset marker distinguishes plain announcements - the
+		// follower self-fences reads until its own Raft apply catches up -
+		// from alignment adoption, where the leader just re-shipped its
+		// bytes wholesale and the follower's content is current by
+		// construction.
+		if pkt.ExtentOffset == ovwAdoptMarker {
+			p.adoptOvw(pkt.ExtentID, pkt.FileOffset)
+		} else {
+			p.noteOvwSeen(pkt.ExtentID, pkt.FileOffset)
+		}
 		// Persist the learned map so a crash-restarted follower on a
 		// then-quiescent partition serves reads instead of reloading an
 		// empty map - but debounced off the receive path: gossip can
@@ -640,15 +774,21 @@ func (p *Partition) gossipFlush() {
 }
 
 // pushCommitted synchronously pushes one extent's CURRENT committed
-// offset to every follower, best-effort (a miss is healed by the next
-// hop's piggyback or gossip round).
+// offset - and the leader's overwrite version for the extent - to every
+// follower, best-effort (a miss is healed by the next hop's piggyback or
+// gossip round).
 func (p *Partition) pushCommitted(extentID uint64) {
-	upd := committedHopPacket(p.ID, extentID, p.committedOf(extentID), p.Epoch())
+	upd := committedHopPacket(p.ID, extentID, p.committedOf(extentID), p.Epoch(), p.ovwAppliedOf(extentID))
 	for _, f := range p.followers() {
 		var resp proto.Packet
 		_ = p.node.nw.Call(f, uint8(proto.OpDataCommitted), upd, &resp)
 	}
 }
+
+// ovwAdoptMarker in a committed hop's ExtentOffset tells the follower to
+// ADOPT the carried overwrite version as its own applied version (alignment
+// re-shipped the leader's content), not merely to fence on it.
+const ovwAdoptMarker = ^uint64(0)
 
 // smallFileMarker in FileOffset tells a follower hop to use the small-file
 // write path (extent created on demand).
@@ -685,12 +825,27 @@ func (p *Partition) handleOverwrite(pkt *proto.Packet) (*proto.Packet, error) {
 	if !pkt.VerifyCRC() {
 		return pkt.ErrResponse(proto.ResultErrCRC, "payload crc mismatch"), nil
 	}
+	if pkt.ResultCode == resultHopFollower {
+		// Alignment raw-write hop: the leader is re-shipping an extent whose
+		// overwrite version trails (content below the watermark, where
+		// append alignment never looks). Applied directly to the store,
+		// epoch-fenced like every hop; the adopting committed hop that
+		// follows marks the content current.
+		if err := p.checkHopEpoch(pkt); err != nil {
+			return pkt.ErrResponse(hopErrCode(err), err.Error()), nil
+		}
+		if err := p.store.WriteAt(pkt.ExtentID, pkt.ExtentOffset, pkt.Data); err != nil {
+			return pkt.ErrResponse(proto.ResultErrIO, err.Error()), nil
+		}
+		return pkt.OKResponse(nil), nil
+	}
 	// Any replica can receive the request, but only the Raft leader can
 	// propose; others redirect the client.
-	if p.raft == nil || !p.raft.IsLeader() {
+	g := p.raftGroup()
+	if g == nil || !g.IsLeader() {
 		return pkt.ErrResponse(proto.ResultErrNotLeader, "not raft leader"), nil
 	}
-	if _, err := p.raft.Propose(encodeOverwrite(pkt.ExtentID, pkt.ExtentOffset, pkt.Data)); err != nil {
+	if _, err := g.Propose(encodeOverwrite(pkt.ExtentID, pkt.ExtentOffset, pkt.Data)); err != nil {
 		return pkt.ErrResponse(proto.ResultErrIO, err.Error()), nil
 	}
 	return pkt.OKResponse(nil), nil
@@ -713,6 +868,17 @@ func (sm *partitionSM) Apply(index uint64, cmd []byte) (any, error) {
 		// client retries and recovery realigns the replica.
 		return nil, err
 	}
+	sm.p.bumpOvw(extentID)
+	if sm.p.isLeader() {
+		// Announce the new version with the committed gossip so followers
+		// whose Raft apply trails fence their reads of this extent. The
+		// primary-backup leader announces (it is where offloading clients
+		// fall back to), and the Raft Campaign bias keeps it the Raft
+		// leader too, so its applied version is the proposal's by the time
+		// Propose returns.
+		sm.p.gossipCommitted(extentID)
+	}
+	sm.p.saveCommittedSoon()
 	return nil, nil
 }
 
@@ -744,6 +910,16 @@ func (p *Partition) handleRead(pkt *proto.Packet) (*proto.Packet, error) {
 		return pkt.ErrResponse(proto.ResultErrIO, fmt.Sprintf(
 			"read [%d,%d) of extent %d beyond committed offset %d: %v",
 			pkt.ExtentOffset, end, pkt.ExtentID, p.committedOf(pkt.ExtentID), util.ErrOutOfRange)), nil
+	}
+	// Overwrite fence: the committed clamp cannot see in-place writes (they
+	// land below the watermark), so a replica whose applied overwrite
+	// version trails the leader's announcements refuses the whole extent
+	// rather than serve pre-overwrite bytes. Clients fall through to the
+	// next replica, ultimately the announcing leader itself.
+	if !p.ovwCurrent(pkt.ExtentID) {
+		return pkt.ErrResponse(proto.ResultErrIO, fmt.Sprintf(
+			"read of extent %d behind announced overwrite version: %v",
+			pkt.ExtentID, util.ErrOutOfRange)), nil
 	}
 	buf, err := p.store.ReadAt(pkt.ExtentID, pkt.ExtentOffset, length)
 	if err != nil {
@@ -838,8 +1014,10 @@ func (p *Partition) AlignReplicas(follower string) (uint64, error) {
 		local[info.ID] = info.Size
 	}
 	remote := make(map[uint64]uint64, len(infoResp.Extents))
+	remoteOvw := make(map[uint64]uint64, len(infoResp.Extents))
 	for _, e := range infoResp.Extents {
 		remote[e.ID] = e.Size
+		remoteOvw[e.ID] = e.OverwriteVer
 		target, known := local[e.ID]
 		safe := util.MinU64(e.Committed, e.Size) // the provably shared prefix
 		if known && e.Size <= safe {
@@ -924,6 +1102,54 @@ func (p *Partition) AlignReplicas(follower string) (uint64, error) {
 			shipped += chunk
 		}
 	}
+	// Overwrite healing: in-place writes land BELOW the watermark, where the
+	// append alignment above never looks - a follower that missed overwrites
+	// (down past Raft log compaction, or re-created empty) can match the
+	// leader's size byte-for-different-bytes. Any extent whose reported
+	// overwrite version trails the leader's gets its full content re-shipped
+	// as raw epoch-fenced writes, then an adopting committed hop marks the
+	// follower current so its read fence lifts.
+	for _, info := range p.store.Infos() {
+		ovw := p.ovwAppliedOf(info.ID)
+		if ovw == 0 || remoteOvw[info.ID] >= ovw {
+			continue
+		}
+		for off := uint64(0); off < info.Size; {
+			chunk := util.MinU64(info.Size-off, 128*util.KB)
+			data, err := p.store.ReadAt(info.ID, off, uint32(chunk))
+			if err != nil {
+				return shipped, err
+			}
+			raw := &proto.Packet{
+				Op:           proto.OpDataOverwrite,
+				ResultCode:   resultHopFollower,
+				PartitionID:  p.ID,
+				ExtentID:     info.ID,
+				ExtentOffset: off,
+				Epoch:        epoch,
+				CRC:          util.CRC(data),
+				Data:         data,
+			}
+			var resp proto.Packet
+			if err := p.node.nw.Call(follower, uint8(proto.OpDataOverwrite), raw, &resp); err != nil {
+				return shipped, err
+			}
+			if resp.ResultCode != proto.ResultOK {
+				return shipped, fmt.Errorf("datanode: overwrite-heal extent %d on %s: %s", info.ID, follower, resp.Data)
+			}
+			off += chunk
+			shipped += chunk
+		}
+		adopt := committedHopPacket(p.ID, info.ID, p.committedOf(info.ID), epoch, ovw)
+		adopt.ExtentOffset = ovwAdoptMarker
+		var resp proto.Packet
+		if err := p.node.nw.Call(follower, uint8(proto.OpDataCommitted), adopt, &resp); err != nil {
+			return shipped, err
+		}
+		if resp.ResultCode != proto.ResultOK {
+			return shipped, fmt.Errorf("datanode: overwrite-adopt extent %d on %s: %s", info.ID, follower, resp.Data)
+		}
+	}
 	return shipped, nil
 }
 
@@ -976,7 +1202,8 @@ func (p *Partition) handleExtentInfo(req *proto.ExtentInfoReq) (*proto.ExtentInf
 	for i, e := range infos {
 		out.Extents[i] = proto.ExtentSummary{
 			ID: e.ID, Size: e.Size, CRC: e.CRC, Holed: e.Holed,
-			Committed: p.committedOf(e.ID),
+			Committed:    p.committedOf(e.ID),
+			OverwriteVer: p.ovwAppliedOf(e.ID),
 		}
 	}
 	return out, nil

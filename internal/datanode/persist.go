@@ -49,10 +49,16 @@ type partitionMeta struct {
 	Promoting bool
 }
 
-// committedEntry is one extent's persisted committed offset.
+// committedEntry is one extent's persisted committed offset plus its
+// overwrite-version pair (applied locally / seen announced). Persisting
+// BOTH keeps the fence consistent across a restart: reloading a seen
+// version without the matching applied one would self-fence a replica
+// whose on-disk content is in fact current.
 type committedEntry struct {
-	ExtentID  uint64
-	Committed uint64
+	ExtentID   uint64
+	Committed  uint64
+	OvwApplied uint64 `json:",omitempty"`
+	OvwSeen    uint64 `json:",omitempty"`
 }
 
 func (p *Partition) saveMeta() error {
@@ -115,9 +121,24 @@ func (p *Partition) stopSaves() {
 // between snapshots the map lives in memory only.
 func (p *Partition) saveCommitted() error {
 	p.mu.Lock()
-	entries := make([]committedEntry, 0, len(p.committed))
-	for id, off := range p.committed {
-		entries = append(entries, committedEntry{ExtentID: id, Committed: off})
+	ids := make(map[uint64]struct{}, len(p.committed)+len(p.ovwApplied))
+	for id := range p.committed {
+		ids[id] = struct{}{}
+	}
+	for id := range p.ovwApplied {
+		ids[id] = struct{}{}
+	}
+	for id := range p.ovwSeen {
+		ids[id] = struct{}{}
+	}
+	entries := make([]committedEntry, 0, len(ids))
+	for id := range ids {
+		entries = append(entries, committedEntry{
+			ExtentID:   id,
+			Committed:  p.committed[id],
+			OvwApplied: p.ovwApplied[id],
+			OvwSeen:    p.ovwSeen[id],
+		})
 	}
 	p.mu.Unlock()
 	sort.Slice(entries, func(i, j int) bool { return entries[i].ExtentID < entries[j].ExtentID })
@@ -148,6 +169,8 @@ func (p *Partition) loadCommitted() error {
 	}
 	for _, e := range entries {
 		p.advanceCommitted(e.ExtentID, e.Committed)
+		p.adoptOvw(e.ExtentID, e.OvwApplied)
+		p.noteOvwSeen(e.ExtentID, e.OvwSeen)
 	}
 	return nil
 }

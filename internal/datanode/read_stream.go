@@ -191,6 +191,14 @@ func (s *readSession) serve(pkt *proto.Packet) {
 	// Counted at the same point as the unary path (dispatchPacket counts
 	// before handleRead): refusals below are served requests too.
 	s.d.reads.Add(1)
+	// Lease fence, identical to the unary path: a node whose master-granted
+	// read lease lapsed (missed heartbeats) may be on the losing side of a
+	// partition the master has already failed over - it must not keep
+	// serving reads to clients that still hold its address.
+	if !s.d.readLeaseValid() {
+		s.sendErr(pkt, proto.ResultErrLeaseExpired, "read lease lapsed: node has missed master heartbeats")
+		return
+	}
 	// Epoch fence, per frame: a client whose cached view predates (or
 	// outruns) a reconfiguration is told to refresh retriably. Unlike the
 	// write path this fences nothing durable - it maps a failover observed
@@ -227,6 +235,16 @@ func (s *readSession) serve(pkt *proto.Packet) {
 				"read [%d,%d) of extent %d beyond committed offset %d: %v",
 				off, end, pkt.ExtentID, committed, util.ErrOutOfRange)),
 		})
+		return
+	}
+	// Overwrite fence, identical to the unary handleRead: in-place writes
+	// land below the committed watermark, invisible to the clamp above, so
+	// a replica whose applied overwrite version trails the leader's
+	// announcements refuses the extent and the client falls through.
+	if !p.ovwCurrent(pkt.ExtentID) {
+		s.sendErr(pkt, proto.ResultErrIO, fmt.Sprintf(
+			"read of extent %d behind announced overwrite version: %v",
+			pkt.ExtentID, util.ErrOutOfRange))
 		return
 	}
 	if length == 0 {

@@ -670,7 +670,7 @@ func (s *writeSession) commitReady() {
 	var gossip []*proto.Packet
 	if len(s.pending) == 0 && len(advanced) > 0 && !s.failed {
 		for ext := range advanced {
-			gossip = append(gossip, committedHopPacket(s.p.ID, ext, s.p.committedOf(ext), s.p.Epoch()))
+			gossip = append(gossip, committedHopPacket(s.p.ID, ext, s.p.committedOf(ext), s.p.Epoch(), s.p.ovwAppliedOf(ext)))
 		}
 	}
 	p := s.p
@@ -718,8 +718,10 @@ func ackForEntry(partitionID uint64, e *repEntry) *proto.Packet {
 }
 
 // committedHopPacket builds the leader -> follower frame gossiping an
-// extent's all-replica committed offset.
-func committedHopPacket(partitionID, extentID, committed, epoch uint64) *proto.Packet {
+// extent's all-replica committed offset plus the leader's overwrite version
+// for the extent (rides the otherwise-unused FileOffset slot, so the frame
+// format is unchanged).
+func committedHopPacket(partitionID, extentID, committed, epoch, ovwVer uint64) *proto.Packet {
 	return &proto.Packet{
 		Op:          proto.OpDataCommitted,
 		ResultCode:  resultHopFollower,
@@ -727,6 +729,7 @@ func committedHopPacket(partitionID, extentID, committed, epoch uint64) *proto.P
 		ExtentID:    extentID,
 		Committed:   committed,
 		Epoch:       epoch,
+		FileOffset:  ovwVer,
 	}
 }
 

@@ -67,8 +67,8 @@ func (m *Master) checkNodeLiveness() {
 }
 
 // failNode marks one node dead (when not already) and detaches it from
-// every data partition that lists it as a member. Idempotent: a node with
-// no remaining memberships produces no proposals.
+// every partition - data AND meta - that lists it as a member. Idempotent:
+// a node with no remaining memberships produces no proposals.
 func (m *Master) failNode(addr string, deactivate bool) {
 	if deactivate {
 		_, _ = m.propose(&command{Kind: cmdSetNodeActive, Addr: addr, Active: false})
@@ -77,8 +77,14 @@ func (m *Master) failNode(addr string, deactivate bool) {
 		volume string
 		dp     proto.DataPartitionInfo
 	}
+	type mtask struct {
+		volume string
+		mp     proto.MetaPartitionInfo
+	}
 	var tasks []task
+	var mtasks []mtask
 	m.mu.Lock()
+	m.soft.healthyStreak[addr] = 0 // hysteresis restarts from the declaration
 	for _, v := range m.state.Volumes {
 		for _, dp := range v.DataPartitions {
 			for _, member := range dp.Members {
@@ -88,10 +94,21 @@ func (m *Master) failNode(addr string, deactivate bool) {
 				}
 			}
 		}
+		for _, mp := range v.MetaPartitions {
+			for _, member := range mp.Members {
+				if member == addr {
+					mtasks = append(mtasks, mtask{volume: v.Name, mp: mp})
+					break
+				}
+			}
+		}
 	}
 	m.mu.Unlock()
 	for _, t := range tasks {
 		m.detachReplica(t.volume, t.dp, addr)
+	}
+	for _, t := range mtasks {
+		m.detachMetaReplica(t.volume, t.mp, addr)
 	}
 }
 
@@ -146,6 +163,57 @@ func (m *Master) detachReplica(volume string, dp proto.DataPartitionInfo, addr s
 	m.pushPartitionUpdate(applied)
 }
 
+// detachMetaReplica removes addr from a meta partition's member set under a
+// bumped epoch. Where data partitions reorder a primary-backup chain, a
+// meta partition's consensus group must shrink with the record: the update
+// push carries the new Members + epoch to every survivor, and whichever
+// survivor wins (or holds) the Raft lead proposes the matching ConfChange,
+// so the quorum denominator drops to the survivor count and the partition
+// serves writes again instead of escalating to read-only.
+func (m *Master) detachMetaReplica(volume string, mp proto.MetaPartitionInfo, addr string) {
+	members := make([]string, 0, len(mp.Members))
+	for _, member := range mp.Members {
+		if member != addr {
+			members = append(members, member)
+		}
+	}
+	if len(members) == len(mp.Members) {
+		return // stale report: addr is not (no longer) a member
+	}
+	if len(members) == 0 {
+		if mp.Status != proto.PartitionUnavailable {
+			_, _ = m.propose(&command{
+				Kind: cmdSetPartitionStatus, VolumeName: volume,
+				PartitionID: mp.PartitionID, Status: proto.PartitionUnavailable, IsMeta: true,
+			})
+		}
+		return
+	}
+	detached := append(append([]string(nil), mp.Detached...), addr)
+	out, err := m.propose(&command{
+		Kind:         cmdReconfigureMetaPartition,
+		VolumeName:   volume,
+		PartitionID:  mp.PartitionID,
+		Members:      members,
+		Detached:     detached,
+		ReplicaEpoch: mp.ReplicaEpoch + 1,
+		Status:       proto.PartitionReadWrite,
+	})
+	if err != nil {
+		return // a racing reconfiguration won (stale epoch) or we lost leadership
+	}
+	applied := out.(proto.MetaPartitionInfo)
+	m.mu.Lock()
+	delete(m.soft.partStats, mp.PartitionID)
+	delete(m.soft.failures, mp.PartitionID)
+	if m.soft.detachedAt[mp.PartitionID] == nil {
+		m.soft.detachedAt[mp.PartitionID] = make(map[string]time.Time)
+	}
+	m.soft.detachedAt[mp.PartitionID][addr] = time.Now()
+	m.mu.Unlock()
+	m.pushMetaPartitionUpdate(applied)
+}
+
 // checkReattach re-attaches detached replicas whose heartbeats resumed
 // (strictly after the detach mark, so the heartbeat already in flight when
 // the failure was declared cannot instantly undo it), and revives
@@ -153,6 +221,11 @@ func (m *Master) detachReplica(volume string, dp proto.DataPartitionInfo, addr s
 // last-member-death case leaves the member in place with the partition
 // fenced, and without the revival a healthy returned node holding every
 // committed byte would stay unwritable forever.
+//
+// Every decision here is hysteresis-gated: a returning node must hold
+// ReattachHysteresis consecutive on-time heartbeats before it rejoins
+// anything, so a flapping node produces one detach instead of an epoch-
+// burning attach/detach cycle.
 func (m *Master) checkReattach() {
 	if !m.node.IsLeader() {
 		return
@@ -162,19 +235,22 @@ func (m *Master) checkReattach() {
 		dp     proto.DataPartitionInfo
 		addr   string // empty = revive (status flip + targeted recover)
 	}
-	var tasks []task
-	now := time.Now()
-	fresh := func(addr string) bool {
-		hb, ok := m.soft.lastHeartbeat[addr]
-		return ok && now.Sub(hb) <= m.cfg.NodeTimeout
+	type mtask struct {
+		volume string
+		mp     proto.MetaPartitionInfo
+		addr   string
 	}
+	var tasks []task
+	var mtasks []mtask
+	now := time.Now()
 	m.mu.Lock()
+	healthy := func(addr string) bool { return m.healthyLocked(addr, now) }
 	for _, v := range m.state.Volumes {
 		for _, dp := range v.DataPartitions {
 			if dp.Status == proto.PartitionUnavailable && len(dp.Members) > 0 {
 				alive := true
 				for _, addr := range dp.Members {
-					if !fresh(addr) {
+					if !healthy(addr) {
 						alive = false
 						break
 					}
@@ -185,7 +261,7 @@ func (m *Master) checkReattach() {
 				}
 			}
 			for _, addr := range dp.Detached {
-				if !fresh(addr) {
+				if !healthy(addr) {
 					continue
 				}
 				if da, ok := m.soft.detachedAt[dp.PartitionID][addr]; ok && !m.soft.lastHeartbeat[addr].After(da) {
@@ -193,6 +269,18 @@ func (m *Master) checkReattach() {
 				}
 				tasks = append(tasks, task{volume: v.Name, dp: dp, addr: addr})
 				break // one membership change per partition per scan
+			}
+		}
+		for _, mp := range v.MetaPartitions {
+			for _, addr := range mp.Detached {
+				if !healthy(addr) {
+					continue
+				}
+				if da, ok := m.soft.detachedAt[mp.PartitionID][addr]; ok && !m.soft.lastHeartbeat[addr].After(da) {
+					continue
+				}
+				mtasks = append(mtasks, mtask{volume: v.Name, mp: mp, addr: addr})
+				break
 			}
 		}
 	}
@@ -204,6 +292,18 @@ func (m *Master) checkReattach() {
 		}
 		m.reattachReplica(t.volume, t.dp, t.addr)
 	}
+	for _, t := range mtasks {
+		m.reattachMetaReplica(t.volume, t.mp, t.addr)
+	}
+}
+
+// healthyLocked reports whether a node is currently heartbeating on time
+// AND has held an unbroken on-time streak of at least ReattachHysteresis
+// beats. Caller holds m.mu.
+func (m *Master) healthyLocked(addr string, now time.Time) bool {
+	hb, ok := m.soft.lastHeartbeat[addr]
+	return ok && now.Sub(hb) <= m.cfg.NodeTimeout &&
+		m.soft.healthyStreak[addr] >= m.cfg.ReattachHysteresis
 }
 
 // revivePartition flips an unavailable partition whose members all
@@ -262,16 +362,156 @@ func (m *Master) reattachReplica(volume string, dp proto.DataPartitionInfo, addr
 	m.pushPartitionUpdate(applied)
 }
 
+// reattachMetaReplica returns a detached meta replica to the END of the
+// member order under a bumped epoch; the update push makes the surviving
+// Raft leader propose the AddNode ConfChange and ship the newcomer a
+// snapshot, restoring full meta redundancy.
+func (m *Master) reattachMetaReplica(volume string, mp proto.MetaPartitionInfo, addr string) {
+	detached := make([]string, 0, len(mp.Detached))
+	for _, d := range mp.Detached {
+		if d != addr {
+			detached = append(detached, d)
+		}
+	}
+	if len(detached) == len(mp.Detached) {
+		return // already re-attached by a racing trigger
+	}
+	members := append(append([]string(nil), mp.Members...), addr)
+	out, err := m.propose(&command{
+		Kind:         cmdReconfigureMetaPartition,
+		VolumeName:   volume,
+		PartitionID:  mp.PartitionID,
+		Members:      members,
+		Detached:     detached,
+		ReplicaEpoch: mp.ReplicaEpoch + 1,
+		Status:       proto.PartitionReadWrite,
+	})
+	if err != nil {
+		return
+	}
+	applied := out.(proto.MetaPartitionInfo)
+	m.mu.Lock()
+	delete(m.soft.detachedAt[mp.PartitionID], addr)
+	m.mu.Unlock()
+	m.pushMetaPartitionUpdate(applied)
+}
+
+// checkReplacement restores full redundancy to data partitions that ran
+// degraded past the grace period: once waiting for the detached node stops
+// being a plan, the master places a FRESH replica on a healthy node outside
+// the partition's present and former membership, re-expands Members under a
+// bumped epoch, and lets the leader's alignment pass seed the newcomer from
+// zero (the update push creates the missing partition on it first). The
+// detached record the newcomer replaces is dropped - if the dead node ever
+// returns, it no longer re-attaches there.
+func (m *Master) checkReplacement() {
+	if !m.node.IsLeader() {
+		return
+	}
+	type task struct {
+		volume string
+		dp     proto.DataPartitionInfo
+		fresh  string
+		drop   string // detached entry the newcomer replaces
+	}
+	var tasks []task
+	now := time.Now()
+	m.mu.Lock()
+	target := m.replicaCountLocked(false)
+	for _, v := range m.state.Volumes {
+		for _, dp := range v.DataPartitions {
+			if dp.Status != proto.PartitionReadWrite || len(dp.Members) == 0 ||
+				len(dp.Members) >= target || len(dp.Detached) == 0 {
+				delete(m.soft.degradedSince, dp.PartitionID)
+				continue
+			}
+			since, ok := m.soft.degradedSince[dp.PartitionID]
+			if !ok {
+				m.soft.degradedSince[dp.PartitionID] = now
+				continue
+			}
+			if now.Sub(since) < m.cfg.ReplacementGrace {
+				continue
+			}
+			// A detached member about to re-attach makes replacement moot;
+			// let checkReattach win that race.
+			returning := false
+			for _, d := range dp.Detached {
+				if m.healthyLocked(d, now) {
+					returning = true
+					break
+				}
+			}
+			if returning {
+				continue
+			}
+			inSet := make(map[string]bool, len(dp.Members)+len(dp.Detached))
+			for _, a := range dp.Members {
+				inSet[a] = true
+			}
+			for _, a := range dp.Detached {
+				inSet[a] = true
+			}
+			picked, err := pickNodesExcluding(m.state, m.soft, false, 1, func(addr string) bool {
+				return inSet[addr] || !m.healthyLocked(addr, now)
+			})
+			if err != nil {
+				continue // no spare healthy node yet; keep waiting
+			}
+			tasks = append(tasks, task{volume: v.Name, dp: dp, fresh: picked[0], drop: dp.Detached[0]})
+		}
+	}
+	m.mu.Unlock()
+	for _, t := range tasks {
+		m.replaceReplica(t.volume, t.dp, t.fresh, t.drop)
+	}
+}
+
+// replaceReplica swaps a permanently-absent detached replica for a fresh
+// node: Members re-expands with the newcomer at the END (never promoted),
+// the replaced corpse leaves Detached for good, and the leader is tasked
+// with the recovery pass that creates and ships every extent to the empty
+// newcomer before the committed frontier re-advances through it.
+func (m *Master) replaceReplica(volume string, dp proto.DataPartitionInfo, fresh, drop string) {
+	members := append(append([]string(nil), dp.Members...), fresh)
+	detached := make([]string, 0, len(dp.Detached))
+	for _, d := range dp.Detached {
+		if d != drop {
+			detached = append(detached, d)
+		}
+	}
+	out, err := m.propose(&command{
+		Kind:         cmdReconfigureDataPartition,
+		VolumeName:   volume,
+		PartitionID:  dp.PartitionID,
+		Members:      members,
+		Detached:     detached,
+		ReplicaEpoch: dp.ReplicaEpoch + 1,
+		Status:       proto.PartitionReadWrite,
+	})
+	if err != nil {
+		return
+	}
+	applied := out.(proto.DataPartitionInfo)
+	m.mu.Lock()
+	delete(m.soft.degradedSince, dp.PartitionID)
+	delete(m.soft.detachedAt[dp.PartitionID], drop)
+	m.mu.Unlock()
+	m.pushPartitionUpdate(applied)
+	go m.taskRecover(applied)
+}
+
 // onNodeReturned reacts to a data node's re-registration: partitions that
 // still list the node as a follower get a targeted leader Recover (a quick
 // restart loses the in-memory committed map and possibly a tail; before
-// this hook, realignment waited for the leader's own next pass), and
-// partitions that detached the node re-attach it immediately.
+// this hook, realignment waited for the leader's own next pass). Detached
+// replicas are NOT re-attached here: re-attachment is the maintenance
+// scan's call, gated on the returning node first proving itself with
+// ReattachHysteresis on-time heartbeats.
 func (m *Master) onNodeReturned(addr string) {
 	type task struct {
-		volume   string
-		dp       proto.DataPartitionInfo
-		detached bool
+		volume string
+		dp     proto.DataPartitionInfo
 	}
 	var tasks []task
 	m.mu.Lock()
@@ -283,20 +523,10 @@ func (m *Master) onNodeReturned(addr string) {
 					break
 				}
 			}
-			for _, d := range dp.Detached {
-				if d == addr {
-					tasks = append(tasks, task{volume: v.Name, dp: dp, detached: true})
-					break
-				}
-			}
 		}
 	}
 	m.mu.Unlock()
 	for _, t := range tasks {
-		if t.detached {
-			m.reattachReplica(t.volume, t.dp, addr)
-			continue
-		}
 		m.taskRecover(t.dp)
 	}
 }
@@ -341,14 +571,45 @@ func (m *Master) pushPartitionUpdate(dp proto.DataPartitionInfo) {
 	}
 }
 
+// pushMetaPartitionUpdate delivers a meta reconfiguration to every member,
+// with bounded retries per member. The metanode side adopts the member set
+// + epoch and - on whichever replica leads the group - drives the matching
+// Raft ConfChanges. Misses are tolerated: the member's next heartbeat
+// reports its stale epoch and repushPartition repairs it.
+func (m *Master) pushMetaPartitionUpdate(mp proto.MetaPartitionInfo) {
+	req := &proto.UpdateMetaPartitionReq{
+		PartitionID:  mp.PartitionID,
+		Members:      mp.Members,
+		ReplicaEpoch: mp.ReplicaEpoch,
+	}
+	for _, addr := range mp.Members {
+		for attempt := 0; attempt < 3; attempt++ {
+			var resp proto.UpdateMetaPartitionResp
+			if err := m.nw.Call(addr, uint8(proto.OpAdminUpdateMetaPartition), req, &resp); err == nil {
+				break
+			}
+			time.Sleep(time.Duration(attempt+1) * 10 * time.Millisecond)
+		}
+	}
+}
+
 // repushPartition re-delivers the current reconfiguration to a partition's
 // members after a heartbeat revealed one of them holds a stale epoch.
+// Partition ids come from one allocator, so the id alone resolves to a
+// data or a meta record.
 func (m *Master) repushPartition(pid uint64) {
 	m.mu.Lock()
 	dp, _, ok := m.findDataPartitionLocked(pid)
+	var mp proto.MetaPartitionInfo
+	var mok bool
+	if !ok {
+		mp, _, mok = m.findMetaPartitionLocked(pid)
+	}
 	m.mu.Unlock()
 	if ok {
 		m.pushPartitionUpdate(dp)
+	} else if mok {
+		m.pushMetaPartitionUpdate(mp)
 	}
 	m.mu.Lock()
 	delete(m.soft.pushing, pid)
@@ -366,4 +627,17 @@ func (m *Master) findDataPartitionLocked(pid uint64) (proto.DataPartitionInfo, s
 		}
 	}
 	return proto.DataPartitionInfo{}, "", false
+}
+
+// findMetaPartitionLocked locates a meta partition record by id. Caller
+// holds m.mu.
+func (m *Master) findMetaPartitionLocked(pid uint64) (proto.MetaPartitionInfo, string, bool) {
+	for _, v := range m.state.Volumes {
+		for _, mp := range v.MetaPartitions {
+			if mp.PartitionID == pid {
+				return mp, v.Name, true
+			}
+		}
+	}
+	return proto.MetaPartitionInfo{}, "", false
 }

@@ -55,8 +55,23 @@ type Config struct {
 	// NodeTimeout declares a node dead once its heartbeats stop for this
 	// long; the maintenance scan then reconfigures the node's data
 	// partitions around it (promoting a live follower when the dead node
-	// led). Zero means 10s.
+	// led). It doubles as the read-lease term granted on every heartbeat
+	// reply: a deposed leader cut off from the master stops serving reads
+	// once the lease runs out, before a successor can be promoted. Zero
+	// means 10s.
 	NodeTimeout time.Duration
+	// ReattachHysteresis is how many CONSECUTIVE on-time heartbeats a
+	// returning node must show before the master re-attaches its detached
+	// replicas or lets it host a replacement replica. A flapping node
+	// (alternating silence and bursts) therefore cannot thrash membership:
+	// every silence resets the streak. Zero means 3.
+	ReattachHysteresis int
+	// ReplacementGrace is how long a data partition may run below its
+	// replica target before the master gives up on the detached node
+	// returning and places a fresh replacement replica on a new node
+	// (seeded from zero by the leader's alignment pass). Zero means
+	// 2*NodeTimeout.
+	ReplacementGrace time.Duration
 	// CheckInterval is the background scan period for splitting and
 	// capacity expansion. Zero means 500ms.
 	CheckInterval time.Duration
@@ -114,6 +129,12 @@ func Start(nw transport.Network, cfg Config) (*Master, error) {
 	}
 	if cfg.NodeTimeout == 0 {
 		cfg.NodeTimeout = 10 * time.Second
+	}
+	if cfg.ReattachHysteresis == 0 {
+		cfg.ReattachHysteresis = 3
+	}
+	if cfg.ReplacementGrace == 0 {
+		cfg.ReplacementGrace = 2 * cfg.NodeTimeout
 	}
 	if cfg.CheckInterval == 0 {
 		cfg.CheckInterval = 500 * time.Millisecond
@@ -339,7 +360,16 @@ func (m *Master) handleHeartbeat(req *proto.HeartbeatReq) (*proto.HeartbeatResp,
 	var lagging []uint64
 	m.mu.Lock()
 	m.soft.used[req.Addr] = req.Used
-	m.soft.lastHeartbeat[req.Addr] = time.Now()
+	now := time.Now()
+	// A gap longer than the death timeout restarts the healthy streak;
+	// re-attach and replacement placement wait for it to rebuild
+	// (hysteresis), so a flapping node cannot thrash membership changes.
+	if prev, ok := m.soft.lastHeartbeat[req.Addr]; ok && now.Sub(prev) <= m.cfg.NodeTimeout {
+		m.soft.healthyStreak[req.Addr]++
+	} else {
+		m.soft.healthyStreak[req.Addr] = 1
+	}
+	m.soft.lastHeartbeat[req.Addr] = now
 	inactive := false
 	if n, ok := m.state.Nodes[req.Addr]; ok && !n.Active {
 		inactive = true
@@ -348,8 +378,8 @@ func (m *Master) handleHeartbeat(req *proto.HeartbeatReq) (*proto.HeartbeatResp,
 	// partition; the cached index (rebuilt only when the replicated state
 	// changes) keeps the steady-state heartbeat O(reports) under the lock.
 	var dpEpochs map[uint64]uint64
-	if !req.IsMeta && len(req.Partitions) > 0 {
-		dpEpochs = dpEpochsLocked(m.state, m.soft)
+	if len(req.Partitions) > 0 {
+		dpEpochs = partEpochsLocked(m.state, m.soft)
 	}
 	for _, pr := range req.Partitions {
 		// Reconfiguration repair FIRST (followers report too, and they are
@@ -381,7 +411,11 @@ func (m *Master) handleHeartbeat(req *proto.HeartbeatReq) (*proto.HeartbeatResp,
 	for _, pid := range lagging {
 		go m.repushPartition(pid)
 	}
-	return &proto.HeartbeatResp{}, nil
+	// Every reply renews the node's read lease for one NodeTimeout term:
+	// reads are refused once the lease lapses, so a deposed leader that
+	// lost its master connection fences itself off the read path in the
+	// same window the master needs to declare it dead and promote.
+	return &proto.HeartbeatResp{ReadLeaseMillis: m.cfg.NodeTimeout.Milliseconds()}, nil
 }
 
 func (m *Master) handleCreateVolume(req *proto.CreateVolumeReq) (*proto.CreateVolumeResp, error) {
@@ -461,13 +495,14 @@ func (m *Master) addMetaPartition(volume string, start, end uint64) (*proto.Meta
 		return nil, err
 	}
 	mp := &proto.MetaPartitionInfo{
-		PartitionID: id,
-		Volume:      volume,
-		Start:       start,
-		End:         end,
-		Members:     members,
-		LeaderAddr:  members[0],
-		Status:      proto.PartitionReadWrite,
+		PartitionID:  id,
+		Volume:       volume,
+		Start:        start,
+		End:          end,
+		Members:      members,
+		LeaderAddr:   members[0],
+		Status:       proto.PartitionReadWrite,
+		ReplicaEpoch: 1,
 	}
 	// Provision on the nodes first, then commit the record; a failure
 	// leaves at most unused partitions on nodes, never a dangling record.
@@ -597,13 +632,16 @@ func (m *Master) viewOf(name string) (*proto.VolumeView, error) {
 }
 
 // handleReportFailure implements Section 2.3.3 turned into decisions. For
-// META partitions the original escalation stands: a replica timeout sends
-// the partition read-only, repeated failures mark it unavailable (Raft
-// handles meta leadership itself). For DATA partitions the master
-// reconfigures instead of fencing the whole partition: the reported
-// replica is detached from the replication set under a bumped epoch, the
-// partition stays writable on the survivors, and the replica re-attaches
-// (realigned by the leader) once it heartbeats again.
+// DATA partitions the master reconfigures instead of fencing the whole
+// partition: the reported replica is detached from the replication set
+// under a bumped epoch, the partition stays writable on the survivors, and
+// the replica re-attaches (realigned by the leader) once it heartbeats
+// again. META partitions now get the same treatment when they have
+// replicas to spare - the dead member is removed under a bumped epoch and
+// the survivors' Raft group shrinks around it via ConfChange, so the
+// partition keeps serving writes. Only a meta partition with nothing left
+// to remove (a single member) falls back to the original read-only /
+// unavailable escalation.
 func (m *Master) handleReportFailure(req *proto.ReportFailureReq) (*proto.ReportFailureResp, error) {
 	if err := m.requireLeader(); err != nil {
 		return nil, err
@@ -614,10 +652,12 @@ func (m *Master) handleReportFailure(req *proto.ReportFailureReq) (*proto.Report
 	var volume string
 	var isMeta bool
 	var dpRec proto.DataPartitionInfo
+	var mpRec proto.MetaPartitionInfo
 	for _, v := range m.state.Volumes {
 		for _, mp := range v.MetaPartitions {
 			if mp.PartitionID == req.PartitionID {
 				volume, isMeta = v.Name, true
+				mpRec = mp
 			}
 		}
 		for _, dp := range v.DataPartitions {
@@ -634,6 +674,14 @@ func (m *Master) handleReportFailure(req *proto.ReportFailureReq) (*proto.Report
 	if !isMeta {
 		m.detachReplica(volume, dpRec, req.Addr)
 		return &proto.ReportFailureResp{}, nil
+	}
+	if len(mpRec.Members) > 1 {
+		for _, member := range mpRec.Members {
+			if member == req.Addr {
+				m.detachMetaReplica(volume, mpRec, req.Addr)
+				return &proto.ReportFailureResp{}, nil
+			}
+		}
 	}
 	status := proto.PartitionReadOnly
 	if count >= m.cfg.FailureThreshold {
@@ -701,6 +749,7 @@ func (m *Master) backgroundLoop() {
 func (m *Master) CheckOnce() {
 	m.checkNodeLiveness()
 	m.checkReattach()
+	m.checkReplacement()
 	m.mu.Lock()
 	type splitTask struct {
 		volume string

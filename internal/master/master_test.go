@@ -386,33 +386,74 @@ func TestFailureReportsReconfigureDataPartition(t *testing.T) {
 	}
 }
 
-// TestFailureReportsEscalateMetaPartition: meta partitions keep the
-// Section 2.3.3 escalation (Raft owns their leadership; the master only
-// fences): read-only on the first report, unavailable at the threshold.
-func TestFailureReportsEscalateMetaPartition(t *testing.T) {
+// TestFailureReportsReconfigureMetaPartition: meta partitions with members
+// to spare no longer escalate to read-only on a failure report - the dead
+// member is detached under a bumped epoch (membership change made meta
+// failover possible) and the partition stays read-write on the survivors.
+// Only the last member's death fences the partition.
+func TestFailureReportsReconfigureMetaPartition(t *testing.T) {
 	e := newEnv(t, 3, 3, Config{ReplicaCount: 3, FailureThreshold: 3})
 	view := e.createVolume("vol1", 1, 1)
-	mp := view.MetaPartitions[0]
+	pid := view.MetaPartitions[0].PartitionID
 
-	report := func() {
+	report := func(addr string) {
 		t.Helper()
 		var resp proto.ReportFailureResp
 		if err := e.nw.Call("master0", uint8(proto.OpMasterReportFailure),
-			&proto.ReportFailureReq{PartitionID: mp.PartitionID, Addr: mp.Members[1], IsMeta: true}, &resp); err != nil {
+			&proto.ReportFailureReq{PartitionID: pid, Addr: addr, IsMeta: true}, &resp); err != nil {
 			t.Fatal(err)
 		}
 	}
-	report()
-	var v proto.GetVolumeResp
-	e.nw.Call("master0", uint8(proto.OpMasterGetVolume), &proto.GetVolumeReq{Name: "vol1"}, &v)
-	if v.View.MetaPartitions[0].Status != proto.PartitionReadOnly {
-		t.Fatalf("after 1 failure: %v", v.View.MetaPartitions[0].Status)
+	current := func() proto.MetaPartitionInfo {
+		t.Helper()
+		var v proto.GetVolumeResp
+		if err := e.nw.Call("master0", uint8(proto.OpMasterGetVolume),
+			&proto.GetVolumeReq{Name: "vol1"}, &v); err != nil {
+			t.Fatal(err)
+		}
+		return v.View.MetaPartitions[0]
 	}
-	report()
-	report()
-	e.nw.Call("master0", uint8(proto.OpMasterGetVolume), &proto.GetVolumeReq{Name: "vol1"}, &v)
-	if v.View.MetaPartitions[0].Status != proto.PartitionUnavailable {
-		t.Fatalf("after 3 failures: %v", v.View.MetaPartitions[0].Status)
+
+	got := current()
+	failed := got.Members[1]
+	report(failed)
+	got = current()
+	if len(got.Members) != 2 || got.ReplicaEpoch != 2 || got.Status != proto.PartitionReadWrite {
+		t.Fatalf("after 1 report: members=%v epoch=%d status=%v", got.Members, got.ReplicaEpoch, got.Status)
+	}
+	for _, member := range got.Members {
+		if member == failed {
+			t.Fatalf("failed member %s still in %v", failed, got.Members)
+		}
+	}
+	if len(got.Detached) != 1 || got.Detached[0] != failed {
+		t.Fatalf("detached=%v, want [%s]", got.Detached, failed)
+	}
+
+	// A duplicate report about a node that is no longer a member is inert.
+	report(failed)
+	if again := current(); again.ReplicaEpoch != 2 {
+		t.Fatalf("stale report bumped the epoch to %d", again.ReplicaEpoch)
+	}
+
+	report(got.Members[1])
+	got = current()
+	if len(got.Members) != 1 || got.ReplicaEpoch != 3 || got.Status != proto.PartitionReadWrite {
+		t.Fatalf("after 2 reports: members=%v epoch=%d status=%v", got.Members, got.ReplicaEpoch, got.Status)
+	}
+
+	// The last member has no survivors to shrink to: the old escalation
+	// stands - read-only first (each detach reset the failure count), then
+	// unavailable at the threshold.
+	last := got.Members[0]
+	report(last)
+	if got = current(); got.Status != proto.PartitionReadOnly {
+		t.Fatalf("first report against the last member: %v, want read-only", got.Status)
+	}
+	report(last)
+	report(last)
+	if got = current(); got.Status != proto.PartitionUnavailable {
+		t.Fatalf("after losing every replica: %v, want unavailable", got.Status)
 	}
 }
 

@@ -59,6 +59,11 @@ const (
 	// cmdSetNodeActive flips a node's liveness flag (heartbeat timeout /
 	// return), keeping placement away from dead nodes deterministically.
 	cmdSetNodeActive
+	// cmdReconfigureMetaPartition replaces a meta partition's member set
+	// (dead-replica removal) under a bumped ReplicaEpoch - the meta twin of
+	// cmdReconfigureDataPartition, landed when membership change made
+	// meta-partition failover possible.
+	cmdReconfigureMetaPartition
 )
 
 // command is the Raft log payload for master mutations.
@@ -235,6 +240,34 @@ func (s *clusterState) apply(c *command, raftSetSize int) (any, error) {
 		}
 		return nil, fmt.Errorf("master: data partition %d: %w", c.PartitionID, util.ErrNotFound)
 
+	case cmdReconfigureMetaPartition:
+		v, ok := s.Volumes[c.VolumeName]
+		if !ok {
+			return nil, fmt.Errorf("master: volume %q: %w", c.VolumeName, util.ErrNotFound)
+		}
+		for i := range v.MetaPartitions {
+			mp := &v.MetaPartitions[i]
+			if mp.PartitionID != c.PartitionID {
+				continue
+			}
+			if c.ReplicaEpoch <= mp.ReplicaEpoch {
+				// First writer wins, as on the data side: racing triggers
+				// (failure report vs liveness scan) collapse to one epoch.
+				return nil, fmt.Errorf("master: meta partition %d already at epoch %d: %w",
+					c.PartitionID, mp.ReplicaEpoch, util.ErrStaleEpoch)
+			}
+			mp.Members = append([]string(nil), c.Members...)
+			mp.Detached = append([]string(nil), c.Detached...)
+			mp.ReplicaEpoch = c.ReplicaEpoch
+			mp.Status = c.Status
+			if len(mp.Members) > 0 {
+				mp.LeaderAddr = mp.Members[0]
+			}
+			v.Epoch++
+			return *mp, nil
+		}
+		return nil, fmt.Errorf("master: meta partition %d: %w", c.PartitionID, util.ErrNotFound)
+
 	case cmdSetNodeActive:
 		n, ok := s.Nodes[c.Addr]
 		if !ok {
@@ -289,6 +322,15 @@ type softState struct {
 	// heartbeat path, rebuilt only when the state Version moves.
 	epochIdx    map[uint64]uint64
 	epochIdxVer uint64
+	// healthyStreak counts CONSECUTIVE on-time heartbeats per node since
+	// its last gap or failure declaration. Re-attach and replica-placement
+	// decisions require a minimum streak (hysteresis), so a flapping node
+	// cannot thrash membership changes.
+	healthyStreak map[string]int
+	// degradedSince records when a data partition was first seen running
+	// below its replica target; replacement placement waits out a grace
+	// period from this mark (a briefly-absent replica usually re-attaches).
+	degradedSince map[uint64]time.Time
 }
 
 func newSoftState() *softState {
@@ -301,12 +343,16 @@ func newSoftState() *softState {
 		pushing:       make(map[uint64]bool),
 		epochIdx:      make(map[uint64]uint64),
 		epochIdxVer:   ^uint64(0), // force the first build
+		healthyStreak: make(map[string]int),
+		degradedSince: make(map[uint64]time.Time),
 	}
 }
 
-// dpEpochsLocked returns the partition->epoch index, rebuilding it only
-// when the replicated state changed. Caller holds the master mutex.
-func dpEpochsLocked(state *clusterState, soft *softState) map[uint64]uint64 {
+// partEpochsLocked returns the partition->epoch index (data AND meta
+// partitions; ids come from one allocator, so one map holds both),
+// rebuilding it only when the replicated state changed. Caller holds the
+// master mutex.
+func partEpochsLocked(state *clusterState, soft *softState) map[uint64]uint64 {
 	if soft.epochIdxVer == state.Version {
 		return soft.epochIdx
 	}
@@ -314,6 +360,9 @@ func dpEpochsLocked(state *clusterState, soft *softState) map[uint64]uint64 {
 	for _, v := range state.Volumes {
 		for _, dp := range v.DataPartitions {
 			idx[dp.PartitionID] = dp.ReplicaEpoch
+		}
+		for _, mp := range v.MetaPartitions {
+			idx[mp.PartitionID] = mp.ReplicaEpoch
 		}
 	}
 	soft.epochIdx, soft.epochIdxVer = idx, state.Version
@@ -325,6 +374,14 @@ func dpEpochsLocked(state *clusterState, soft *softState) map[uint64]uint64 {
 // partition replicas exchange heartbeats inside one set. Returns addresses
 // in placement order (the first is the designated leader).
 func pickNodes(state *clusterState, soft *softState, isMeta bool, count int) ([]string, error) {
+	return pickNodesExcluding(state, soft, isMeta, count, nil)
+}
+
+// pickNodesExcluding is pickNodes with a veto: candidates for which exclude
+// returns true are never considered. Replacement placement uses it to keep a
+// degraded partition's existing members (and its still-detached ones) out of
+// the fresh-replica pool.
+func pickNodesExcluding(state *clusterState, soft *softState, isMeta bool, count int, exclude func(addr string) bool) ([]string, error) {
 	type cand struct {
 		addr    string
 		ratio   float64
@@ -333,6 +390,9 @@ func pickNodes(state *clusterState, soft *softState, isMeta bool, count int) ([]
 	var cands []cand
 	for addr, n := range state.Nodes {
 		if n.IsMeta != isMeta || !n.Active {
+			continue
+		}
+		if exclude != nil && exclude(addr) {
 			continue
 		}
 		used := soft.used[addr]

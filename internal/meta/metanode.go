@@ -12,6 +12,7 @@ import (
 
 	"cfs/internal/multiraft"
 	"cfs/internal/proto"
+	"cfs/internal/raft"
 	"cfs/internal/raftstore"
 	"cfs/internal/transport"
 	"cfs/internal/util"
@@ -189,16 +190,152 @@ func (m *MetaNode) CreatePartition(req *proto.CreateMetaPartitionReq) error {
 	return nil
 }
 
+// UpdatePartition adopts a master reconfiguration task: a new Members set
+// under a bumped ReplicaEpoch (stale epochs are ignored, so replays are
+// harmless), then drives the partition's Raft group toward the new set in
+// the background. The PacificA-style epoch fence and the Raft quorum are
+// kept one view: the ConfChange diff this node proposes (once it is, or
+// becomes, the Raft leader) is exactly the delta the master recorded under
+// this epoch, so a detached replica stops counting toward quorum instead of
+// holding the group hostage.
+func (m *MetaNode) UpdatePartition(req *proto.UpdateMetaPartitionReq) (*proto.UpdateMetaPartitionResp, error) {
+	p := m.Partition(req.PartitionID)
+	if p == nil {
+		return nil, fmt.Errorf("meta: partition %d: %w", req.PartitionID, util.ErrNotFound)
+	}
+	if p.applyReconfig(req.Members, req.ReplicaEpoch) {
+		m.reconcileRaft(p)
+	}
+	return &proto.UpdateMetaPartitionResp{ReplicaEpoch: p.Epoch()}, nil
+}
+
+// reconcileRaft converges the partition's Raft group membership to the
+// master-assigned Members set, in the background. Every member runs the
+// loop after adopting a reconfiguration; only the replica that holds (or
+// wins) Raft leadership actually proposes, so the ConfChange is issued
+// exactly once per delta regardless of how many replicas race here. The
+// loop re-reads the desired set each round - a newer reconfiguration simply
+// retargets it.
+func (m *MetaNode) reconcileRaft(p *Partition) {
+	if !p.tryBeginReconcile() {
+		return
+	}
+	m.mu.RLock()
+	closed := m.closed
+	if !closed {
+		m.wg.Add(1)
+	}
+	m.mu.RUnlock()
+	if closed {
+		p.endReconcile()
+		return
+	}
+	go func() {
+		defer m.wg.Done()
+		defer p.endReconcile()
+		delay := 10 * time.Millisecond
+		for {
+			select {
+			case <-m.stopc:
+				return
+			default:
+			}
+			desired := p.MembersCopy()
+			if !memberOf(desired, m.addr) {
+				return // removed from the set; the survivors own the group now
+			}
+			g := p.raftGroup()
+			if g == nil {
+				// A partition restored from disk before this node heard the
+				// (re)create task, now multi-replica: host its group. Each
+				// surviving member does the same with the same set, exactly
+				// like the original create fan-out.
+				if len(desired) > 1 {
+					if node, err := m.raft.CreateGroup(p.ID, desired, p); err == nil {
+						p.setRaftGroup(node)
+						g = node
+					}
+				}
+				if g == nil {
+					return
+				}
+			}
+			// Bias the designated leader to win the election: with the dead
+			// replica detached, Members[0] is the survivor the master chose.
+			if desired[0] == m.addr && !g.IsLeader() {
+				g.Campaign()
+			}
+			if g.IsLeader() {
+				if done := proposeConfDiff(g, desired); done {
+					return
+				}
+			} else if sameMembers(g.Members(), desired) {
+				return // some other replica finished the job
+			}
+			select {
+			case <-m.stopc:
+				return
+			case <-time.After(delay):
+			}
+			if delay < 2*time.Second {
+				delay *= 2
+			}
+		}
+	}()
+}
+
+// proposeConfDiff proposes the next single ConfChange moving the group
+// toward desired, removals first (shrinking quorum past the dead replica is
+// what un-wedges the group). Returns true once the views match.
+func proposeConfDiff(g *multiraft.Group, desired []string) bool {
+	current := g.Members()
+	for _, addr := range current {
+		if !memberOf(desired, addr) {
+			_ = g.ProposeConfChange(raft.ConfChange{Type: raft.ConfRemoveNode, Addr: addr})
+			return false // one at a time; re-check next round
+		}
+	}
+	for _, addr := range desired {
+		if !memberOf(current, addr) {
+			_ = g.ProposeConfChange(raft.ConfChange{Type: raft.ConfAddNode, Addr: addr})
+			return false
+		}
+	}
+	return true
+}
+
+func memberOf(set []string, addr string) bool {
+	for _, a := range set {
+		if a == addr {
+			return true
+		}
+	}
+	return false
+}
+
+func sameMembers(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for _, x := range a {
+		if !memberOf(b, x) {
+			return false
+		}
+	}
+	return true
+}
+
 // IsLeader reports whether this node leads the given partition's group.
 func (m *MetaNode) IsLeader(partitionID uint64) bool {
 	p := m.Partition(partitionID)
 	if p == nil {
 		return false
 	}
-	if p.raft == nil {
+	g := p.raftGroup()
+	if g == nil {
 		return true
 	}
-	return p.raft.IsLeader()
+	return g.IsLeader()
 }
 
 func (m *MetaNode) register() error {
@@ -230,14 +367,16 @@ func (m *MetaNode) SendHeartbeat() {
 	for _, p := range m.partitions {
 		u := p.MemUsed()
 		used += u
-		isLeader := p.raft == nil || p.raft.IsLeader()
+		g := p.raftGroup()
+		isLeader := g == nil || g.IsLeader()
 		reports = append(reports, proto.PartitionReport{
-			PartitionID: p.ID,
-			Used:        u,
-			InodeCount:  p.InodeCount(),
-			MaxInodeID:  p.MaxInodeID(),
-			IsLeader:    isLeader,
-			Status:      proto.PartitionReadWrite,
+			PartitionID:  p.ID,
+			Used:         u,
+			InodeCount:   p.InodeCount(),
+			MaxInodeID:   p.MaxInodeID(),
+			IsLeader:     isLeader,
+			Status:       proto.PartitionReadWrite,
+			ReplicaEpoch: p.Epoch(),
 		})
 	}
 	m.mu.RUnlock()
@@ -310,6 +449,20 @@ func (m *MetaNode) loadSnapshots() error {
 		if err := p.Restore(data); err != nil {
 			return fmt.Errorf("meta: corrupt snapshot for partition %d: %w", id, err)
 		}
+		// Re-host the partition's Raft group (the snapshot carries the
+		// replica set). Before this, a restarted node reloaded state but
+		// never re-joined the group, so a full-cluster restart silently
+		// degraded every meta partition to an unreplicated one.
+		if members := p.MembersCopy(); len(members) > 1 && memberOf(members, m.addr) {
+			node, err := m.raft.CreateGroup(id, members, p)
+			if err != nil {
+				return err
+			}
+			p.raft = node
+			if members[0] == m.addr {
+				node.Campaign()
+			}
+		}
 		m.partitions[id] = p
 	}
 	return nil
@@ -336,6 +489,15 @@ func (m *MetaNode) handle(op uint8, req any) (any, error) {
 			return nil, err
 		}
 		return &proto.CreateMetaPartitionResp{}, nil
+	case proto.OpAdminUpdateMetaPartition:
+		// Reconfiguration pushes are applied by every member locally (the
+		// non-leader refusal below must not gate them: the whole point is
+		// that the leader may be the replica that just died).
+		r, ok := req.(*proto.UpdateMetaPartitionReq)
+		if !ok {
+			return nil, fmt.Errorf("meta: %w: body %T", util.ErrInvalidArgument, req)
+		}
+		return m.UpdatePartition(r)
 	}
 
 	// All remaining ops address a specific partition.
@@ -349,7 +511,7 @@ func (m *MetaNode) handle(op uint8, req any) (any, error) {
 	}
 	// Writes must go through the group leader; reads are served by the
 	// leader to keep the sequential-consistency contract.
-	if p.raft != nil && !p.raft.IsLeader() {
+	if g := p.raftGroup(); g != nil && !g.IsLeader() {
 		return nil, fmt.Errorf("meta: partition %d on %s: %w", pid, m.addr, util.ErrNotLeader)
 	}
 

@@ -19,18 +19,29 @@ import (
 // (parent inode id, name). All mutations replicate through the partition's
 // Raft group; reads are served from the leader's memory.
 type Partition struct {
-	ID      uint64
-	Volume  string
-	Start   uint64
-	End     uint64
+	ID     uint64
+	Volume string
+	Start  uint64
+	End    uint64
+	// Members is the master-assigned replica set; Members[0] is the
+	// designated leader. Mutable since meta failover: a reconfiguration may
+	// detach a dead replica or re-expand the set (guarded by mu).
 	Members []string
 
 	raft *multiraft.Group // nil until attached
 
-	mu         sync.RWMutex
-	inodeTree  *btree.BTree
-	dentryTree *btree.BTree
-	maxInodeID uint64 // largest inode id allocated so far in this partition
+	mu sync.RWMutex
+	// epoch is the ReplicaEpoch fencing Members, mirroring the data path:
+	// a reconfiguration is adopted only under a strictly newer epoch, so
+	// replayed or reordered master pushes are harmless.
+	epoch uint64
+	// reconciling serializes the background Raft-membership reconcile loop:
+	// at most one per partition; a newer reconfiguration just retargets the
+	// running loop (it re-reads Members every iteration).
+	reconciling bool
+	inodeTree   *btree.BTree
+	dentryTree  *btree.BTree
+	maxInodeID  uint64 // largest inode id allocated so far in this partition
 	// freeList holds inode ids that were marked deleted and evicted; the
 	// paper's metaPartition carries the same field for background
 	// content cleanup (Section 2.1.1).
@@ -69,10 +80,81 @@ func NewPartition(id uint64, volume string, start, end uint64, members []string)
 		Start:      start,
 		End:        end,
 		Members:    append([]string(nil), members...),
+		epoch:      1,
 		inodeTree:  btree.New(),
 		dentryTree: btree.New(),
 		maxInodeID: start - 1,
 	}
+}
+
+// Epoch returns the partition's current replica epoch.
+func (p *Partition) Epoch() uint64 {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.epoch
+}
+
+// MembersCopy returns the current replica set.
+func (p *Partition) MembersCopy() []string {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return append([]string(nil), p.Members...)
+}
+
+// raftGroup returns the partition's Raft group (nil while unreplicated),
+// safely against the reconcile loop's late attach.
+func (p *Partition) raftGroup() *multiraft.Group {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.raft
+}
+
+func (p *Partition) setRaftGroup(g *multiraft.Group) {
+	p.mu.Lock()
+	p.raft = g
+	p.mu.Unlock()
+}
+
+// RaftMembers reports the partition's committed Raft configuration, nil
+// while the replica runs without a group. The membership-change invariant
+// says this and the master's Members record converge to the SAME set after
+// every reconfiguration - tests assert on it.
+func (p *Partition) RaftMembers() []string {
+	if g := p.raftGroup(); g != nil {
+		return g.Members()
+	}
+	return nil
+}
+
+// applyReconfig adopts a master reconfiguration: a new Members set under a
+// strictly newer ReplicaEpoch. Stale or duplicate deliveries are ignored
+// (applied=false), which makes the master's retried pushes idempotent.
+func (p *Partition) applyReconfig(members []string, epoch uint64) (applied bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if epoch <= p.epoch {
+		return false
+	}
+	p.Members = append([]string(nil), members...)
+	p.epoch = epoch
+	return true
+}
+
+// tryBeginReconcile claims the partition's single reconcile-loop slot.
+func (p *Partition) tryBeginReconcile() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.reconciling {
+		return false
+	}
+	p.reconciling = true
+	return true
+}
+
+func (p *Partition) endReconcile() {
+	p.mu.Lock()
+	p.reconciling = false
+	p.mu.Unlock()
 }
 
 // InodeCount returns the number of inodes held.
@@ -169,12 +251,13 @@ func (p *Partition) propose(c *command) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	if p.raft == nil {
+	g := p.raftGroup()
+	if g == nil {
 		// Unreplicated partition (single-node tools, fsck): apply
 		// directly.
 		return p.applyCommand(c)
 	}
-	return p.raft.Propose(data)
+	return g.Propose(data)
 }
 
 // Apply implements raft.StateMachine.
@@ -535,6 +618,13 @@ type partitionSnapshot struct {
 	FreeList   []uint64
 	Inodes     []*proto.Inode
 	Dentries   []proto.Dentry
+	// Members and ReplicaEpoch make the snapshot self-describing for
+	// restart: a reloaded multi-replica partition re-joins its Raft group
+	// (and knows how stale its view of the replica set is) without waiting
+	// for the master to re-push the configuration. Zero-valued in pre-epoch
+	// snapshots, which load as epoch 1.
+	Members      []string
+	ReplicaEpoch uint64
 }
 
 // Snapshot implements raft.StateMachine. Clone() gives O(1) consistent
@@ -544,12 +634,14 @@ func (p *Partition) Snapshot() ([]byte, error) {
 	inodes := p.inodeTree.Clone()
 	dentries := p.dentryTree.Clone()
 	snap := partitionSnapshot{
-		ID:         p.ID,
-		Volume:     p.Volume,
-		Start:      p.Start,
-		End:        p.End,
-		MaxInodeID: p.maxInodeID,
-		FreeList:   append([]uint64(nil), p.freeList...),
+		ID:           p.ID,
+		Volume:       p.Volume,
+		Start:        p.Start,
+		End:          p.End,
+		MaxInodeID:   p.maxInodeID,
+		FreeList:     append([]uint64(nil), p.freeList...),
+		Members:      append([]string(nil), p.Members...),
+		ReplicaEpoch: p.epoch,
 	}
 	p.mu.Unlock()
 
@@ -586,9 +678,26 @@ func (p *Partition) Restore(data []byte) error {
 	defer p.mu.Unlock()
 	p.Start = snap.Start
 	p.End = snap.End
+	if snap.Volume != "" {
+		p.Volume = snap.Volume
+	}
 	p.maxInodeID = snap.MaxInodeID
 	p.freeList = snap.FreeList
 	p.inodeTree = inodeTree
 	p.dentryTree = dentryTree
+	// Membership travels with the snapshot, epoch-fenced: a disk reload
+	// adopts it (local epoch is still the initial 1), while a Raft snapshot
+	// installed from a leader whose view is OLDER than a configuration this
+	// replica already adopted from the master must not roll Members back.
+	snapEpoch := snap.ReplicaEpoch
+	if snapEpoch == 0 {
+		snapEpoch = 1 // pre-epoch snapshot
+	}
+	if snapEpoch >= p.epoch {
+		if len(snap.Members) > 0 {
+			p.Members = append([]string(nil), snap.Members...)
+		}
+		p.epoch = snapEpoch
+	}
 	return nil
 }

@@ -115,7 +115,7 @@ func (s *Scrubber) ScrubOnce() int {
 
 	total := 0
 	for _, p := range parts {
-		if p.raft != nil && !p.raft.IsLeader() {
+		if g := p.raftGroup(); g != nil && !g.IsLeader() {
 			continue
 		}
 		recs := p.TakeScrubRecords()

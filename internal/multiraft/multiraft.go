@@ -207,6 +207,16 @@ func (g *Group) Status() raft.Status { return g.node.Status() }
 // Campaign asks the member to start an election immediately.
 func (g *Group) Campaign() { g.node.Campaign() }
 
+// ProposeConfChange replicates a single-server membership change through
+// the group (leader only) and waits for it to commit and apply. Changes
+// are serialized: a second change while one is in flight fails with
+// raft.ErrConfChangePending.
+func (g *Group) ProposeConfChange(cc raft.ConfChange) error { return g.node.ProposeConfChange(cc) }
+
+// Members returns the group's current committed configuration as seen by
+// this member (initial peers plus applied ConfChanges).
+func (g *Group) Members() []string { return g.node.Status().Peers }
+
 // Stop removes the group from the manager and halts its member.
 func (g *Group) Stop() { g.mgr.RemoveGroup(g.id) }
 

@@ -98,6 +98,16 @@ const (
 	// all-replica committed offset (Section 2.2.5), which is what makes
 	// follower read offload safe.
 	OpDataReadStream
+
+	// Membership-change orchestration (append-only, like everything above).
+	//
+	// OpAdminUpdateMetaPartition is the master -> metanode reconfiguration
+	// task, the meta twin of OpAdminUpdateDataPartition: adopt a new
+	// Members set under a bumped ReplicaEpoch and drive the partition's
+	// Raft configuration to match (the surviving leader proposes the
+	// AddNode/RemoveNode diff). It is what turns a dead meta replica into
+	// a removed one instead of a read-only escalation (Section 2.3.3).
+	OpAdminUpdateMetaPartition
 )
 
 func (o Op) String() string {
@@ -178,6 +188,8 @@ func (o Op) String() string {
 		return "DataTruncate"
 	case OpDataReadStream:
 		return "DataReadStream"
+	case OpAdminUpdateMetaPartition:
+		return "AdminUpdateMetaPartition"
 	default:
 		return "Op(unknown)"
 	}
@@ -417,13 +429,23 @@ type PartitionReport struct {
 	MaxInodeID  uint64
 	IsLeader    bool
 	Status      PartitionStatus
-	// ReplicaEpoch is the epoch this replica holds (data partitions only;
-	// zero on meta reports). The master compares it against its record and
-	// re-pushes the reconfiguration to members that missed an update.
+	// ReplicaEpoch is the epoch this replica holds (data partitions report
+	// it since failover landed; meta partitions since membership change).
+	// The master compares it against its record and re-pushes the
+	// reconfiguration to members that missed an update.
 	ReplicaEpoch uint64
 }
 
-type HeartbeatResp struct{}
+type HeartbeatResp struct {
+	// ReadLeaseMillis grants the reporting node a read lease: it may keep
+	// serving reads for this many milliseconds past the heartbeat. A node
+	// that cannot refresh (partitioned from the master, i.e. exactly the
+	// deposed-leader case) stops serving reads when the lease lapses,
+	// closing the stale-read window that epoch fencing alone cannot (a
+	// zombie never learns the newer epoch). Zero means no lease discipline
+	// (masterless deployments, old masters).
+	ReadLeaseMillis int64
+}
 
 // ReportFailureReq tells the master a replica failed to respond; repeated
 // failures mark the partition unavailable (Section 2.3.3).
@@ -478,6 +500,13 @@ type ExtentSummary struct {
 	// its followers: a follower's learned value never exceeds the true
 	// committed offset, so adoption is safe even against live traffic.
 	Committed uint64
+	// OverwriteVer is the replying replica's APPLIED overwrite version for
+	// the extent (count of Raft overwrite applies it has executed). The
+	// leader's alignment pass compares it against its own version and
+	// re-ships the extent's committed bytes when the replica trails -
+	// healing a follower that missed overwrites while down (in-memory Raft
+	// logs do not replay across restarts).
+	OverwriteVer uint64
 }
 
 type ExtentInfoResp struct {
@@ -519,6 +548,23 @@ type UpdateDataPartitionReq struct {
 }
 
 type UpdateDataPartitionResp struct {
+	// ReplicaEpoch echoes the epoch the node holds after the update.
+	ReplicaEpoch uint64
+}
+
+// UpdateMetaPartitionReq is the master -> metanode reconfiguration task,
+// mirroring UpdateDataPartitionReq: adopt Members under ReplicaEpoch.
+// Nodes ignore updates whose epoch is not newer than what they hold. The
+// receiving member drives the partition's Raft group toward Members by
+// proposing the ConfChange diff once it is (or becomes) the Raft leader,
+// so the master's epoch view and the Raft quorum view converge to one.
+type UpdateMetaPartitionReq struct {
+	PartitionID  uint64
+	Members      []string
+	ReplicaEpoch uint64
+}
+
+type UpdateMetaPartitionResp struct {
 	// ReplicaEpoch echoes the epoch the node holds after the update.
 	ReplicaEpoch uint64
 }

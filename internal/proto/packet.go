@@ -148,6 +148,12 @@ const (
 	// client can remember how far this replica trails and skip it for
 	// hot-tail reads until it catches up.
 	ResultErrClamped
+	// ResultErrLeaseExpired rejects a read on a node whose master-granted
+	// read lease lapsed (it has not completed a heartbeat for the lease
+	// duration). Retriable at another replica: the refuser may be a
+	// deposed leader that cannot see the newer epoch, so its extents may
+	// already be reassigned or deleted under it.
+	ResultErrLeaseExpired
 )
 
 // maxCommitted is the largest committed offset the 48-bit header slot holds.

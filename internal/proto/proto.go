@@ -111,6 +111,15 @@ type MetaPartitionInfo struct {
 	Status      PartitionStatus
 	InodeCount  uint64
 	MaxInodeID  uint64
+	// ReplicaEpoch is the fencing version of Members, bumped by the master
+	// on every meta-partition reconfiguration (replica removal after a
+	// failure). Members at an older epoch ignore pushed updates out of
+	// order; the Raft ConfChange driven under an epoch makes the quorum
+	// view track it. Starts at 1.
+	ReplicaEpoch uint64
+	// Detached lists replicas removed from the member set after failures
+	// (informational, mirrors DataPartitionInfo.Detached).
+	Detached []string
 }
 
 // DataPartitionInfo describes one data partition to clients. The order of
@@ -245,6 +254,7 @@ func RegisterGob() {
 		&CreateMetaPartitionReq{}, &CreateMetaPartitionResp{},
 		&CreateDataPartitionReq{}, &CreateDataPartitionResp{},
 		&UpdateDataPartitionReq{}, &UpdateDataPartitionResp{},
+		&UpdateMetaPartitionReq{}, &UpdateMetaPartitionResp{},
 		&RecoverPartitionReq{}, &RecoverPartitionResp{},
 		&ReportFailureReq{}, &ReportFailureResp{},
 		&ClusterStatsReq{}, &ClusterStatsResp{},

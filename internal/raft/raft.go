@@ -65,11 +65,54 @@ func (m MsgType) String() string {
 	}
 }
 
-// Entry is one replicated log record.
+// Entry is one replicated log record. Conf marks a membership-change
+// entry: Data holds an encoded ConfChange instead of application bytes,
+// and the entry is applied to the node's configuration (not the state
+// machine) when it commits.
 type Entry struct {
 	Index uint64
 	Term  uint64
 	Data  []byte
+	Conf  bool
+}
+
+// ConfChangeType enumerates single-server membership changes.
+type ConfChangeType uint8
+
+const (
+	ConfAddNode ConfChangeType = iota + 1
+	ConfRemoveNode
+)
+
+func (t ConfChangeType) String() string {
+	switch t {
+	case ConfAddNode:
+		return "AddNode"
+	case ConfRemoveNode:
+		return "RemoveNode"
+	default:
+		return "ConfChange(unknown)"
+	}
+}
+
+// ConfChange adds or removes exactly one member. Single-server changes
+// keep the old and new configurations' majorities overlapping (Raft
+// dissertation section 4.1), so no joint-consensus phase is needed; the
+// node serializes them by refusing a new change while one is in flight.
+type ConfChange struct {
+	Type ConfChangeType
+	Addr string
+}
+
+func encodeConfChange(cc ConfChange) []byte {
+	return append([]byte{byte(cc.Type)}, cc.Addr...)
+}
+
+func decodeConfChange(data []byte) (ConfChange, error) {
+	if len(data) < 2 {
+		return ConfChange{}, fmt.Errorf("raft: %w: short conf change", util.ErrInvalidArgument)
+	}
+	return ConfChange{Type: ConfChangeType(data[0]), Addr: string(data[1:])}, nil
 }
 
 // Message is the single frame type exchanged between peers. Fields are a
@@ -100,6 +143,10 @@ type Message struct {
 	SnapIndex uint64
 	SnapTerm  uint64
 	SnapData  []byte
+	// SnapPeers carries the sender's membership so a follower restored
+	// from snapshot learns conf changes compacted out of the log. Conf
+	// entries still in the shipped tail re-apply idempotently on top.
+	SnapPeers []string
 }
 
 // Sender delivers messages to peers; delivery is best-effort and may drop
@@ -159,13 +206,19 @@ var (
 	ErrProposalDropped = errors.New("raft: proposal dropped")
 	// ErrTimeout reports a proposal did not commit in time.
 	ErrTimeout = util.ErrTimeout
+	// ErrConfChangePending reports a membership change was refused because
+	// an earlier one has not committed yet (one change at a time keeps
+	// single-server majorities overlapping).
+	ErrConfChangePending = errors.New("raft: conf change pending")
 )
 
 // Config configures a Node.
 type Config struct {
 	// ID is this member's address (unique within the group).
 	ID string
-	// Peers lists every member including ID.
+	// Peers lists every member including ID. It is the INITIAL
+	// configuration: committed ConfChange entries move membership after
+	// that, and Status().Peers reports the live view.
 	Peers []string
 	// GroupID distinguishes groups multiplexed on one transport.
 	GroupID uint64
@@ -240,10 +293,16 @@ type Status struct {
 	// FirstIndex is the first log index still held (post-compaction).
 	FirstIndex uint64
 	LastIndex  uint64
+	// Peers is the current configuration (initial Peers plus every
+	// committed ConfChange).
+	Peers []string
+	// ConfPending reports an uncommitted ConfChange entry in the log.
+	ConfPending bool
 }
 
 type proposal struct {
 	data []byte
+	conf *ConfChange
 	resp chan proposeResult
 }
 
@@ -263,8 +322,11 @@ type Node struct {
 	rand *util.Rand
 
 	// Event-loop state (owned by run goroutine).
-	role        Role
-	term        uint64
+	role Role
+	term uint64
+	// peers is the current configuration: cfg.Peers plus every committed
+	// ConfChange. All quorum math and broadcasts use it, never cfg.Peers.
+	peers       []string
 	votedFor    string
 	leader      string
 	log         []Entry // log[0].Index == firstIndex
@@ -310,6 +372,7 @@ func NewNode(cfg Config) (*Node, error) {
 		cfg:        c,
 		rand:       util.NewRand(c.Seed),
 		role:       Follower,
+		peers:      append([]string(nil), c.Peers...),
 		firstIndex: 1,
 		votes:      make(map[string]bool),
 		nextIndex:  make(map[string]uint64),
@@ -402,6 +465,31 @@ func (n *Node) Propose(data []byte) (any, error) {
 	}
 }
 
+// ProposeConfChange replicates a single-server membership change and waits
+// until it commits and the configuration switches. A change that is
+// already satisfied (adding a member, removing a non-member) returns nil
+// immediately; a change proposed while another is uncommitted fails with
+// ErrConfChangePending so callers serialize.
+func (n *Node) ProposeConfChange(cc ConfChange) error {
+	if cc.Addr == "" || (cc.Type != ConfAddNode && cc.Type != ConfRemoveNode) {
+		return fmt.Errorf("raft: %w: bad conf change %v %q", util.ErrInvalidArgument, cc.Type, cc.Addr)
+	}
+	resp := make(chan proposeResult, 1)
+	select {
+	case n.propq <- proposal{conf: &cc, resp: resp}:
+	case <-n.stopc:
+		return ErrStopped
+	}
+	select {
+	case r := <-resp:
+		return r.err
+	case <-time.After(n.cfg.ProposeTimeout):
+		return fmt.Errorf("raft: propose conf change: %w", ErrTimeout)
+	case <-n.stopc:
+		return ErrStopped
+	}
+}
+
 // run is the event loop; all protocol state is confined to it.
 func (n *Node) run() {
 	defer close(n.donec)
@@ -433,15 +521,41 @@ func (n *Node) run() {
 
 func (n *Node) status() Status {
 	return Status{
-		ID:         n.cfg.ID,
-		Role:       n.role,
-		Term:       n.term,
-		Leader:     n.leader,
-		Commit:     n.commitIndex,
-		Applied:    n.applied,
-		FirstIndex: n.firstIndex,
-		LastIndex:  n.lastIndex(),
+		ID:          n.cfg.ID,
+		Role:        n.role,
+		Term:        n.term,
+		Leader:      n.leader,
+		Commit:      n.commitIndex,
+		Applied:     n.applied,
+		FirstIndex:  n.firstIndex,
+		LastIndex:   n.lastIndex(),
+		Peers:       append([]string(nil), n.peers...),
+		ConfPending: n.hasPendingConf(),
 	}
+}
+
+// isMember reports whether addr is in the current configuration.
+func (n *Node) isMember(addr string) bool {
+	for _, p := range n.peers {
+		if p == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// hasPendingConf reports an appended-but-uncommitted ConfChange entry.
+func (n *Node) hasPendingConf() bool {
+	from := n.commitIndex + 1
+	if from < n.firstIndex {
+		from = n.firstIndex
+	}
+	for idx := from; idx <= n.lastIndex(); idx++ {
+		if n.log[idx-n.firstIndex].Conf {
+			return true
+		}
+	}
+	return false
 }
 
 func (n *Node) resetElectionTimer() {
@@ -450,6 +564,11 @@ func (n *Node) resetElectionTimer() {
 }
 
 func (n *Node) tick() {
+	if !n.isMember(n.cfg.ID) {
+		// Removed from the configuration: stay silent. No elections (a
+		// removed server must not disrupt or win one) and no heartbeats.
+		return
+	}
 	if n.role == Leader {
 		n.hbElapsed++
 		if n.hbElapsed >= n.cfg.HeartbeatTicks {
@@ -469,7 +588,7 @@ func (n *Node) tick() {
 // package multiraft); followers with a replication backlog or a compacted
 // gap get a real AppendEntries / snapshot instead.
 func (n *Node) broadcastHeartbeat() {
-	for _, p := range n.cfg.Peers {
+	for _, p := range n.peers {
 		if p == n.cfg.ID {
 			continue
 		}
@@ -534,7 +653,10 @@ func (n *Node) handleHeartbeatResp(msg *Message) {
 // Elections.
 
 func (n *Node) startElection() {
-	if len(n.cfg.Peers) == 1 {
+	if !n.isMember(n.cfg.ID) {
+		return // removed servers do not campaign
+	}
+	if len(n.peers) == 1 {
 		// Single-member group: become leader immediately.
 		n.term++
 		n.becomeLeader()
@@ -546,7 +668,7 @@ func (n *Node) startElection() {
 	n.leader = ""
 	n.votes = map[string]bool{n.cfg.ID: true}
 	n.resetElectionTimer()
-	for _, p := range n.cfg.Peers {
+	for _, p := range n.peers {
 		if p == n.cfg.ID {
 			continue
 		}
@@ -581,7 +703,7 @@ func (n *Node) becomeLeader() {
 	n.leader = n.cfg.ID
 	n.hbElapsed = 0
 	last := n.lastIndex()
-	for _, p := range n.cfg.Peers {
+	for _, p := range n.peers {
 		n.nextIndex[p] = last + 1
 		n.matchIndex[p] = 0
 	}
@@ -595,6 +717,21 @@ func (n *Node) becomeLeader() {
 }
 
 func (n *Node) handleVote(msg *Message) {
+	if !n.isMember(msg.From) {
+		// A server outside the committed configuration (removed, or added
+		// but not yet committed here) must not win NOR disrupt elections:
+		// ignore the request entirely so its inflated term cannot depose a
+		// healthy leader (dissertation section 4.2.3).
+		return
+	}
+	if msg.Term > n.term && n.leader != "" && n.elapsed < n.cfg.ElectionTicks {
+		// Leader stickiness: we heard from a live leader within the
+		// minimum election timeout, so this candidacy is either a removed
+		// server that has not yet learned its removal or a network-flap
+		// rejoin; granting (or even adopting the term) would churn a
+		// healthy group during membership changes.
+		return
+	}
 	granted := false
 	if msg.Term >= n.term {
 		if msg.Term > n.term {
@@ -627,7 +764,7 @@ func (n *Node) handleVoteResp(msg *Message) {
 	}
 	if msg.Granted {
 		n.votes[msg.From] = true
-		if n.countVotes() > len(n.cfg.Peers)/2 {
+		if n.countVotes() > len(n.peers)/2 {
 			n.becomeLeader()
 		}
 	}
@@ -702,14 +839,87 @@ func (n *Node) propose(p proposal) {
 		p.resp <- proposeResult{err: fmt.Errorf("raft: %w (leader=%s)", ErrNotLeader, n.leader)}
 		return
 	}
+	if p.conf != nil {
+		n.proposeConfChange(p)
+		return
+	}
 	idx := n.appendLocal(p.data)
 	n.pending[idx] = pendingApply{term: n.term, resp: p.resp}
 	n.broadcastAppend()
 	n.maybeCommit() // single-node groups commit immediately
 }
 
+func (n *Node) proposeConfChange(p proposal) {
+	cc := *p.conf
+	member := n.isMember(cc.Addr)
+	if (cc.Type == ConfAddNode && member) || (cc.Type == ConfRemoveNode && !member) {
+		p.resp <- proposeResult{} // already satisfied
+		return
+	}
+	if n.hasPendingConf() {
+		p.resp <- proposeResult{err: ErrConfChangePending}
+		return
+	}
+	idx := n.lastIndex() + 1
+	n.log = append(n.log, Entry{Index: idx, Term: n.term, Data: encodeConfChange(cc), Conf: true})
+	n.matchIndex[n.cfg.ID] = idx
+	n.pending[idx] = pendingApply{term: n.term, resp: p.resp}
+	n.broadcastAppend()
+	n.maybeCommit()
+}
+
+// applyConfChange switches the configuration when the Conf entry at idx
+// commits. It is idempotent: snapshot-restored membership plus a replayed
+// tail may re-apply changes already reflected.
+func (n *Node) applyConfChange(cc ConfChange, idx uint64) {
+	switch cc.Type {
+	case ConfAddNode:
+		if n.isMember(cc.Addr) {
+			return
+		}
+		n.peers = append(append([]string(nil), n.peers...), cc.Addr)
+		if n.role == Leader {
+			n.nextIndex[cc.Addr] = n.lastIndex() + 1
+			n.matchIndex[cc.Addr] = 0
+			n.sendAppend(cc.Addr) // start catching the new member up now
+		}
+	case ConfRemoveNode:
+		if !n.isMember(cc.Addr) {
+			return
+		}
+		out := make([]string, 0, len(n.peers)-1)
+		for _, p := range n.peers {
+			if p != cc.Addr {
+				out = append(out, p)
+			}
+		}
+		n.peers = out
+		delete(n.votes, cc.Addr)
+		delete(n.nextIndex, cc.Addr)
+		delete(n.matchIndex, cc.Addr)
+		if cc.Addr == n.cfg.ID {
+			// We were removed. Step down and go silent; tick() and
+			// startElection() check membership so we cannot campaign.
+			// Later pending entries can no longer commit through us, but
+			// the removal entry itself just succeeded - spare its waiter.
+			if n.role == Leader {
+				for pidx, w := range n.pending {
+					if pidx == idx {
+						continue
+					}
+					delete(n.pending, pidx)
+					w.resp <- proposeResult{err: ErrProposalDropped}
+				}
+			}
+			n.role = Follower
+			n.leader = ""
+			return
+		}
+	}
+}
+
 func (n *Node) broadcastAppend() {
-	for _, p := range n.cfg.Peers {
+	for _, p := range n.peers {
 		if p == n.cfg.ID {
 			continue
 		}
@@ -758,6 +968,7 @@ func (n *Node) sendSnapshot(to string) {
 		SnapIndex: n.firstIndex - 1,
 		SnapTerm:  n.snapTerm,
 		SnapData:  data,
+		SnapPeers: append([]string(nil), n.peers...),
 		Commit:    n.commitIndex,
 	})
 }
@@ -874,12 +1085,12 @@ func (n *Node) maybeCommit() {
 			break // only commit entries from the current term by counting
 		}
 		votes := 0
-		for _, p := range n.cfg.Peers {
+		for _, p := range n.peers {
 			if n.matchIndex[p] >= idx {
 				votes++
 			}
 		}
-		if votes > len(n.cfg.Peers)/2 {
+		if votes > len(n.peers)/2 {
 			n.commitIndex = idx
 			n.applyCommitted()
 			break
@@ -888,6 +1099,7 @@ func (n *Node) maybeCommit() {
 }
 
 func (n *Node) applyCommitted() {
+	confChanged := false
 	for n.applied < n.commitIndex {
 		idx := n.applied + 1
 		if idx < n.firstIndex {
@@ -898,7 +1110,14 @@ func (n *Node) applyCommitted() {
 		e := n.log[idx-n.firstIndex]
 		var result any
 		var err error
-		if len(e.Data) > 0 {
+		switch {
+		case e.Conf:
+			// Membership entries reconfigure the node, not the SM.
+			if cc, derr := decodeConfChange(e.Data); derr == nil {
+				n.applyConfChange(cc, idx)
+				confChanged = true
+			}
+		case len(e.Data) > 0:
 			result, err = n.cfg.SM.Apply(e.Index, e.Data)
 		}
 		n.applied = idx
@@ -912,6 +1131,13 @@ func (n *Node) applyCommitted() {
 		}
 	}
 	n.maybeCompact()
+	if confChanged && n.role == Leader {
+		// A shrunk quorum may make entries waiting on the removed
+		// member's ack committable. Safe to recurse here: applied has
+		// caught up to commitIndex, so the loop above re-runs only for
+		// newly committed entries.
+		n.maybeCommit()
+	}
 }
 
 func (n *Node) maybeCompact() {
@@ -959,6 +1185,11 @@ func (n *Node) handleSnap(msg *Message) {
 	n.snapTerm = msg.SnapTerm
 	n.applied = msg.SnapIndex
 	n.commitIndex = util.MaxU64(n.commitIndex, msg.SnapIndex)
+	if len(msg.SnapPeers) > 0 {
+		// Adopt the sender's membership: conf entries below the snapshot
+		// boundary are compacted away and can only arrive this way.
+		n.peers = append([]string(nil), msg.SnapPeers...)
+	}
 	n.sendAppResp(msg.From, true, msg.SnapIndex, 0)
 }
 

@@ -419,3 +419,229 @@ func TestNoOpCommitEstablishesLeadership(t *testing.T) {
 		t.Fatal("no-op entry never committed")
 	}
 }
+
+// ---------------------------------------------------------------------------
+// Membership change (single-server ConfChange).
+
+// addNode boots an extra node into the cluster's router. The node is
+// bootstrapped with the POST-change peer list (its creator knows the new
+// membership); existing members only admit it once the AddNode commits.
+func (c *cluster) addNode(id string, peers []string) {
+	c.t.Helper()
+	sm := newKVSM()
+	node, err := NewNode(Config{
+		ID:             id,
+		Peers:          peers,
+		GroupID:        1,
+		Sender:         c.router.sender(),
+		SM:             sm,
+		TickInterval:   2 * time.Millisecond,
+		HeartbeatTicks: 2,
+		ElectionTicks:  10,
+		ProposeTimeout: 2 * time.Second,
+		Seed:           uint64(len(id)*1000 + int(id[1])),
+	})
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	c.router.mu.Lock()
+	c.router.nodes[id] = node
+	c.router.mu.Unlock()
+	c.nodes[id] = node
+	c.sms[id] = sm
+}
+
+func waitPeers(t *testing.T, n *Node, want int) Status {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		st := n.Status()
+		if len(st.Peers) == want {
+			return st
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	st := n.Status()
+	t.Fatalf("node %s peers = %v, want %d members", st.ID, st.Peers, want)
+	return st
+}
+
+// TestConfChangeRemoveDeadMember: removing a dead member shrinks the
+// quorum so the survivors keep committing, and the removed server's
+// (eventual) candidacies are ignored by the new configuration.
+func TestConfChangeRemoveDeadMember(t *testing.T) {
+	c := newCluster(t, 3, 0)
+	leader := c.waitLeader()
+	if _, err := c.nodes[leader].Propose([]byte("a=1")); err != nil {
+		t.Fatal(err)
+	}
+	var dead string
+	for _, id := range c.peers {
+		if id != leader {
+			dead = id
+			break
+		}
+	}
+	c.router.partition(dead)
+	if err := c.nodes[leader].ProposeConfChange(ConfChange{Type: ConfRemoveNode, Addr: dead}); err != nil {
+		t.Fatalf("remove %s: %v", dead, err)
+	}
+	for _, id := range c.peers {
+		if id == dead {
+			continue
+		}
+		waitPeers(t, c.nodes[id], 2)
+	}
+	if _, err := c.nodes[leader].Propose([]byte("b=2")); err != nil {
+		t.Fatalf("propose after removal: %v", err)
+	}
+	// Removing again is a satisfied no-op.
+	if err := c.nodes[leader].ProposeConfChange(ConfChange{Type: ConfRemoveNode, Addr: dead}); err != nil {
+		t.Fatalf("idempotent remove: %v", err)
+	}
+}
+
+// TestConfChangeAddNodeCatchesUp: a fresh member added via ConfChange is
+// caught up by the leader and counts toward the quorum.
+func TestConfChangeAddNodeCatchesUp(t *testing.T) {
+	c := newCluster(t, 3, 0)
+	leader := c.waitLeader()
+	if _, err := c.nodes[leader].Propose([]byte("seed=1")); err != nil {
+		t.Fatal(err)
+	}
+	newID := "n3"
+	c.addNode(newID, append(append([]string(nil), c.peers...), newID))
+	if err := c.nodes[leader].ProposeConfChange(ConfChange{Type: ConfAddNode, Addr: newID}); err != nil {
+		t.Fatalf("add %s: %v", newID, err)
+	}
+	waitPeers(t, c.nodes[leader], 4)
+	if _, err := c.nodes[leader].Propose([]byte("post=2")); err != nil {
+		t.Fatal(err)
+	}
+	c.waitValue(newID, "seed", "1")
+	c.waitValue(newID, "post", "2")
+}
+
+// TestRemovedNodeCannotWinElection: after removal, the deposed member's
+// campaigns are ignored — the remaining configuration keeps its leader
+// and the removed node never becomes leader of the group.
+func TestRemovedNodeCannotWinElection(t *testing.T) {
+	c := newCluster(t, 3, 0)
+	leader := c.waitLeader()
+	var removed string
+	for _, id := range c.peers {
+		if id != leader {
+			removed = id
+			break
+		}
+	}
+	if err := c.nodes[leader].ProposeConfChange(ConfChange{Type: ConfRemoveNode, Addr: removed}); err != nil {
+		t.Fatal(err)
+	}
+	waitPeers(t, c.nodes[leader], 2)
+	// The removed node still has a live network path. Force campaigns: its
+	// vote requests must be ignored by members, and membership gating must
+	// keep it from ever winning.
+	for i := 0; i < 5; i++ {
+		c.nodes[removed].Campaign()
+		time.Sleep(20 * time.Millisecond)
+	}
+	if c.nodes[removed].Status().Role == Leader {
+		t.Fatal("removed node won an election")
+	}
+	st := c.nodes[leader].Status()
+	if st.Role != Leader {
+		t.Fatalf("leader %s deposed by removed node (role=%v)", leader, st.Role)
+	}
+	if _, err := c.nodes[leader].Propose([]byte("fence=1")); err != nil {
+		t.Fatalf("propose after removed-node campaigns: %v", err)
+	}
+}
+
+// TestConfChangeSerialized: a second membership change proposed while one
+// is uncommitted fails with ErrConfChangePending.
+func TestConfChangeSerialized(t *testing.T) {
+	c := newCluster(t, 3, 0)
+	leader := c.waitLeader()
+	if _, err := c.nodes[leader].Propose([]byte("warm=1")); err != nil {
+		t.Fatal(err)
+	}
+	// Cut both followers so the first change can append but not commit.
+	for _, id := range c.peers {
+		if id != leader {
+			c.router.partition(id)
+		}
+	}
+	first := make(chan error, 1)
+	go func() {
+		first <- c.nodes[leader].ProposeConfChange(ConfChange{Type: ConfAddNode, Addr: "nX"})
+	}()
+	// Wait until the conf entry is visibly pending on the leader.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) && !c.nodes[leader].Status().ConfPending {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if !c.nodes[leader].Status().ConfPending {
+		t.Fatal("first conf change never became pending")
+	}
+	err := c.nodes[leader].ProposeConfChange(ConfChange{Type: ConfAddNode, Addr: "nY"})
+	if !errors.Is(err, ErrConfChangePending) {
+		t.Fatalf("second conf change: %v, want ErrConfChangePending", err)
+	}
+	// Heal: the first change must now commit and apply everywhere.
+	for _, id := range c.peers {
+		c.router.heal(id)
+	}
+	if err := <-first; err != nil && !errors.Is(err, ErrTimeout) {
+		t.Fatalf("first conf change: %v", err)
+	}
+	for _, id := range c.peers {
+		waitPeers(t, c.nodes[id], 4)
+	}
+}
+
+// TestConfChangeSurvivesLeaderKill: the leader dies right after appending
+// a RemoveNode entry. Whatever the outcome of that in-flight entry, the
+// survivors converge on one configuration and keep committing.
+func TestConfChangeSurvivesLeaderKill(t *testing.T) {
+	c := newCluster(t, 3, 0)
+	leader := c.waitLeader()
+	var target string
+	for _, id := range c.peers {
+		if id != leader {
+			target = id
+			break
+		}
+	}
+	// Propose asynchronously and cut the leader as fast as possible.
+	go func() {
+		_ = c.nodes[leader].ProposeConfChange(ConfChange{Type: ConfRemoveNode, Addr: target})
+	}()
+	c.router.partition(leader)
+	// The two followers elect among themselves (target may or may not have
+	// received the conf entry - both outcomes must converge).
+	leader2 := c.waitLeader()
+	if leader2 == leader {
+		t.Fatal("dead leader re-elected")
+	}
+	// The old leader comes back (its process was only cut mid-change); it
+	// must rejoin as follower. Without it, removing target could leave a
+	// single live member of a two-member configuration.
+	c.router.heal(leader)
+	// Drive the change to a known state from the new leader.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		err := c.nodes[leader2].ProposeConfChange(ConfChange{Type: ConfRemoveNode, Addr: target})
+		if err == nil {
+			break
+		}
+		if errors.Is(err, ErrNotLeader) {
+			leader2 = c.waitLeader()
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	waitPeers(t, c.nodes[leader2], 2)
+	if _, err := c.nodes[leader2].Propose([]byte("after=1")); err != nil {
+		t.Fatalf("propose after kill-during-confchange: %v", err)
+	}
+}

@@ -12,11 +12,13 @@
 package raftstore
 
 import (
+	"fmt"
 	"time"
 
 	"cfs/internal/multiraft"
 	"cfs/internal/raft"
 	"cfs/internal/transport"
+	"cfs/internal/util"
 )
 
 // MessageBatch is the wire frame exchanged between stores; it is the
@@ -69,6 +71,27 @@ func (s *Store) Group(groupID uint64) *multiraft.Group { return s.mgr.Group(grou
 
 // RemoveGroup stops and forgets a group.
 func (s *Store) RemoveGroup(groupID uint64) { s.mgr.RemoveGroup(groupID) }
+
+// ProposeConfChange replicates a single-server membership change through
+// a hosted group (leader only). It is how the control plane's view of a
+// partition's replica set (the master's Members + ReplicaEpoch) is pushed
+// into the consensus layer so the two views stay one.
+func (s *Store) ProposeConfChange(groupID uint64, cc raft.ConfChange) error {
+	g := s.mgr.Group(groupID)
+	if g == nil {
+		return fmt.Errorf("raftstore: group %d: %w", groupID, util.ErrNotFound)
+	}
+	return g.ProposeConfChange(cc)
+}
+
+// GroupMembers returns a hosted group's current committed configuration.
+func (s *Store) GroupMembers(groupID uint64) ([]string, error) {
+	g := s.mgr.Group(groupID)
+	if g == nil {
+		return nil, fmt.Errorf("raftstore: group %d: %w", groupID, util.ErrNotFound)
+	}
+	return g.Members(), nil
+}
 
 // GroupCount returns the number of hosted groups.
 func (s *Store) GroupCount() int { return s.mgr.GroupCount() }
